@@ -1,0 +1,53 @@
+//! E2 — Theorem 2.2: for i.i.d. fair ±1 increments,
+//! `E[v(n)] = O(√n · log n)`.
+
+use dsv_bench::table::f;
+use dsv_bench::{banner, Summary, Table};
+use dsv_core::variability::Variability;
+use dsv_gen::{DeltaGen, WalkGen};
+
+fn main() {
+    banner(
+        "E2  (Theorem 2.2) — expected variability of the fair ±1 random walk",
+        "E[v(n)] = O(sqrt(n)·log n): the ratio v / (sqrt(n)·ln n) should stay bounded",
+    );
+
+    let trials = 24u64;
+    let mut t = Table::new(&[
+        "n",
+        "E[v] (mean)",
+        "std",
+        "min",
+        "max",
+        "sqrt(n)ln(n)",
+        "ratio",
+    ]);
+    let mut ratios = Vec::new();
+    for n in [1_000u64, 4_000, 16_000, 64_000, 256_000, 1_024_000] {
+        let vs: Vec<f64> = (0..trials)
+            .map(|seed| Variability::of_stream(WalkGen::fair(1000 + seed).deltas(n)))
+            .collect();
+        let s = Summary::of(&vs);
+        let shape = Variability::thm22_shape(n);
+        ratios.push(s.mean / shape);
+        t.row(vec![
+            n.to_string(),
+            f(s.mean),
+            f(s.std),
+            f(s.min),
+            f(s.max),
+            f(shape),
+            f(s.mean / shape),
+        ]);
+    }
+    t.print();
+
+    let rs = Summary::of(&ratios);
+    println!(
+        "\nreading: the ratio column is the implied constant of Thm 2.2; it stays\n\
+         within [{:.3}, {:.3}] across a 1000x range of n (bounded, slowly\n\
+         decreasing — consistent with E[v] = O(sqrt(n) log n) and the sum\n\
+         sum_t (1+2H_t)/sqrt(t) in the proof).",
+        rs.min, rs.max
+    );
+}

@@ -1,0 +1,74 @@
+//! E5 — §3.3 deterministic tracker: the ε-guarantee holds at **every**
+//! timestep and total messages are `O((k/ε)·v(n))`.
+
+use dsv_bench::table::f;
+use dsv_bench::{banner, Table};
+use dsv_core::deterministic::DeterministicTracker;
+use dsv_core::variability::Variability;
+use dsv_gen::{AdversarialGen, DeltaGen, MonotoneGen, NearlyMonotoneGen, RoundRobin, WalkGen};
+use dsv_net::{TrackerRunner, Update};
+
+fn workloads(n: u64, k: usize) -> Vec<(&'static str, Vec<Update>)> {
+    vec![
+        ("monotone", MonotoneGen::ones().updates(n, RoundRobin::new(k))),
+        ("fair walk", WalkGen::fair(11).updates(n, RoundRobin::new(k))),
+        ("biased 0.2", WalkGen::biased(13, 0.2).updates(n, RoundRobin::new(k))),
+        (
+            "nearly-mono b=2",
+            NearlyMonotoneGen::new(17, 2.0, 0.45).updates(n, RoundRobin::new(k)),
+        ),
+        ("hover 100", AdversarialGen::hover(100).updates(n, RoundRobin::new(k))),
+    ]
+}
+
+fn main() {
+    banner(
+        "E5  (Section 3.3) — deterministic tracker: correctness and O((k/eps)·v) messages",
+        "|f - fhat| <= eps·|f| at every t; messages <= partition(50kv+5k) + inblock(20kv/eps + 2k/eps)",
+    );
+
+    let n = 100_000u64;
+    let mut t = Table::new(&[
+        "stream",
+        "k",
+        "eps",
+        "v(n)",
+        "violations",
+        "max err/eps",
+        "messages",
+        "bound",
+        "msgs/bound",
+        "msgs/n",
+    ]);
+    for k in [1usize, 4, 16] {
+        for eps in [0.2f64, 0.05] {
+            for (name, updates) in workloads(n, k) {
+                let v = Variability::of_stream(updates.iter().map(|u| u.delta));
+                let mut sim = DeterministicTracker::sim(k, eps);
+                let report = TrackerRunner::new(eps).run(&mut sim, &updates);
+                let bound = DeterministicTracker::message_bound(k, eps, v);
+                let msgs = report.stats.total_messages();
+                t.row(vec![
+                    name.to_string(),
+                    k.to_string(),
+                    f(eps),
+                    f(v),
+                    report.violations.to_string(),
+                    f(report.max_rel_err / eps),
+                    msgs.to_string(),
+                    f(bound),
+                    f(msgs as f64 / bound),
+                    f(msgs as f64 / n as f64),
+                ]);
+            }
+        }
+    }
+    t.print();
+
+    println!(
+        "\nreading: violations = 0 on every row (the deterministic guarantee is\n\
+         unconditional); msgs/bound < 1 everywhere confirms the O((k/eps)·v)\n\
+         cost; msgs/n << 1 on low-variability streams shows the win over the\n\
+         naive Theta(n) baseline, degrading gracefully as v grows."
+    );
+}

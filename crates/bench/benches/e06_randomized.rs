@@ -1,0 +1,78 @@
+//! E6 — §3.4 randomized tracker: per-timestep failure probability < 1/3
+//! and expected messages `O((k + √k/ε)·v(n))`.
+
+use dsv_bench::table::f;
+use dsv_bench::{banner, Summary, Table};
+use dsv_core::randomized::RandomizedTracker;
+use dsv_core::variability::Variability;
+use dsv_gen::{DeltaGen, MonotoneGen, NearlyMonotoneGen, RoundRobin, WalkGen};
+use dsv_net::{TrackerRunner, Update};
+
+fn workloads(n: u64, k: usize) -> Vec<(&'static str, Vec<Update>)> {
+    vec![
+        ("monotone", MonotoneGen::ones().updates(n, RoundRobin::new(k))),
+        ("fair walk", WalkGen::fair(19).updates(n, RoundRobin::new(k))),
+        ("biased 0.3", WalkGen::biased(23, 0.3).updates(n, RoundRobin::new(k))),
+        (
+            "nearly-mono b=2",
+            NearlyMonotoneGen::new(29, 2.0, 0.45).updates(n, RoundRobin::new(k)),
+        ),
+    ]
+}
+
+fn main() {
+    banner(
+        "E6  (Section 3.4) — randomized tracker: P(err > eps·f) < 1/3, O((k+sqrt(k)/eps)·v) expected messages",
+        "HYZ A+/A- estimators per block; p = min{1, 3/(eps·2^r·sqrt(k))}",
+    );
+
+    let n = 60_000u64;
+    let trials = 24u64;
+    let mut t = Table::new(&[
+        "stream",
+        "k",
+        "eps",
+        "v(n)",
+        "viol rate",
+        "E[msgs]",
+        "msg std",
+        "bound",
+        "msgs/bound",
+    ]);
+    for k in [4usize, 16, 64] {
+        for eps in [0.2f64, 0.05] {
+            for (name, updates) in workloads(n, k) {
+                let v = Variability::of_stream(updates.iter().map(|u| u.delta));
+                let mut viols = 0u64;
+                let mut msgs = Vec::new();
+                for seed in 0..trials {
+                    let mut sim = RandomizedTracker::sim(k, eps, 5_000 + seed);
+                    let report = TrackerRunner::new(eps).run(&mut sim, &updates);
+                    viols += report.violations;
+                    msgs.push(report.stats.total_messages() as f64);
+                }
+                let ms = Summary::of(&msgs);
+                let rate = viols as f64 / (trials as f64 * n as f64);
+                let bound = RandomizedTracker::message_bound(k, eps, v);
+                t.row(vec![
+                    name.to_string(),
+                    k.to_string(),
+                    f(eps),
+                    f(v),
+                    f(rate),
+                    f(ms.mean),
+                    f(ms.std),
+                    f(bound),
+                    f(ms.mean / bound),
+                ]);
+            }
+        }
+    }
+    t.print();
+
+    println!(
+        "\nreading: the average per-timestep violation rate is far below the 1/3\n\
+         the guarantee allows (Chebyshev gives 2/9; block ends resync exactly),\n\
+         and expected messages stay within the O((k+sqrt(k)/eps)·v) bound."
+    );
+}

@@ -1,0 +1,130 @@
+//! E7 — §2 remarks: the worst-case `v`-bounds specialize to the known
+//! results on restricted inputs:
+//!
+//! * monotone inputs: `v = O(log n)`, so the §3 trackers match the
+//!   CMY `O((k/ε)log n)` / HYZ `O((k+√k/ε)log n)` cost shapes;
+//! * fair-coin inputs: `E[v] = O(√n log n)`, so the *worst-case* bound
+//!   `O((√k/ε)·v)` reproduces Liu et al.'s expected
+//!   `O((√k/ε)·√n·log n)` — but as a per-instance guarantee.
+
+use dsv_bench::table::f;
+use dsv_bench::{banner, Summary, Table};
+use dsv_core::baselines::{CmyCounter, HyzCounter};
+use dsv_core::deterministic::DeterministicTracker;
+use dsv_core::randomized::RandomizedTracker;
+use dsv_core::variability::Variability;
+use dsv_gen::{DeltaGen, MonotoneGen, RoundRobin, WalkGen};
+use dsv_net::TrackerRunner;
+
+fn main() {
+    banner(
+        "E7  (Section 2 remarks) — specialization to monotone & random-input results",
+        "monotone: tracker costs ~ CMY/HYZ log n shapes; fair coins: cost ~ (sqrt(k)/eps)·sqrt(n)·log n (Liu et al. shape)",
+    );
+
+    let k = 16;
+    let eps = 0.1;
+
+    println!("\n-- monotone counter, k = {k}, eps = {eps}: messages vs n --");
+    let mut t = Table::new(&[
+        "n",
+        "v(n)",
+        "det msgs",
+        "CMY msgs",
+        "det/CMY",
+        "rand msgs",
+        "HYZ msgs",
+        "rand/HYZ",
+    ]);
+    for n in [20_000u64, 80_000, 320_000] {
+        let updates = MonotoneGen::ones().updates(n, RoundRobin::new(k));
+        let v = Variability::of_stream(updates.iter().map(|u| u.delta));
+
+        let mut det = DeterministicTracker::sim(k, eps);
+        let det_m = TrackerRunner::new(eps).run(&mut det, &updates).stats.total_messages();
+        let mut cmy = CmyCounter::sim(k, eps);
+        let cmy_m = TrackerRunner::new(eps).run(&mut cmy, &updates).stats.total_messages();
+
+        let rand_m: f64 = {
+            let runs: Vec<f64> = (0..8)
+                .map(|s| {
+                    let mut sim = RandomizedTracker::sim(k, eps, 100 + s);
+                    TrackerRunner::new(eps).run(&mut sim, &updates).stats.total_messages() as f64
+                })
+                .collect();
+            Summary::of(&runs).mean
+        };
+        let hyz_m: f64 = {
+            let runs: Vec<f64> = (0..8)
+                .map(|s| {
+                    let mut sim = HyzCounter::sim(k, eps, 200 + s);
+                    TrackerRunner::new(eps).run(&mut sim, &updates).stats.total_messages() as f64
+                })
+                .collect();
+            Summary::of(&runs).mean
+        };
+
+        t.row(vec![
+            n.to_string(),
+            f(v),
+            det_m.to_string(),
+            cmy_m.to_string(),
+            f(det_m as f64 / cmy_m as f64),
+            f(rand_m),
+            f(hyz_m),
+            f(rand_m / hyz_m),
+        ]);
+    }
+    t.print();
+    println!(
+        "reading: on monotone inputs both trackers stay within a constant factor\n\
+         of the specialized monotone algorithms — the generality is (nearly) free,\n\
+         and all four columns grow ~ log n."
+    );
+
+    // Liu et al.'s shape needs the walk to actually leave the r = 0 zone
+    // (|f| ≥ 4k), so the cleanest regime is small k where √n >> 4k.
+    let k2 = 1;
+    println!("\n-- fair coin flips, k = {k2}, eps = {eps}: Liu et al. shape --");
+    let mut t = Table::new(&[
+        "n",
+        "E[v]",
+        "E[det msgs]",
+        "E[rand msgs]",
+        "shape sqrt(n)ln n",
+        "det/shape",
+    ]);
+    for n in [16_000u64, 64_000, 256_000, 1_024_000] {
+        let mut vs = Vec::new();
+        let mut det_ms = Vec::new();
+        let mut rand_ms = Vec::new();
+        for seed in 0..16u64 {
+            let updates = WalkGen::fair(3_000 + seed).updates(n, RoundRobin::new(k2));
+            vs.push(Variability::of_stream(updates.iter().map(|u| u.delta)));
+            let mut det = DeterministicTracker::sim(k2, eps);
+            det_ms.push(
+                TrackerRunner::new(eps).run(&mut det, &updates).stats.total_messages() as f64,
+            );
+            let mut rnd = RandomizedTracker::sim(k2, eps, 400 + seed);
+            rand_ms.push(
+                TrackerRunner::new(eps).run(&mut rnd, &updates).stats.total_messages() as f64,
+            );
+        }
+        let shape = Variability::thm22_shape(n);
+        t.row(vec![
+            n.to_string(),
+            f(Summary::of(&vs).mean),
+            f(Summary::of(&det_ms).mean),
+            f(Summary::of(&rand_ms).mean),
+            f(shape),
+            f(Summary::of(&det_ms).mean / shape),
+        ]);
+    }
+    t.print();
+    println!(
+        "reading: on fair coins the expected message cost tracks sqrt(n)·log n\n\
+         (bounded final column across a 64x range of n), reproducing Liu et\n\
+         al.'s *expected* bound from a *worst-case* guarantee — the decoupling\n\
+         of input randomness from algorithm randomness promised in §2."
+    );
+}

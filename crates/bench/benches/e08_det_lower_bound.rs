@@ -1,0 +1,128 @@
+//! E8 — Theorem 4.1: the deterministic tracing lower bound.
+//!
+//! The hard family fixes `r` flip times among `n`; all members share the
+//! exact variability `(6m+9)/(2m+6)·ε·r` and are pairwise distinguishable
+//! by any ε-accurate summary, so `Ω(log C(n,r)) = Ω(r log n) =
+//! Ω((log n/ε)·v)` bits are required. We verify every premise
+//! constructively, then run our own tracing summary (the recorded
+//! deterministic tracker, Appendix D) on family streams and compare its
+//! size against the lower bound.
+
+use dsv_bench::table::f;
+use dsv_bench::{banner, Table};
+use dsv_core::deterministic::DeterministicTracker;
+use dsv_core::expand::expand_stream;
+use dsv_core::lower_bound::DetFlipFamily;
+use dsv_core::tracing::TracingRecorder;
+
+fn main() {
+    banner(
+        "E8  (Theorem 4.1) — deterministic tracing lower bound",
+        "family of C(n,r) sequences, each with v = (6m+9)/(2m+6)·eps·r; any eps-summary needs Omega(r·log n) = Omega(v·log(n)/eps) bits",
+    );
+
+    println!("\n-- family structure: exact variability & information content --");
+    let mut t = Table::new(&[
+        "m (=1/eps)",
+        "n",
+        "r",
+        "v formula",
+        "v measured",
+        "log2 C(n,r)",
+        "r·log2(n/r)",
+        "v·log2(n)/eps",
+        "levels disjoint",
+    ]);
+    for (m, n, r) in [
+        (4i64, 1_000u64, 10usize),
+        (4, 10_000, 40),
+        (8, 10_000, 40),
+        (16, 100_000, 100),
+    ] {
+        let fam = DetFlipFamily::new(m, n, r);
+        let member = fam.random_member(7);
+        t.row(vec![
+            m.to_string(),
+            n.to_string(),
+            r.to_string(),
+            f(fam.exact_variability()),
+            f(member.variability()),
+            f(fam.log2_family_size()),
+            f(fam.bits_lower_bound()),
+            f(fam.exact_variability() * (n as f64).log2() / fam.eps()),
+            fam.levels_distinguishable().to_string(),
+        ]);
+    }
+    t.print();
+    println!(
+        "reading: measured per-member variability equals the closed form; the\n\
+         information content log2 C(n,r) >= r·log2(n/r) grows with both r (that\n\
+         is, with v) and log n, matching the Omega((log n/eps)·v) statement."
+    );
+
+    println!("\n-- pairwise distinctness of sampled members (Appendix E premise) --");
+    let fam = DetFlipFamily::new(4, 2_000, 30);
+    let members: Vec<_> = (0..40).map(|s| fam.random_member(s)).collect();
+    let mut distinct = 0u32;
+    let mut pairs = 0u32;
+    for i in 0..members.len() {
+        for j in (i + 1)..members.len() {
+            pairs += 1;
+            if members[i].values() != members[j].values() {
+                distinct += 1;
+            }
+        }
+    }
+    println!("{distinct}/{pairs} sampled pairs are distinct trajectories (expected: all)");
+
+    println!("\n-- our tracing summary vs the bound (Appendix D reduction) --");
+    let mut t = Table::new(&[
+        "m",
+        "n",
+        "r",
+        "summary bits",
+        "LB bits r·log2(n/r)",
+        "bits/LB",
+    ]);
+    for (m, n, r) in [(4i64, 2_000u64, 20usize), (4, 8_000, 40), (8, 8_000, 40)] {
+        let fam = DetFlipFamily::new(m, n, r);
+        let member = fam.random_member(11);
+        // Turn the trajectory into a ±1 stream (climb to m, then expanded
+        // ±3 flips) and track it with the deterministic tracker at eps=1/m.
+        let mut values = vec![];
+        for t0 in 1..=n {
+            values.push(member.value_at(t0));
+        }
+        let mut deltas = vec![1i64; m as usize]; // climb 0 -> m = f(0)
+        let mut prev = m;
+        for &v in &values {
+            deltas.push(v - prev);
+            prev = v;
+        }
+        let deltas = expand_stream(&deltas); // ±3 flips -> ±1 arrivals (App C)
+        let eps = fam.eps();
+        let mut sim = DeterministicTracker::sim(1, eps);
+        let mut rec = TracingRecorder::new();
+        for (i, &d) in deltas.iter().enumerate() {
+            let est = sim.step(0, d);
+            rec.observe((i + 1) as u64, est);
+        }
+        let summary = rec.finish();
+        let lb = fam.bits_lower_bound();
+        t.row(vec![
+            m.to_string(),
+            n.to_string(),
+            r.to_string(),
+            summary.bits().to_string(),
+            f(lb),
+            f(summary.bits() as f64 / lb),
+        ]);
+    }
+    t.print();
+    println!(
+        "reading: the concrete summary produced by recording our tracker always\n\
+         uses at least as many bits as the information-theoretic lower bound\n\
+         (ratio >= 1), with a modest constant-factor gap — the upper and lower\n\
+         bounds of the paper bracket the truth."
+    );
+}

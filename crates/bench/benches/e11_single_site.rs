@@ -1,0 +1,65 @@
+//! E11 — §5.2 / Appendix I: single-site (`k = 1`) tracking of an arbitrary
+//! integer aggregate uses `O(v(n)/ε)` messages ("whenever `|f − f̂| > εf`,
+//! send `f`").
+
+use dsv_bench::table::f;
+use dsv_bench::{banner, Table};
+use dsv_core::single_site::SingleSiteTracker;
+use dsv_core::variability::Variability;
+use dsv_gen::{assign_updates, AdversarialGen, DeltaGen, MonotoneGen, SingleSite, WalkGen};
+use dsv_net::TrackerRunner;
+
+fn main() {
+    banner(
+        "E11  (Section 5.2 / Appendix I) — single-site aggregate tracking",
+        "messages <= (1+eps)/eps · v(n); guarantee |f - fhat| <= eps·|f| at every t; arbitrary integer updates allowed",
+    );
+
+    let n = 100_000u64;
+    let mut t = Table::new(&[
+        "stream",
+        "eps",
+        "v(n)",
+        "violations",
+        "messages",
+        "bound (1+e)/e·v",
+        "msgs/bound",
+        "msgs/n",
+    ]);
+    let streams: Vec<(&str, Vec<i64>)> = vec![
+        ("monotone", MonotoneGen::ones().deltas(n)),
+        ("jumps<=100", MonotoneGen::jumps(3, 100).deltas(n)),
+        ("fair walk", WalkGen::fair(7).deltas(n)),
+        ("biased 0.1", WalkGen::biased(9, 0.1).deltas(n)),
+        ("hover 50", AdversarialGen::hover(50).deltas(n)),
+        ("zero-crossing", AdversarialGen::zero_crossing(20).deltas(20_000)),
+    ];
+    for eps in [0.2f64, 0.05, 0.01] {
+        for (name, deltas) in &streams {
+            let v = Variability::of_stream(deltas.iter().copied());
+            let updates = assign_updates(deltas, SingleSite::solo());
+            let mut sim = SingleSiteTracker::sim(eps);
+            let report = TrackerRunner::new(eps).run(&mut sim, &updates);
+            let bound = SingleSiteTracker::message_bound(eps, v);
+            let msgs = report.stats.total_messages();
+            t.row(vec![
+                name.to_string(),
+                f(eps),
+                f(v),
+                report.violations.to_string(),
+                msgs.to_string(),
+                f(bound),
+                f(msgs as f64 / bound),
+                f(msgs as f64 / updates.len() as f64),
+            ]);
+        }
+    }
+    t.print();
+
+    println!(
+        "\nreading: zero violations on every stream (including arbitrary-sized\n\
+         jumps — no ±1 restriction at k = 1), and messages within the\n\
+         Appendix I potential-argument bound (1+eps)/eps · v(n). The msgs/n\n\
+         column shows the full spectrum: ~0 for monotone, ~1 for zero-crossing."
+    );
+}

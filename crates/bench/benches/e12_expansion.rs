@@ -1,0 +1,92 @@
+//! E12 — Appendix C: simulating `|f'| > 1` with ±1 arrivals costs an
+//! `O(log max f')` multiplicative variability overhead
+//! (Theorem C.1: `Σ 1/(f(n−1)+t) ≤ (f'/f)(1 + H(f'))` for positive jumps,
+//! `≤ 3·|f'|/f` for negative ones).
+
+use dsv_bench::table::f;
+use dsv_bench::{banner, Table};
+use dsv_core::expand::{expand_stream, expanded_step_variability, expansion_bound};
+use dsv_core::variability::{Variability, VariabilityMeter};
+use dsv_gen::{DeltaGen, MonotoneGen};
+
+fn main() {
+    banner(
+        "E12  (Appendix C) — simulating large updates with ±1 arrivals",
+        "per-update expanded variability <= (f'/f)(1 + H(f')) [pos] or 3|f'|/f [neg]; overhead O(log max f')",
+    );
+
+    println!("\n-- single jumps landing on f_prev = 1000 --");
+    let mut t = Table::new(&[
+        "jump f'",
+        "orig v'",
+        "expanded v",
+        "overhead x",
+        "thmC.1 bound",
+        "exp/bound",
+        "1+H(|f'|)",
+    ]);
+    for exp in [1u32, 2, 4, 6, 8, 10] {
+        let delta = 2i64.pow(exp);
+        let f_prev = 1_000i64;
+        let expanded = expanded_step_variability(f_prev, delta);
+        let mut m = VariabilityMeter::with_initial(f_prev);
+        let orig = m.observe(delta);
+        let bound = expansion_bound(f_prev, delta);
+        t.row(vec![
+            delta.to_string(),
+            f(orig),
+            f(expanded),
+            f(expanded / orig.max(1e-12)),
+            f(bound),
+            f(expanded / bound),
+            f(1.0 + Variability::harmonic(delta as u64)),
+        ]);
+    }
+    t.print();
+    println!(
+        "reading: the overhead factor grows like 1 + H(f') = O(log f'), and\n\
+         the measured expanded variability never exceeds the Theorem C.1 bound."
+    );
+
+    println!("\n-- negative jumps from f_prev = 1000 --");
+    let mut t = Table::new(&["jump f'", "expanded v", "3|f'|/f bound", "exp/bound"]);
+    for delta in [-2i64, -16, -128, -512] {
+        let f_prev = 1_000i64;
+        let expanded = expanded_step_variability(f_prev, delta);
+        let bound = expansion_bound(f_prev, delta);
+        t.row(vec![
+            delta.to_string(),
+            f(expanded),
+            f(bound),
+            f(expanded / bound),
+        ]);
+    }
+    t.print();
+
+    println!("\n-- whole-stream expansion: bursty monotone with jumps <= J --");
+    let mut t = Table::new(&[
+        "max jump J",
+        "orig v",
+        "expanded v",
+        "overhead x",
+        "1+H(J)",
+    ]);
+    for j in [4i64, 16, 64, 256, 1024] {
+        let deltas = MonotoneGen::jumps(11, j).deltas(20_000);
+        let v_orig = Variability::of_stream(deltas.iter().copied());
+        let v_exp = Variability::of_stream(expand_stream(&deltas));
+        t.row(vec![
+            j.to_string(),
+            f(v_orig),
+            f(v_exp),
+            f(v_exp / v_orig),
+            f(1.0 + Variability::harmonic(j as u64)),
+        ]);
+    }
+    t.print();
+    println!(
+        "reading: stream-level overhead stays below 1 + H(J) = O(log max f'),\n\
+         exactly the Appendix C claim — so feeding expanded streams to the ±1\n\
+         trackers costs only a logarithmic factor."
+    );
+}

@@ -1,0 +1,92 @@
+//! E13 — the framework claim (§1, §5): worst-case performance matches the
+//! monotone algorithms when the stream is calm and **degrades gracefully**
+//! as the stream varies faster, with the naive Θ(n) tracker only winning
+//! in the fully-adversarial regime.
+//!
+//! The "variability dial" is a hover stream at level `L`: after a climb,
+//! `f` oscillates in `{L−1, L}`, so `v(n) ≈ n/L`. Sweeping `L` from 3000
+//! down to 1 moves `v` from ≈ n/3000 to ≈ n.
+
+use dsv_bench::table::f;
+use dsv_bench::{banner, Table};
+use dsv_core::deterministic::DeterministicTracker;
+use dsv_core::randomized::RandomizedTracker;
+use dsv_core::variability::Variability;
+use dsv_gen::{AdversarialGen, DeltaGen, RoundRobin};
+use dsv_net::TrackerRunner;
+
+fn main() {
+    banner(
+        "E13  (framework) — graceful degradation & crossover vs the naive tracker",
+        "hover level L gives v ~ n/L; tracker cost ~ (k/eps)·v crosses naive's n as v -> n·eps/k",
+    );
+
+    let n = 100_000u64;
+    let k = 8;
+    let eps = 0.1;
+    let trials = 8u64;
+
+    let mut t = Table::new(&[
+        "hover L",
+        "v(n)",
+        "v/n",
+        "det msgs",
+        "rand msgs (mean)",
+        "naive msgs",
+        "det/naive",
+        "winner",
+    ]);
+    for level in [1i64, 3, 10, 30, 100, 300, 1_000, 3_000] {
+        let updates = AdversarialGen::hover(level).updates(n, RoundRobin::new(k));
+        let v = Variability::of_stream(updates.iter().map(|u| u.delta));
+
+        let mut det = DeterministicTracker::sim(k, eps);
+        let det_m = TrackerRunner::new(eps)
+            .run(&mut det, &updates)
+            .stats
+            .total_messages();
+
+        let rand_m: f64 = (0..trials)
+            .map(|s| {
+                let mut sim = RandomizedTracker::sim(k, eps, 900 + s);
+                TrackerRunner::new(eps)
+                    .run(&mut sim, &updates)
+                    .stats
+                    .total_messages() as f64
+            })
+            .sum::<f64>()
+            / trials as f64;
+
+        let naive_m = n; // one message per update, by definition
+
+        let winner = if det_m.min(rand_m as u64) < naive_m {
+            if rand_m < det_m as f64 {
+                "randomized"
+            } else {
+                "deterministic"
+            }
+        } else {
+            "naive"
+        };
+        t.row(vec![
+            level.to_string(),
+            f(v),
+            f(v / n as f64),
+            det_m.to_string(),
+            f(rand_m),
+            naive_m.to_string(),
+            f(det_m as f64 / naive_m as f64),
+            winner.into(),
+        ]);
+    }
+    t.print();
+
+    println!(
+        "\nreading: at high hover levels (slowly-varying streams) the variability\n\
+         trackers beat naive by orders of magnitude; as L -> 1 (v -> n) their\n\
+         cost approaches and finally exceeds n — exactly the graceful\n\
+         degradation the paper's framework promises, with the crossover where\n\
+         (k/eps)·v ~ n. The Omega(n) lower-bound regime is real but confined\n\
+         to maximally-variable streams."
+    );
+}

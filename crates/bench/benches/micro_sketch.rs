@@ -1,0 +1,67 @@
+//! Criterion micro-benchmarks for the sketching substrate hot paths.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dsv_sketch::{CountMin, CrPrecis, FreqSketch, PairwiseHash};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_hash(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(1);
+    let h = PairwiseHash::random(1 << 20, &mut rng);
+    let mut g = c.benchmark_group("hash");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("pairwise_mersenne61", |b| {
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(0x9E37_79B9);
+            black_box(h.hash(black_box(x)))
+        })
+    });
+    g.finish();
+}
+
+fn bench_countmin(c: &mut Criterion) {
+    let mut g = c.benchmark_group("countmin");
+    g.throughput(Throughput::Elements(1));
+    let mut cm = CountMin::new(4, 1 << 12, 7);
+    let mut rng = SmallRng::seed_from_u64(2);
+    g.bench_function("update_4x4096", |b| {
+        b.iter(|| {
+            let item = rng.gen_range(0..1_000_000u64);
+            cm.update(black_box(item), 1);
+        })
+    });
+    g.bench_function("estimate_4x4096", |b| {
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(97);
+            black_box(cm.estimate(black_box(x % 1_000_000)))
+        })
+    });
+    g.finish();
+}
+
+fn bench_crprecis(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crprecis");
+    g.throughput(Throughput::Elements(1));
+    let mut cr = CrPrecis::new(8, 512);
+    let mut rng = SmallRng::seed_from_u64(3);
+    g.bench_function("update_8rows", |b| {
+        b.iter(|| {
+            let item = rng.gen_range(0..1_000_000u64);
+            cr.update(black_box(item), 1);
+        })
+    });
+    g.bench_function("estimate_avg_8rows", |b| {
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(31);
+            black_box(cr.estimate(black_box(x % 1_000_000)))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_hash, bench_countmin, bench_crprecis);
+criterion_main!(benches);

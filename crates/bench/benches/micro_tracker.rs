@@ -1,0 +1,61 @@
+//! Criterion micro-benchmarks for the tracker hot paths (cost per stream
+//! update, including all protocol work the update triggers).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use dsv_core::deterministic::DeterministicTracker;
+use dsv_core::randomized::RandomizedTracker;
+use dsv_core::variability::VariabilityMeter;
+use dsv_gen::{DeltaGen, WalkGen};
+use std::hint::black_box;
+
+fn bench_variability_meter(c: &mut Criterion) {
+    let mut g = c.benchmark_group("variability");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("meter_observe", |b| {
+        let mut m = VariabilityMeter::new();
+        let mut sign = 1i64;
+        b.iter(|| {
+            sign = -sign;
+            black_box(m.observe(black_box(sign)))
+        })
+    });
+    g.finish();
+}
+
+fn bench_trackers(c: &mut Criterion) {
+    let n = 50_000usize;
+    let k = 8;
+    let eps = 0.1;
+    let deltas = WalkGen::biased(3, 0.2).deltas(n as u64);
+
+    let mut g = c.benchmark_group("tracker_per_update");
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("deterministic_k8", |b| {
+        b.iter_batched(
+            || DeterministicTracker::sim(k, eps),
+            |mut sim| {
+                for (i, &d) in deltas.iter().enumerate() {
+                    black_box(sim.step(i % k, d));
+                }
+                sim
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("randomized_k8", |b| {
+        b.iter_batched(
+            || RandomizedTracker::sim(k, eps, 42),
+            |mut sim| {
+                for (i, &d) in deltas.iter().enumerate() {
+                    black_box(sim.step(i % k, d));
+                }
+                sim
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_variability_meter, bench_trackers);
+criterion_main!(benches);

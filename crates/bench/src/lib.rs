@@ -1,0 +1,32 @@
+//! # dsv-bench — experiment harness
+//!
+//! One bench target per evaluation claim of the paper (see `DESIGN.md` §4
+//! for the experiment index E1–E13 and `EXPERIMENTS.md` for recorded
+//! results). Each target is a plain `harness = false` binary that prints
+//! an aligned table, so `cargo bench --workspace` regenerates every
+//! "table/figure" of the reproduction. Two additional criterion targets
+//! (`micro_sketch`, `micro_tracker`) measure hot-path throughput.
+
+#![warn(missing_docs)]
+
+pub mod stats;
+pub mod table;
+
+pub use stats::Summary;
+pub use table::Table;
+
+/// Print the standard experiment banner.
+pub fn banner(id: &str, claim: &str) {
+    println!("\n==========================================================================");
+    println!("{id}");
+    println!("claim: {claim}");
+    println!("==========================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn banner_does_not_panic() {
+        super::banner("E0", "smoke");
+    }
+}

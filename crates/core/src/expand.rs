@@ -1,0 +1,175 @@
+//! Simulating large updates with ±1 arrivals — Appendix C.
+//!
+//! The upper bounds of §3 assume `f'(n) = ±1`. A larger update `|f'(n)| > 1`
+//! is simulated by `|f'(n)|` arrivals of `±1`, and Theorem C.1 bounds the
+//! variability overhead of doing so:
+//!
+//! * for `f'(n) > 1`:  `Σ_{t=1..f'} 1/(f(n−1)+t) ≤ (f'/f)·(1 + H(f'))`,
+//! * for `f'(n) < −1`: the expanded cost is at most `3·|f'|/f` (plus the
+//!   `f = 0` special case),
+//!
+//! i.e. an `O(log max f'(n))` multiplicative overhead.
+
+use crate::variability::Variability;
+
+/// Expand one update into the equivalent sequence of ±1 (or a single 0)
+/// arrivals.
+pub fn expand_update(delta: i64) -> Vec<i64> {
+    if delta == 0 {
+        vec![0]
+    } else {
+        vec![delta.signum(); delta.unsigned_abs() as usize]
+    }
+}
+
+/// Expand a whole delta stream. Zero deltas are preserved (they represent
+/// explicit no-op timesteps in lazy streams).
+pub fn expand_stream(deltas: &[i64]) -> Vec<i64> {
+    let total: usize = deltas
+        .iter()
+        .map(|d| d.unsigned_abs().max(1) as usize)
+        .sum();
+    let mut out = Vec::with_capacity(total);
+    for &d in deltas {
+        if d == 0 {
+            out.push(0);
+        } else {
+            let s = d.signum();
+            for _ in 0..d.unsigned_abs() {
+                out.push(s);
+            }
+        }
+    }
+    out
+}
+
+/// The Theorem C.1 per-update bound on the *expanded* variability of one
+/// update `delta` landing on previous value `f_prev` (so `f = f_prev +
+/// delta`).
+///
+/// The paper states its two inequalities under the assumption `f(n) ≥ 0`
+/// always; we generalize to signed trajectories by case analysis on `|f|`
+/// (the theorem's formulas apply by symmetry within each sign region):
+///
+/// * `|f|` moves **away** from zero (the paper's `f' > 1` case):
+///   `(|f'|/|f|)·(1 + H(|f'|))`;
+/// * `|f|` moves **toward** zero without reaching it (the `f' < −1`
+///   case): `3·|f'|/|f|`;
+/// * the jump **lands on** zero: the arrivals contribute exactly
+///   `H(|f_prev|) + 1` (harmonic descent plus the `f = 0` step);
+/// * the jump **crosses** zero: descent + crossing + ascent give
+///   `H(|f_prev|) + 1 + H(|f|)`.
+pub fn expansion_bound(f_prev: i64, delta: i64) -> f64 {
+    let f_new = f_prev + delta;
+    let d = delta.unsigned_abs();
+    if d <= 1 {
+        // No expansion: the original v' (≤ 1) is its own bound.
+        return 1.0;
+    }
+    let a_prev = f_prev.unsigned_abs();
+    let a_new = f_new.unsigned_abs();
+    let crosses = (f_prev > 0 && f_new < 0) || (f_prev < 0 && f_new > 0);
+    if crosses {
+        return Variability::harmonic(a_prev) + 1.0 + Variability::harmonic(a_new);
+    }
+    if a_new == 0 {
+        return Variability::harmonic(a_prev) + 1.0;
+    }
+    let ratio = d as f64 / a_new as f64;
+    if a_new > a_prev {
+        // |f| grows: Theorem C.1's positive-jump inequality.
+        ratio * (1.0 + Variability::harmonic(d))
+    } else {
+        // |f| shrinks toward (but not to) zero: the negative-jump case.
+        3.0 * ratio
+    }
+}
+
+/// Measured expanded variability of one update: the sum of `v'` over the
+/// ±1 arrivals of [`expand_update`], starting from `f_prev`.
+pub fn expanded_step_variability(f_prev: i64, delta: i64) -> f64 {
+    let mut m = crate::variability::VariabilityMeter::with_initial(f_prev);
+    for d in expand_update(delta) {
+        m.observe(d);
+    }
+    m.value()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::variability::VariabilityMeter;
+
+    #[test]
+    fn expansion_preserves_total() {
+        let deltas = vec![5, -3, 0, 1, -1, 7];
+        let expanded = expand_stream(&deltas);
+        assert_eq!(
+            expanded.iter().sum::<i64>(),
+            deltas.iter().sum::<i64>()
+        );
+        assert!(expanded.iter().all(|&d| (-1..=1).contains(&d)));
+        assert_eq!(expanded.len(), 5 + 3 + 1 + 1 + 1 + 7);
+    }
+
+    #[test]
+    fn expand_update_shapes() {
+        assert_eq!(expand_update(3), vec![1, 1, 1]);
+        assert_eq!(expand_update(-2), vec![-1, -1]);
+        assert_eq!(expand_update(0), vec![0]);
+        assert_eq!(expand_update(1), vec![1]);
+    }
+
+    #[test]
+    fn positive_jump_bound_holds() {
+        // Theorem C.1, f' > 1: expanded variability ≤ (f'/f)(1 + H(f')).
+        for (f_prev, delta) in [(0i64, 10i64), (5, 3), (100, 50), (1, 1000), (7, 2)] {
+            let measured = expanded_step_variability(f_prev, delta);
+            let bound = expansion_bound(f_prev, delta);
+            assert!(
+                measured <= bound + 1e-9,
+                "f_prev={f_prev}, delta={delta}: {measured} > {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn negative_jump_bound_holds() {
+        // Theorem C.1, f' < −1 with f(n) ≥ 1 after the drop.
+        for (f_prev, delta) in [(10i64, -3i64), (100, -50), (20, -19), (1000, -2)] {
+            assert!(f_prev + delta >= 1);
+            let measured = expanded_step_variability(f_prev, delta);
+            let bound = expansion_bound(f_prev, delta);
+            assert!(
+                measured <= bound + 1e-9,
+                "f_prev={f_prev}, delta={delta}: {measured} > {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn expanded_stream_variability_close_to_original_for_small_jumps() {
+        // With ±1 updates only, expansion is the identity.
+        let deltas = vec![1, -1, 1, 1, -1];
+        assert_eq!(expand_stream(&deltas), deltas);
+    }
+
+    #[test]
+    fn overhead_is_logarithmic_in_jump_size() {
+        // Ratio (expanded v) / (original v') should grow like H(f') for
+        // jumps landing far from zero.
+        let f_prev = 1_000i64;
+        let mut last_ratio = 0.0;
+        for exp in [2u32, 4, 6, 8] {
+            let delta = 2i64.pow(exp);
+            let expanded = expanded_step_variability(f_prev, delta);
+            let mut m = VariabilityMeter::with_initial(f_prev);
+            let original = m.observe(delta).max(1e-12);
+            let ratio = expanded / original;
+            assert!(ratio >= last_ratio - 1e-9, "ratio not growing");
+            last_ratio = ratio;
+            let h = Variability::harmonic(delta as u64);
+            assert!(ratio <= 1.0 + h + 1e-9, "ratio {ratio} > 1 + H = {}", 1.0 + h);
+        }
+    }
+}

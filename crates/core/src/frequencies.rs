@@ -1,0 +1,571 @@
+//! Distributed item-frequency tracking — Section 5.1 / Appendix H.
+//!
+//! A dataset `D(t)` over a universe `U` evolves by single-item insertions
+//! and deletions observed at `k` sites; the coordinator must maintain, for
+//! **every** item `ℓ` and all times `n`, an estimate with
+//! `|f_ℓ(n) − f̂_ℓ(n)| ≤ ε·F1(n)` (where `F1 = |D|`), deterministically
+//! for the exact and CR-precis variants and w.p. ≥ 8/9 per item for the
+//! Count-Min variant.
+//!
+//! Structure (following H.0.1/H.0.2):
+//!
+//! 1. **Partition time into blocks using `f = F1`** (§3.1, reused
+//!    verbatim) — so `r = 0` or `F1(n) ∈ [2^r·k, 2^r·5k]` inside blocks,
+//!    and `F1(n_j)` is known exactly at block ends.
+//! 2. **Reduce items to counters** with a [`CounterMap`] (identity = exact
+//!    per-item counters; Count-Min or CR-precis rows for small space), and
+//!    track each counter `c`:
+//!    * at each block end, after learning the new radius `r`, each site
+//!      reports every total counter `f_ic ≥ ε·2^r/3` exactly; the
+//!      coordinator rebuilds its estimates from these reports (unreported
+//!      counters are treated as 0, an error < ε·2^r/3 per site);
+//!    * within an `r ≥ 1` block, site `i` sends the accumulated per-counter
+//!      change `δ_ic` whenever `|δ_ic| ≥ ε·2^r/3`; in `r = 0` blocks every
+//!      update is forwarded (exact, as in §3.3).
+//! 3. The coordinator additionally runs the §3.3 drift protocol on `F1`
+//!    itself, so [`dsv_net::CoordinatorNode::estimate`] returns an
+//!    `ε`-accurate `F1` at all times.
+//!
+//! Per-item error inside an `r ≥ 1` block: each site contributes an
+//! unreported base `< ε·2^r/3` plus a pending `δ < ε·2^r/3` per counter,
+//! summing to `< (2/3)·ε·2^r·k ≤ (2/3)·ε·F1(n)`; the counter reduction
+//! adds at most `ε·F1/3` (CR-precis deterministically, Count-Min w.p. 8/9),
+//! for a total of `ε·F1(n)`.
+
+use crate::blocks::{BlockConfig, BlockCoordinator, BlockSite};
+use dsv_net::{
+    CoordOutbox, CoordinatorNode, ItemUpdate, Outbox, SiteNode, StarSim, Time, WireSize,
+};
+use dsv_sketch::{CounterMap, CountMinMap, CrPrecisMap, ExactCounts, FreqSketch, IdentityMap};
+
+/// Site → coordinator messages of the frequency tracker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FreqUp {
+    /// Partition: `c_i` reached the threshold.
+    Count(u64),
+    /// Partition: reply to a report request (`c_i`, F1-drift `f_i`).
+    Report {
+        /// `c_i`: unsent update count at the site.
+        c: u64,
+        /// `f_i`: the site's drift in `f` since the last broadcast.
+        f: i64,
+    },
+    /// §3.3 drift message for F1 itself.
+    F1Drift(i64),
+    /// Block-start report of one heavy total counter.
+    Heavy {
+        /// Counter index.
+        idx: u32,
+        /// Exact total `f_ic` at the reporting site.
+        value: i64,
+    },
+    /// In-block per-counter change `δ_ic`.
+    Delta {
+        /// Counter index.
+        idx: u32,
+        /// Accumulated per-counter change `δ_ic` since the last message.
+        delta: i64,
+    },
+}
+
+impl WireSize for FreqUp {
+    fn words(&self) -> usize {
+        match self {
+            FreqUp::Count(_) | FreqUp::F1Drift(_) => 1,
+            FreqUp::Report { .. } | FreqUp::Heavy { .. } | FreqUp::Delta { .. } => 2,
+        }
+    }
+}
+
+/// Coordinator → site messages of the frequency tracker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FreqDown {
+    /// Partition: request `(c_i, f_i)`.
+    Request,
+    /// Partition: new block with radius `r`; sites respond with their
+    /// heavy-counter reports.
+    NewBlock {
+        /// The new block's radius.
+        r: u32,
+    },
+}
+
+impl WireSize for FreqDown {
+    fn words(&self) -> usize {
+        1
+    }
+}
+
+/// The in-block per-counter threshold `ε·2^r/3`.
+#[inline]
+fn counter_threshold(eps: f64, r: u32) -> f64 {
+    eps * (1u64 << r) as f64 / 3.0
+}
+
+/// Per-site state of the frequency tracker, generic over the item→counter
+/// reduction `M`.
+#[derive(Debug, Clone)]
+pub struct FreqSite<M: CounterMap> {
+    blocks: BlockSite,
+    map: M,
+    /// All-time total per counter (`f_ic`).
+    totals: Vec<i64>,
+    /// Pending per-counter change since last message (`δ_ic`).
+    pending: Vec<i64>,
+    /// §3.3 drift state for F1.
+    f1_d: i64,
+    f1_delta: i64,
+    r: u32,
+    eps: f64,
+    scratch: Vec<u32>,
+}
+
+impl<M: CounterMap> FreqSite<M> {
+    /// Fresh site with reduction `map` and error parameter `eps`.
+    pub fn new(map: M, eps: f64) -> Self {
+        assert!(eps > 0.0 && eps < 1.0);
+        let c = map.counters();
+        FreqSite {
+            blocks: BlockSite::new(),
+            map,
+            totals: vec![0; c],
+            pending: vec![0; c],
+            f1_d: 0,
+            f1_delta: 0,
+            r: 0,
+            eps,
+            scratch: Vec::new(),
+        }
+    }
+}
+
+impl<M: CounterMap> SiteNode for FreqSite<M> {
+    type In = (u64, i64);
+    type Up = FreqUp;
+    type Down = FreqDown;
+
+    fn on_update(&mut self, _t: Time, (item, delta): (u64, i64), out: &mut Outbox<FreqUp>) {
+        debug_assert!(delta == 1 || delta == -1, "item streams are ±1");
+        // Partition machinery runs on the F1 increments.
+        if let Some(c) = self.blocks.on_update(delta) {
+            out.send(FreqUp::Count(c));
+        }
+        // §3.3 drift on F1 for the coordinator's F1 estimate.
+        self.f1_d += delta;
+        self.f1_delta += delta;
+        let f1_fire = if self.r == 0 {
+            self.f1_delta != 0
+        } else {
+            self.f1_delta.unsigned_abs() as f64 >= self.eps * (1u64 << self.r) as f64
+        };
+        if f1_fire {
+            out.send(FreqUp::F1Drift(self.f1_d));
+            self.f1_delta = 0;
+        }
+        // Per-counter tracking.
+        let thresh = counter_threshold(self.eps, self.r);
+        self.scratch.clear();
+        self.map.map(item, &mut self.scratch);
+        for i in 0..self.scratch.len() {
+            let c = self.scratch[i] as usize;
+            self.totals[c] += delta;
+            self.pending[c] += delta;
+            let fire = if self.r == 0 {
+                self.pending[c] != 0
+            } else {
+                self.pending[c].unsigned_abs() as f64 >= thresh
+            };
+            if fire {
+                out.send(FreqUp::Delta {
+                    idx: c as u32,
+                    delta: self.pending[c],
+                });
+                self.pending[c] = 0;
+            }
+        }
+    }
+
+    fn on_down(&mut self, _t: Time, msg: &FreqDown, _is_request: bool, out: &mut Outbox<FreqUp>) {
+        match msg {
+            FreqDown::Request => {
+                let (c, f) = self.blocks.report();
+                out.send(FreqUp::Report { c, f });
+            }
+            FreqDown::NewBlock { r } => {
+                self.blocks.start_block(*r);
+                self.r = *r;
+                self.f1_d = 0;
+                self.f1_delta = 0;
+                // Report heavy totals under the *new* radius; everything
+                // else restarts from a zero estimate at the coordinator.
+                let thresh = counter_threshold(self.eps, *r);
+                for (idx, &total) in self.totals.iter().enumerate() {
+                    if total != 0 && total.unsigned_abs() as f64 >= thresh {
+                        out.send(FreqUp::Heavy {
+                            idx: idx as u32,
+                            value: total,
+                        });
+                    }
+                }
+                self.pending.fill(0);
+            }
+        }
+    }
+}
+
+/// Coordinator state of the frequency tracker.
+#[derive(Debug, Clone)]
+pub struct FreqCoord<M: CounterMap> {
+    blocks: BlockCoordinator,
+    map: M,
+    /// Combined counter estimates `Σ_i f̂_ic`.
+    fhat: Vec<i64>,
+    /// §3.3 F1 drift estimates.
+    f1_dhat: Vec<i64>,
+    f1_dhat_sum: i64,
+}
+
+impl<M: CounterMap> FreqCoord<M> {
+    /// Fresh coordinator for `k` sites with reduction `map` (must be built
+    /// from the same seed/shape as the sites').
+    pub fn new(k: usize, map: M) -> Self {
+        let mut blocks = BlockCoordinator::new(BlockConfig::new(k));
+        blocks.enable_log();
+        let c = map.counters();
+        FreqCoord {
+            blocks,
+            map,
+            fhat: vec![0; c],
+            f1_dhat: vec![0; k],
+            f1_dhat_sum: 0,
+        }
+    }
+
+    /// Access the partitioner.
+    pub fn blocks(&self) -> &BlockCoordinator {
+        &self.blocks
+    }
+
+    /// Estimate of item `ℓ`'s frequency, assembled from the estimated
+    /// counters via the reduction's rule (identity / min / average).
+    pub fn estimate_item(&self, item: u64) -> i64 {
+        self.map.assemble(item, &self.fhat)
+    }
+
+    /// Estimated `F1(n)` (the ε-tracked dataset size).
+    pub fn estimated_f1(&self) -> i64 {
+        self.blocks.f_sync() + self.f1_dhat_sum
+    }
+
+    /// Coordinator-side space in words: counter estimates + reduction
+    /// setup + per-site F1 drifts.
+    pub fn space_words(&self) -> usize {
+        self.fhat.len() + self.map.setup_words() + self.f1_dhat.len()
+    }
+}
+
+impl<M: CounterMap> CoordinatorNode for FreqCoord<M> {
+    type Up = FreqUp;
+    type Down = FreqDown;
+
+    fn on_up(&mut self, t: Time, site: usize, msg: FreqUp, out: &mut CoordOutbox<FreqDown>) {
+        match msg {
+            FreqUp::Count(c) => {
+                if self.blocks.on_count(c) {
+                    out.request(FreqDown::Request);
+                }
+            }
+            FreqUp::Report { c, f } => {
+                if let Some(r) = self.blocks.on_report(t, c, f) {
+                    // Rebuild from scratch: zero estimates, ask for heavy
+                    // reports under the new radius.
+                    self.fhat.fill(0);
+                    self.f1_dhat.fill(0);
+                    self.f1_dhat_sum = 0;
+                    out.broadcast(FreqDown::NewBlock { r });
+                }
+            }
+            FreqUp::F1Drift(d) => {
+                self.f1_dhat_sum += d - self.f1_dhat[site];
+                self.f1_dhat[site] = d;
+            }
+            FreqUp::Heavy { idx, value } => {
+                self.fhat[idx as usize] += value;
+            }
+            FreqUp::Delta { idx, delta } => {
+                self.fhat[idx as usize] += delta;
+            }
+        }
+    }
+
+    fn estimate(&self) -> i64 {
+        self.estimated_f1()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Named variants.
+// ---------------------------------------------------------------------------
+
+/// Exact per-item counters (H.0.1): space `O(|U|)`, deterministic.
+#[derive(Debug, Clone, Copy)]
+pub struct ExactFreqTracker;
+
+impl ExactFreqTracker {
+    /// Simulator over a `universe`-sized item space.
+    pub fn sim(
+        k: usize,
+        eps: f64,
+        universe: usize,
+    ) -> StarSim<FreqSite<IdentityMap>, FreqCoord<IdentityMap>> {
+        StarSim::with_k(
+            k,
+            |_| FreqSite::new(IdentityMap::new(universe), eps),
+            FreqCoord::new(k, IdentityMap::new(universe)),
+        )
+    }
+}
+
+/// Count-Min-backed tracker (H.0.2): `O(1/ε)` counters, per-item success
+/// probability ≥ 8/9.
+#[derive(Debug, Clone, Copy)]
+pub struct CountMinFreqTracker;
+
+impl CountMinFreqTracker {
+    /// Simulator with the Appendix H Count-Min shape (3 × `27/ε`), all
+    /// parties deriving the same hashes from `seed`.
+    pub fn sim(
+        k: usize,
+        eps: f64,
+        seed: u64,
+    ) -> StarSim<FreqSite<CountMinMap>, FreqCoord<CountMinMap>> {
+        StarSim::with_k(
+            k,
+            |_| FreqSite::new(CountMinMap::appendix_h(eps / 3.0, seed), eps),
+            FreqCoord::new(k, CountMinMap::appendix_h(eps / 3.0, seed)),
+        )
+    }
+}
+
+/// CR-precis-backed tracker (H.0.2): deterministic small-space variant.
+#[derive(Debug, Clone, Copy)]
+pub struct CrPrecisFreqTracker;
+
+impl CrPrecisFreqTracker {
+    /// Simulator whose reduction guarantees collision error ≤ `ε·F1/3`
+    /// deterministically over `universe`.
+    pub fn sim(
+        k: usize,
+        eps: f64,
+        universe: u64,
+    ) -> StarSim<FreqSite<CrPrecisMap>, FreqCoord<CrPrecisMap>> {
+        StarSim::with_k(
+            k,
+            |_| FreqSite::new(CrPrecisMap::for_guarantee(eps / 3.0, universe), eps),
+            FreqCoord::new(k, CrPrecisMap::for_guarantee(eps / 3.0, universe)),
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Auditing runner.
+// ---------------------------------------------------------------------------
+
+/// Outcome of auditing a frequency tracker over an item stream.
+#[derive(Debug, Clone)]
+pub struct FreqRunReport {
+    /// Updates consumed.
+    pub n: u64,
+    /// Final dataset size.
+    pub final_f1: i64,
+    /// Number of per-item audits performed.
+    pub audits: u64,
+    /// Audited (item, time) pairs whose error exceeded `ε·F1(t)`.
+    pub item_violations: u64,
+    /// Largest audited `|f̂_ℓ − f_ℓ| / F1` ratio.
+    pub max_err_over_f1: f64,
+    /// Timesteps where the coordinator's F1 estimate broke its ε bound.
+    pub f1_violations: u64,
+    /// Final communication ledger.
+    pub stats: dsv_net::CommStats,
+    /// Coordinator space in words.
+    pub coord_space_words: usize,
+}
+
+impl FreqRunReport {
+    /// Fraction of audited item queries that violated the bound.
+    pub fn item_violation_rate(&self) -> f64 {
+        if self.audits == 0 {
+            0.0
+        } else {
+            self.item_violations as f64 / self.audits as f64
+        }
+    }
+}
+
+/// Drives an item stream through a frequency tracker, auditing every
+/// `audit_every` steps against exact ground truth.
+#[derive(Debug, Clone, Copy)]
+pub struct FreqRunner {
+    eps: f64,
+    audit_every: u64,
+}
+
+impl FreqRunner {
+    /// Audit against error `eps` every `audit_every` timesteps.
+    pub fn new(eps: f64, audit_every: u64) -> Self {
+        assert!(eps > 0.0 && eps < 1.0);
+        assert!(audit_every >= 1);
+        FreqRunner { eps, audit_every }
+    }
+
+    /// Run and audit. At each audit point, every item that ever appeared
+    /// (plus item `0` as an absent-item probe) is checked.
+    pub fn run<M: CounterMap>(
+        &self,
+        sim: &mut StarSim<FreqSite<M>, FreqCoord<M>>,
+        updates: &[ItemUpdate],
+    ) -> FreqRunReport {
+        let mut truth = ExactCounts::new();
+        let mut seen: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+        seen.insert(0);
+        let mut audits = 0u64;
+        let mut item_violations = 0u64;
+        let mut max_ratio = 0.0f64;
+        let mut f1_violations = 0u64;
+
+        for u in updates {
+            truth.update(u.item, u.delta);
+            seen.insert(u.item);
+            let f1_est = sim.step(u.site, (u.item, u.delta));
+            let f1 = truth.f1();
+            if dsv_net::relative_error(f1, f1_est) > self.eps * (1.0 + 1e-12) {
+                f1_violations += 1;
+            }
+            if u.time % self.audit_every == 0 {
+                let budget = self.eps * f1 as f64;
+                for &item in &seen {
+                    let est = sim.coordinator().estimate_item(item);
+                    let err = (est - truth.estimate(item)).unsigned_abs() as f64;
+                    audits += 1;
+                    if err > budget * (1.0 + 1e-12) {
+                        item_violations += 1;
+                    }
+                    if f1 > 0 {
+                        max_ratio = max_ratio.max(err / f1 as f64);
+                    }
+                }
+            }
+        }
+
+        FreqRunReport {
+            n: updates.len() as u64,
+            final_f1: truth.f1(),
+            audits,
+            item_violations,
+            max_err_over_f1: max_ratio,
+            f1_violations,
+            stats: sim.stats().clone(),
+            coord_space_words: sim.coordinator().space_words(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsv_gen::{ItemStreamGen, RoundRobin};
+
+    fn zipf_stream(n: u64, k: usize, universe: usize, seed: u64) -> Vec<ItemUpdate> {
+        ItemStreamGen::new(seed, universe, 1.1, 0.35, 1).updates(n, RoundRobin::new(k))
+    }
+
+    #[test]
+    fn exact_variant_has_zero_item_violations() {
+        let (k, eps, universe) = (4, 0.2, 500);
+        let updates = zipf_stream(20_000, k, universe, 7);
+        let mut sim = ExactFreqTracker::sim(k, eps, universe);
+        let report = FreqRunner::new(eps, 500).run(&mut sim, &updates);
+        assert!(report.audits > 0);
+        assert_eq!(report.item_violations, 0, "max ratio {}", report.max_err_over_f1);
+        assert_eq!(report.f1_violations, 0);
+    }
+
+    #[test]
+    fn crprecis_variant_is_deterministically_correct() {
+        let (k, eps, universe) = (4, 0.25, 400u64);
+        let updates = zipf_stream(15_000, k, universe as usize, 11);
+        let mut sim = CrPrecisFreqTracker::sim(k, eps, universe);
+        let report = FreqRunner::new(eps, 500).run(&mut sim, &updates);
+        assert!(report.audits > 0);
+        assert_eq!(report.item_violations, 0, "max ratio {}", report.max_err_over_f1);
+    }
+
+    #[test]
+    fn countmin_variant_rarely_violates() {
+        let (k, eps, universe) = (4, 0.2, 2_000);
+        let updates = zipf_stream(20_000, k, universe, 13);
+        let mut sim = CountMinFreqTracker::sim(k, eps, 99);
+        let report = FreqRunner::new(eps, 500).run(&mut sim, &updates);
+        assert!(report.audits > 0);
+        // Per-item failure probability ≤ 1/9; audited rate should stay
+        // well under that with margin.
+        assert!(
+            report.item_violation_rate() < 1.0 / 9.0,
+            "violation rate {}",
+            report.item_violation_rate()
+        );
+    }
+
+    #[test]
+    fn sketched_coordinators_use_less_space_than_exact() {
+        let (k, eps, universe) = (2, 0.1, 50_000);
+        let updates = zipf_stream(10_000, k, universe, 17);
+
+        let mut exact = ExactFreqTracker::sim(k, eps, universe);
+        let re = FreqRunner::new(eps, 10_000).run(&mut exact, &updates);
+
+        let mut cm = CountMinFreqTracker::sim(k, eps, 3);
+        let rcm = FreqRunner::new(eps, 10_000).run(&mut cm, &updates);
+
+        assert!(
+            rcm.coord_space_words * 10 < re.coord_space_words,
+            "CM {} words vs exact {} words",
+            rcm.coord_space_words,
+            re.coord_space_words
+        );
+    }
+
+    #[test]
+    fn f1_estimate_tracks_dataset_size() {
+        let (k, eps, universe) = (8, 0.1, 300);
+        let updates = zipf_stream(30_000, k, universe, 23);
+        let mut sim = ExactFreqTracker::sim(k, eps, universe);
+        let report = FreqRunner::new(eps, 1_000).run(&mut sim, &updates);
+        assert_eq!(report.f1_violations, 0);
+        assert!(report.final_f1 > 0);
+    }
+
+    #[test]
+    fn message_cost_scales_with_f1_variability() {
+        // Mostly-insert stream: F1 grows ⇒ v(F1) = O(log n) ⇒ few messages.
+        let (k, eps, universe) = (4, 0.2, 1_000);
+        let grow = ItemStreamGen::new(5, universe, 1.1, 0.05, 1)
+            .updates(40_000, RoundRobin::new(k));
+        let mut sim = ExactFreqTracker::sim(k, eps, universe);
+        let r_grow = FreqRunner::new(eps, 40_000).run(&mut sim, &grow);
+
+        // Heavy-churn stream at small F1: v is much larger ⇒ more messages.
+        let churn = ItemStreamGen::new(5, universe, 1.1, 0.495, 1)
+            .updates(40_000, RoundRobin::new(k));
+        let mut sim2 = ExactFreqTracker::sim(k, eps, universe);
+        let r_churn = FreqRunner::new(eps, 40_000).run(&mut sim2, &churn);
+
+        assert!(
+            r_churn.stats.total_messages() > 2 * r_grow.stats.total_messages(),
+            "churn {} vs grow {}",
+            r_churn.stats.total_messages(),
+            r_grow.stats.total_messages()
+        );
+    }
+}

@@ -1,0 +1,215 @@
+//! A unified front door over all counter trackers.
+//!
+//! Downstream users usually want "give me a tracker with guarantee X" and
+//! a single `step`/`estimate`/`stats` interface, without naming concrete
+//! site/coordinator types. [`Monitor`] wraps every counting algorithm in
+//! this crate behind one enum, and [`MonitorKind`] names them for sweeps
+//! (the E13 crossover harness and the examples use this).
+
+use crate::baselines::{CmyCoord, CmySite, HyzCoord, HyzSite, NaiveCoord, NaiveSite};
+use crate::deterministic::{DetCoord, DetSite};
+use crate::randomized::{RandCoord, RandSite};
+use crate::single_site::{SsCoord, SsSite};
+use dsv_net::{CommStats, SiteId, StarSim};
+
+/// The counting algorithms available behind [`Monitor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MonitorKind {
+    /// §3.3 deterministic tracker: unconditional ε-guarantee,
+    /// `O((k/ε)·v)` messages.
+    Deterministic,
+    /// §3.4 randomized tracker: per-timestep 2/3 guarantee,
+    /// `O((k+√k/ε)·v)` expected messages.
+    Randomized,
+    /// §5.2 single-site tracker (requires `k = 1`; arbitrary deltas).
+    SingleSite,
+    /// Forward-everything baseline: exact, `n` messages.
+    Naive,
+    /// CMY-style deterministic monotone counter (insert-only streams).
+    CmyMonotone,
+    /// HYZ-style randomized monotone counter (insert-only streams).
+    HyzMonotone,
+}
+
+impl MonitorKind {
+    /// All kinds, for sweeps.
+    pub const ALL: [MonitorKind; 6] = [
+        MonitorKind::Deterministic,
+        MonitorKind::Randomized,
+        MonitorKind::SingleSite,
+        MonitorKind::Naive,
+        MonitorKind::CmyMonotone,
+        MonitorKind::HyzMonotone,
+    ];
+
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            MonitorKind::Deterministic => "deterministic",
+            MonitorKind::Randomized => "randomized",
+            MonitorKind::SingleSite => "single-site",
+            MonitorKind::Naive => "naive",
+            MonitorKind::CmyMonotone => "cmy-monotone",
+            MonitorKind::HyzMonotone => "hyz-monotone",
+        }
+    }
+
+    /// Whether the algorithm accepts deletions (negative deltas).
+    pub fn supports_deletions(self) -> bool {
+        !matches!(self, MonitorKind::CmyMonotone | MonitorKind::HyzMonotone)
+    }
+}
+
+/// A running tracker of any [`MonitorKind`] with a uniform interface.
+#[derive(Debug)]
+pub enum Monitor {
+    /// §3.3 deterministic tracker.
+    Deterministic(StarSim<DetSite, DetCoord>),
+    /// §3.4 randomized tracker.
+    Randomized(StarSim<RandSite, RandCoord>),
+    /// §5.2 single-site tracker.
+    SingleSite(StarSim<SsSite, SsCoord>),
+    /// Naive exact baseline.
+    Naive(StarSim<NaiveSite, NaiveCoord>),
+    /// CMY-style monotone counter.
+    Cmy(StarSim<CmySite, CmyCoord>),
+    /// HYZ-style monotone counter.
+    Hyz(StarSim<HyzSite, HyzCoord>),
+}
+
+impl Monitor {
+    /// Construct a tracker of the given kind. `seed` is used only by the
+    /// randomized kinds. Panics if `kind == SingleSite` and `k != 1`.
+    pub fn new(kind: MonitorKind, k: usize, eps: f64, seed: u64) -> Self {
+        match kind {
+            MonitorKind::Deterministic => {
+                Monitor::Deterministic(crate::deterministic::DeterministicTracker::sim(k, eps))
+            }
+            MonitorKind::Randomized => {
+                Monitor::Randomized(crate::randomized::RandomizedTracker::sim(k, eps, seed))
+            }
+            MonitorKind::SingleSite => {
+                assert_eq!(k, 1, "the single-site tracker requires k = 1");
+                Monitor::SingleSite(crate::single_site::SingleSiteTracker::sim(eps))
+            }
+            MonitorKind::Naive => Monitor::Naive(crate::baselines::NaiveTracker::sim(k)),
+            MonitorKind::CmyMonotone => Monitor::Cmy(crate::baselines::CmyCounter::sim(k, eps)),
+            MonitorKind::HyzMonotone => {
+                Monitor::Hyz(crate::baselines::HyzCounter::sim(k, eps, seed))
+            }
+        }
+    }
+
+    /// The kind of this monitor.
+    pub fn kind(&self) -> MonitorKind {
+        match self {
+            Monitor::Deterministic(_) => MonitorKind::Deterministic,
+            Monitor::Randomized(_) => MonitorKind::Randomized,
+            Monitor::SingleSite(_) => MonitorKind::SingleSite,
+            Monitor::Naive(_) => MonitorKind::Naive,
+            Monitor::Cmy(_) => MonitorKind::CmyMonotone,
+            Monitor::Hyz(_) => MonitorKind::HyzMonotone,
+        }
+    }
+
+    /// Feed one update; returns the coordinator's estimate.
+    pub fn step(&mut self, site: SiteId, delta: i64) -> i64 {
+        match self {
+            Monitor::Deterministic(s) => s.step(site, delta),
+            Monitor::Randomized(s) => s.step(site, delta),
+            Monitor::SingleSite(s) => s.step(site, delta),
+            Monitor::Naive(s) => s.step(site, delta),
+            Monitor::Cmy(s) => s.step(site, delta),
+            Monitor::Hyz(s) => s.step(site, delta),
+        }
+    }
+
+    /// Current estimate `f̂(n)`.
+    pub fn estimate(&self) -> i64 {
+        match self {
+            Monitor::Deterministic(s) => s.estimate(),
+            Monitor::Randomized(s) => s.estimate(),
+            Monitor::SingleSite(s) => s.estimate(),
+            Monitor::Naive(s) => s.estimate(),
+            Monitor::Cmy(s) => s.estimate(),
+            Monitor::Hyz(s) => s.estimate(),
+        }
+    }
+
+    /// Communication ledger.
+    pub fn stats(&self) -> &CommStats {
+        match self {
+            Monitor::Deterministic(s) => s.stats(),
+            Monitor::Randomized(s) => s.stats(),
+            Monitor::SingleSite(s) => s.stats(),
+            Monitor::Naive(s) => s.stats(),
+            Monitor::Cmy(s) => s.stats(),
+            Monitor::Hyz(s) => s.stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsv_gen::{DeltaGen, MonotoneGen, WalkGen};
+    use dsv_net::relative_error;
+
+    #[test]
+    fn all_kinds_construct_and_track_monotone() {
+        let k = 4;
+        let eps = 0.2;
+        let deltas = MonotoneGen::ones().deltas(5_000);
+        for kind in MonitorKind::ALL {
+            let k_eff = if kind == MonitorKind::SingleSite { 1 } else { k };
+            let mut mon = Monitor::new(kind, k_eff, eps, 7);
+            assert_eq!(mon.kind(), kind);
+            let mut f = 0i64;
+            for (i, &d) in deltas.iter().enumerate() {
+                f += d;
+                mon.step(i % k_eff, d);
+            }
+            // All kinds are ε-accurate on monotone input at the end
+            // (randomized kinds: with margin at this scale).
+            let err = relative_error(f, mon.estimate());
+            assert!(err <= eps, "{}: err {err}", kind.label());
+            assert!(mon.stats().total_messages() > 0);
+        }
+    }
+
+    #[test]
+    fn deletion_support_flags_are_enforced_by_baselines() {
+        assert!(MonitorKind::Deterministic.supports_deletions());
+        assert!(!MonitorKind::CmyMonotone.supports_deletions());
+        // Feeding a deletion to a non-supporting kind panics (site assert).
+        let result = std::panic::catch_unwind(|| {
+            let mut mon = Monitor::new(MonitorKind::CmyMonotone, 2, 0.1, 0);
+            mon.step(0, 1);
+            mon.step(1, -1);
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn deterministic_and_naive_agree_through_facade() {
+        let deltas = WalkGen::fair(5).deltas(3_000);
+        let mut det = Monitor::new(MonitorKind::Deterministic, 2, 0.1, 0);
+        let mut naive = Monitor::new(MonitorKind::Naive, 2, 0.1, 0);
+        for (i, &d) in deltas.iter().enumerate() {
+            det.step(i % 2, d);
+            naive.step(i % 2, d);
+        }
+        let truth = naive.estimate();
+        let err = relative_error(truth, det.estimate());
+        assert!(err <= 0.1);
+        assert!(det.stats().total_messages() <= naive.stats().total_messages() * 6);
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<&str> = MonitorKind::ALL.iter().map(|k| k.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), MonitorKind::ALL.len());
+    }
+}

@@ -1,0 +1,182 @@
+//! Single-site tracking of arbitrary aggregates — Section 5.2 / Appendix I.
+//!
+//! With `k = 1` the site always knows `f(n)` exactly; the only question is
+//! when to refresh the coordinator's copy. The paper's algorithm is one
+//! line: **whenever `|f − f̂| > ε·f`, send `f`**.
+//!
+//! Appendix I's potential argument (`Φ(n) = |f(n) − f̂(n)| / |f(n)|`, with
+//! `Φ' ≤ (1 + Φ)·|f'/f|` between messages and `Φ = 0` after one) shows the
+//! number of messages is at most the total increase of `Φ/ε`, i.e.
+//! `O(v(n)/ε)` — the `f`-variability again, now for *any* integer-valued
+//! aggregate, not just counts. Updates may be arbitrary integers here (no
+//! ±1 restriction).
+
+use dsv_net::{CoordOutbox, CoordinatorNode, Outbox, SiteNode, StarSim, Time, WireSize};
+
+/// Site → coordinator message: the fresh value of `f`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SsUp(pub i64);
+
+impl WireSize for SsUp {
+    fn words(&self) -> usize {
+        1
+    }
+}
+
+/// The single site: holds the exact `f` and mirrors the coordinator's `f̂`.
+#[derive(Debug, Clone)]
+pub struct SsSite {
+    f: i64,
+    fhat: i64,
+    eps: f64,
+}
+
+impl SsSite {
+    /// Fresh site with error parameter `eps`.
+    pub fn new(eps: f64) -> Self {
+        assert!(eps > 0.0 && eps < 1.0);
+        SsSite { f: 0, fhat: 0, eps }
+    }
+
+    /// Current exact value (diagnostics).
+    pub fn f(&self) -> i64 {
+        self.f
+    }
+}
+
+impl SiteNode for SsSite {
+    type In = i64;
+    type Up = SsUp;
+    type Down = ();
+
+    fn on_update(&mut self, _t: Time, delta: i64, out: &mut Outbox<SsUp>) {
+        self.f += delta;
+        // |f − f̂| > ε·|f|; for f = 0 this sends unless f̂ = 0 too, which
+        // realizes the paper's "communicate whenever f = 0" convention.
+        let err = (self.f - self.fhat).unsigned_abs() as f64;
+        if err > self.eps * self.f.unsigned_abs() as f64 {
+            out.send(SsUp(self.f));
+            self.fhat = self.f;
+        }
+    }
+
+    fn on_down(&mut self, _t: Time, _msg: &(), _is_request: bool, _out: &mut Outbox<SsUp>) {}
+}
+
+/// The coordinator: stores the last received value.
+#[derive(Debug, Clone, Default)]
+pub struct SsCoord {
+    fhat: i64,
+}
+
+impl SsCoord {
+    /// Fresh coordinator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl CoordinatorNode for SsCoord {
+    type Up = SsUp;
+    type Down = ();
+
+    fn on_up(&mut self, _t: Time, _site: usize, msg: SsUp, _out: &mut CoordOutbox<()>) {
+        self.fhat = msg.0;
+    }
+
+    fn estimate(&self) -> i64 {
+        self.fhat
+    }
+}
+
+/// Convenience constructors and the Appendix I message bound.
+#[derive(Debug, Clone, Copy)]
+pub struct SingleSiteTracker;
+
+impl SingleSiteTracker {
+    /// A ready-to-run `k = 1` simulator with error `eps`.
+    pub fn sim(eps: f64) -> StarSim<SsSite, SsCoord> {
+        StarSim::new(vec![SsSite::new(eps)], SsCoord::new())
+    }
+
+    /// Appendix I: messages ≤ `(1+ε)/ε · v(n)` plus one initial message.
+    pub fn message_bound(eps: f64, v: f64) -> f64 {
+        (1.0 + eps) / eps * v + 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::variability::Variability;
+    use dsv_gen::{AdversarialGen, DeltaGen, MonotoneGen, SingleSite as SoloAssign, WalkGen};
+    use dsv_net::TrackerRunner;
+
+    fn run(eps: f64, deltas: Vec<i64>) -> (dsv_net::RunReport, f64) {
+        let v = Variability::of_stream(deltas.iter().copied());
+        let updates = dsv_gen::assign_updates(&deltas, SoloAssign::solo());
+        let mut sim = SingleSiteTracker::sim(eps);
+        let report = TrackerRunner::new(eps).run(&mut sim, &updates);
+        (report, v)
+    }
+
+    #[test]
+    fn guarantee_always_holds() {
+        for eps in [0.01, 0.1, 0.3] {
+            for deltas in [
+                WalkGen::fair(4).deltas(20_000),
+                MonotoneGen::ones().deltas(20_000),
+                AdversarialGen::zero_crossing(5).deltas(5_000),
+                MonotoneGen::jumps(7, 50).deltas(5_000), // arbitrary integers!
+            ] {
+                let (report, _) = run(eps, deltas);
+                assert_eq!(report.violations, 0, "eps={eps}: max {}", report.max_rel_err);
+            }
+        }
+    }
+
+    #[test]
+    fn message_bound_appendix_i() {
+        for eps in [0.05, 0.1, 0.25] {
+            for deltas in [
+                WalkGen::fair(11).deltas(30_000),
+                MonotoneGen::ones().deltas(30_000),
+                AdversarialGen::hover(10).deltas(10_000),
+            ] {
+                let (report, v) = run(eps, deltas);
+                let bound = SingleSiteTracker::message_bound(eps, v);
+                assert!(
+                    (report.stats.total_messages() as f64) <= bound,
+                    "eps={eps}: {} messages > {bound} (v={v})",
+                    report.stats.total_messages()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn monotone_needs_logarithmically_many_messages() {
+        let (report, v) = run(0.1, MonotoneGen::ones().deltas(100_000));
+        // v = H(100000) ≈ 12.1; (1+ε)/ε·v ≈ 133.
+        assert!(v < 13.0);
+        assert!(report.stats.total_messages() < 150);
+    }
+
+    #[test]
+    fn zero_value_is_tracked_exactly() {
+        // f returns to 0 repeatedly; the estimate must equal 0 there.
+        let deltas = vec![1, -1, 1, -1, 2, -2];
+        let (report, _) = run(0.4, deltas);
+        assert_eq!(report.violations, 0);
+        assert_eq!(report.final_f, 0);
+        assert_eq!(report.final_estimate, 0);
+    }
+
+    #[test]
+    fn messages_scale_inversely_with_eps() {
+        let deltas = WalkGen::fair(8).deltas(50_000);
+        let (coarse, _) = run(0.2, deltas.clone());
+        let (fine, _) = run(0.02, deltas);
+        assert!(fine.stats.total_messages() > 2 * coarse.stats.total_messages());
+    }
+}

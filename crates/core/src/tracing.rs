@@ -1,0 +1,170 @@
+//! The tracing problem — Section 4 and Appendix D.
+//!
+//! A *tracing* summary `S(f)` supports historical queries: given any `t ≤
+//! n`, return `f̂(t)` with `|f(t) − f̂(t)| ≤ ε·f(t)` (deterministically or
+//! w.p. ≥ 2/3). Appendix D's reduction shows any distributed tracking
+//! algorithm yields a tracing summary of size `communication + space`:
+//! *"simulate A, recording all communication, and on a query t, play back
+//! the communication that occurred through time t"*.
+//!
+//! We realize the reduction literally: [`TracingRecorder`] observes the
+//! coordinator's estimate after every timestep and stores its
+//! *changepoints*; the resulting [`HistorySummary`] answers `query(t)` by
+//! binary search. The number of changepoints is at most the number of
+//! messages the tracker received, so the summary's size is bounded by the
+//! tracker's communication — giving the experiments of E8 a concrete
+//! object whose size can be compared against the `Ω((log n/ε)·v)` and
+//! `Ω(v/ε)` lower bounds.
+
+use dsv_net::message::bits_per_word;
+use dsv_net::Time;
+
+/// A queryable history of estimates: the tracing summary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistorySummary {
+    /// `(t, estimate)` pairs: the estimate took this value from time `t`
+    /// (inclusive) until the next changepoint. Sorted by `t`.
+    changes: Vec<(Time, i64)>,
+    /// Total timesteps recorded.
+    n: Time,
+}
+
+impl HistorySummary {
+    /// The estimate in force at time `t` (1-based; `t = 0` returns the
+    /// initial value 0).
+    pub fn query(&self, t: Time) -> i64 {
+        let idx = self.changes.partition_point(|&(ct, _)| ct <= t);
+        if idx == 0 {
+            0
+        } else {
+            self.changes[idx - 1].1
+        }
+    }
+
+    /// Number of changepoints stored.
+    pub fn changepoints(&self) -> usize {
+        self.changes.len()
+    }
+
+    /// Stream length covered.
+    pub fn n(&self) -> Time {
+        self.n
+    }
+
+    /// Size in 64-bit words: two per changepoint (time, value).
+    pub fn words(&self) -> usize {
+        2 * self.changes.len()
+    }
+
+    /// Size in bits when each word costs `O(log n)` bits.
+    pub fn bits(&self) -> u64 {
+        self.words() as u64 * bits_per_word(self.n)
+    }
+}
+
+/// Builds a [`HistorySummary`] by observing a tracker's estimate after
+/// every timestep.
+#[derive(Debug, Clone, Default)]
+pub struct TracingRecorder {
+    changes: Vec<(Time, i64)>,
+    last: i64,
+    n: Time,
+}
+
+impl TracingRecorder {
+    /// Fresh recorder (initial estimate 0 at time 0).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record the estimate after timestep `t`. Estimates must be fed for
+    /// `t = 1, 2, 3, ...` in order.
+    pub fn observe(&mut self, t: Time, estimate: i64) {
+        debug_assert_eq!(t, self.n + 1, "observe timesteps in order");
+        self.n = t;
+        if estimate != self.last {
+            self.changes.push((t, estimate));
+            self.last = estimate;
+        }
+    }
+
+    /// Finish and return the summary.
+    pub fn finish(self) -> HistorySummary {
+        HistorySummary {
+            changes: self.changes,
+            n: self.n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deterministic::DeterministicTracker;
+    use dsv_gen::{DeltaGen, RoundRobin, WalkGen};
+    use dsv_net::relative_error;
+
+    #[test]
+    fn query_returns_piecewise_constant_history() {
+        let mut rec = TracingRecorder::new();
+        for (t, est) in [(1, 0), (2, 5), (3, 5), (4, -2), (5, -2)] {
+            rec.observe(t, est);
+        }
+        let s = rec.finish();
+        assert_eq!(s.changepoints(), 2); // 0→5 at t=2, 5→−2 at t=4
+        assert_eq!(s.query(0), 0);
+        assert_eq!(s.query(1), 0);
+        assert_eq!(s.query(2), 5);
+        assert_eq!(s.query(3), 5);
+        assert_eq!(s.query(4), -2);
+        assert_eq!(s.query(100), -2);
+        assert_eq!(s.words(), 4);
+    }
+
+    #[test]
+    fn recorded_deterministic_tracker_answers_all_historical_queries() {
+        // Appendix D's reduction: record the deterministic tracker, then
+        // every historical query must satisfy the ε-guarantee.
+        let k = 4;
+        let eps = 0.1;
+        let updates = WalkGen::fair(12).updates(10_000, RoundRobin::new(k));
+        let mut sim = DeterministicTracker::sim(k, eps);
+        let mut rec = TracingRecorder::new();
+        let mut truth = Vec::with_capacity(updates.len());
+        let mut f = 0i64;
+        for u in &updates {
+            f += u.delta;
+            truth.push(f);
+            let est = sim.step(u.site, u.delta);
+            rec.observe(u.time, est);
+        }
+        let summary = rec.finish();
+        for (i, &ft) in truth.iter().enumerate() {
+            let t = (i + 1) as Time;
+            let err = relative_error(ft, summary.query(t));
+            assert!(
+                err <= eps * (1.0 + 1e-12),
+                "historical query at t={t}: err {err}"
+            );
+        }
+        // Summary size is bounded by the communication (changepoints can
+        // only occur when a message arrives at the coordinator).
+        assert!(
+            summary.changepoints() as u64 <= sim.stats().total_messages(),
+            "{} changepoints > {} messages",
+            summary.changepoints(),
+            sim.stats().total_messages()
+        );
+    }
+
+    #[test]
+    fn bits_accounting_uses_log_n_words() {
+        let mut rec = TracingRecorder::new();
+        for t in 1..=1000u64 {
+            rec.observe(t, (t / 100) as i64);
+        }
+        let s = rec.finish();
+        assert_eq!(s.n(), 1000);
+        assert_eq!(s.bits(), s.words() as u64 * bits_per_word(1000));
+    }
+}

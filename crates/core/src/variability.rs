@@ -1,0 +1,267 @@
+//! The variability parameter `v(n)` — Section 2 of the paper.
+//!
+//! For a stream of increments `f'(t) = f(t) − f(t−1)` with `f(0) = 0`
+//! (unless overridden), the **f-variability** is
+//!
+//! ```text
+//! v(n) = Σ_{t=1..n} v'(t),   v'(t) = min{ 1, |f'(t) / f(t)| }
+//! ```
+//!
+//! with the special case `|f'(t)/f(t)| := 1` whenever `f(t) = 0` (the paper
+//! handles `f = 0` "by communicating at each timestep that case occurs").
+//!
+//! This module provides an online meter ([`VariabilityMeter`]), batch
+//! helpers ([`Variability`]), and the analytic bounds of Theorems 2.1, 2.2
+//! and 2.4 so experiments can print paper-vs-measured columns.
+
+/// Online accumulator of `v(n)` alongside `f(n)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VariabilityMeter {
+    f: i64,
+    v: f64,
+    steps: u64,
+}
+
+impl Default for VariabilityMeter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl VariabilityMeter {
+    /// Start at `f(0) = 0` (the paper's default).
+    pub fn new() -> Self {
+        VariabilityMeter {
+            f: 0,
+            v: 0.0,
+            steps: 0,
+        }
+    }
+
+    /// Start at a non-zero `f(0)` ("unless stated otherwise" — used by the
+    /// §4 lower-bound sequences which begin at `f(0) = m`).
+    pub fn with_initial(f0: i64) -> Self {
+        VariabilityMeter {
+            f: f0,
+            v: 0.0,
+            steps: 0,
+        }
+    }
+
+    /// Consume one increment `f'(t)`; returns the step's contribution
+    /// `v'(t)`.
+    pub fn observe(&mut self, delta: i64) -> f64 {
+        self.f += delta;
+        self.steps += 1;
+        let vp = Self::step_contribution(self.f, delta);
+        self.v += vp;
+        vp
+    }
+
+    /// `v'(t)` for a step ending at value `f` with increment `delta`.
+    #[inline]
+    pub fn step_contribution(f: i64, delta: i64) -> f64 {
+        if f == 0 {
+            // Paper: |f'(t)/f(t)| := 1 when f(t) = 0.
+            1.0
+        } else {
+            let ratio = delta.unsigned_abs() as f64 / f.unsigned_abs() as f64;
+            ratio.min(1.0)
+        }
+    }
+
+    /// The accumulated variability `v(n)`.
+    pub fn value(&self) -> f64 {
+        self.v
+    }
+
+    /// Current `f(n)`.
+    pub fn f(&self) -> i64 {
+        self.f
+    }
+
+    /// Number of increments consumed.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+}
+
+/// Batch helpers and the paper's analytic variability bounds.
+#[derive(Debug, Clone, Copy)]
+pub struct Variability;
+
+impl Variability {
+    /// `v(n)` of a delta stream starting at `f(0) = 0`.
+    pub fn of_stream<I: IntoIterator<Item = i64>>(deltas: I) -> f64 {
+        let mut m = VariabilityMeter::new();
+        for d in deltas {
+            m.observe(d);
+        }
+        m.value()
+    }
+
+    /// `v(n)` of a value trajectory `f(1), ..., f(n)` with `f(0) = f0`.
+    pub fn of_values(f0: i64, values: &[i64]) -> f64 {
+        let mut m = VariabilityMeter::with_initial(f0);
+        let mut prev = f0;
+        for &v in values {
+            m.observe(v - prev);
+            prev = v;
+        }
+        m.value()
+    }
+
+    /// Running prefix `v(1), v(2), ..., v(n)` of a delta stream.
+    pub fn prefix_series(deltas: &[i64]) -> Vec<f64> {
+        let mut m = VariabilityMeter::new();
+        deltas
+            .iter()
+            .map(|&d| {
+                m.observe(d);
+                m.value()
+            })
+            .collect()
+    }
+
+    /// Harmonic number `H(x)`.
+    pub fn harmonic(x: u64) -> f64 {
+        if x < 100 {
+            (1..=x).map(|i| 1.0 / i as f64).sum()
+        } else {
+            // H(x) ≈ ln x + γ + 1/(2x); error < 1e-4 for x ≥ 100.
+            (x as f64).ln() + 0.577_215_664_901_532_9 + 1.0 / (2.0 * x as f64)
+        }
+    }
+
+    /// Exact variability of the unit counter `f(t) = t`: `v(n) = H(n)`,
+    /// the tightest instance of the monotone `O(log f(n))` claim.
+    pub fn unit_counter_exact(n: u64) -> f64 {
+        Self::harmonic(n)
+    }
+
+    /// Theorem 2.1 bound: a stream with `f⁻(n) ≤ β(n)·f(n)` for `n ≥ t₀`
+    /// has `v(n) ≤ 4(1+β)(1 + log₂(2(1+β)·f(n)))` (plus an O(1) prefix
+    /// cost). Monotone streams are the β-free case via `β = 1`.
+    pub fn thm21_bound(beta: f64, f_n: i64) -> f64 {
+        assert!(beta >= 1.0);
+        let f = (f_n.max(1)) as f64;
+        4.0 * (1.0 + beta) * (1.0 + (2.0 * (1.0 + beta) * f).log2())
+    }
+
+    /// Theorem 2.2 shape: `E[v(n)] = O(√n · log n)` for the fair ±1 walk.
+    /// Returns `√n · ln n` (constant-free; experiments fit the constant).
+    pub fn thm22_shape(n: u64) -> f64 {
+        let nf = n as f64;
+        nf.sqrt() * nf.ln().max(1.0)
+    }
+
+    /// Theorem 2.4 shape: `E[v(n)] = O(log(n)/μ)` for drift-μ biased
+    /// walks. Returns `ln(n)/μ`.
+    pub fn thm24_shape(n: u64, mu: f64) -> f64 {
+        assert!(mu > 0.0);
+        (n as f64).ln().max(1.0) / mu
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_counter_variability_is_harmonic() {
+        // f(t) = t: v(n) = Σ 1/t = H(n).
+        let deltas = vec![1i64; 1000];
+        let v = Variability::of_stream(deltas);
+        let h = Variability::harmonic(1000);
+        assert!((v - h).abs() < 1e-6, "v = {v}, H = {h}");
+    }
+
+    #[test]
+    fn zero_crossings_contribute_one() {
+        // f: 0 → 1 → 0 → -1 → 0: contributions 1, 1, 1, 1.
+        let v = Variability::of_stream(vec![1, -1, -1, 1]);
+        // t1: f=1, |1/1|=1 → 1; t2: f=0 → 1; t3: f=-1 → 1; t4: f=0 → 1.
+        assert_eq!(v, 4.0);
+    }
+
+    #[test]
+    fn zero_delta_at_zero_value_still_counts() {
+        // Paper's literal convention: f(t) = 0 ⇒ v'(t) = 1 even if f' = 0.
+        let v = Variability::of_stream(vec![0, 0]);
+        assert_eq!(v, 2.0);
+    }
+
+    #[test]
+    fn zero_delta_at_nonzero_value_is_free() {
+        let v = Variability::of_stream(vec![5, 0, 0, 0]);
+        assert_eq!(v, 1.0); // only the first jump (|5/5| = 1) contributes
+    }
+
+    #[test]
+    fn contributions_are_capped_at_one() {
+        // A huge jump from 1 to 1001 contributes min(1, 1000/1001) < 1.
+        let mut m = VariabilityMeter::new();
+        m.observe(1);
+        let vp = m.observe(1000);
+        assert!(vp < 1.0 && vp > 0.99);
+    }
+
+    #[test]
+    fn of_values_matches_of_stream() {
+        let deltas = vec![1, 1, -1, 2, -3, 1, 1];
+        let mut f = 0i64;
+        let values: Vec<i64> = deltas
+            .iter()
+            .map(|&d| {
+                f += d;
+                f
+            })
+            .collect();
+        let a = Variability::of_stream(deltas.clone());
+        let b = Variability::of_values(0, &values);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn with_initial_changes_denominators() {
+        // Starting at f(0) = 10, a +1 step contributes 1/11.
+        let mut m = VariabilityMeter::with_initial(10);
+        let vp = m.observe(1);
+        assert!((vp - 1.0 / 11.0).abs() < 1e-12);
+        assert_eq!(m.f(), 11);
+    }
+
+    #[test]
+    fn prefix_series_is_monotone_nondecreasing() {
+        let deltas = vec![1, -1, 1, 1, -1, 1, -2, 3];
+        let series = Variability::prefix_series(&deltas);
+        assert_eq!(series.len(), deltas.len());
+        assert!(series.windows(2).all(|w| w[0] <= w[1] + 1e-12));
+    }
+
+    #[test]
+    fn harmonic_number_values() {
+        assert!((Variability::harmonic(1) - 1.0).abs() < 1e-12);
+        assert!((Variability::harmonic(2) - 1.5).abs() < 1e-12);
+        // H(10^6) ≈ ln(10^6) + γ ≈ 14.392726...
+        let h = Variability::harmonic(1_000_000);
+        assert!((h - 14.392_726_7).abs() < 1e-3, "H = {h}");
+    }
+
+    #[test]
+    fn thm21_bound_dominates_monotone_unit_counter() {
+        for n in [10u64, 1_000, 100_000] {
+            let v = Variability::unit_counter_exact(n);
+            let bound = Variability::thm21_bound(1.0, n as i64);
+            assert!(v <= bound, "n = {n}: v = {v} > bound = {bound}");
+        }
+    }
+
+    #[test]
+    fn shapes_are_monotone_in_n() {
+        assert!(Variability::thm22_shape(10_000) > Variability::thm22_shape(100));
+        assert!(Variability::thm24_shape(10_000, 0.1) > Variability::thm24_shape(100, 0.1));
+        // Smaller drift ⇒ larger bound.
+        assert!(Variability::thm24_shape(1000, 0.05) > Variability::thm24_shape(1000, 0.5));
+    }
+}

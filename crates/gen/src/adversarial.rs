@@ -1,0 +1,171 @@
+//! Adversarial high-variability streams.
+//!
+//! These are the inputs that make unrestricted non-monotonic tracking cost
+//! `Ω(n)`: streams that keep `|f(t)|` small while changing constantly, so
+//! that `v'(t) = min{1, |f'(t)/f(t)|}` stays bounded away from zero.
+//!
+//! * [`AdversarialGen::hover`] — climb to a level `L`, then alternate ±1
+//!   forever: `v(n) ≈ n / L`, a direct dial from benign (`L` large) to
+//!   worst-case (`L = 1`).
+//! * [`AdversarialGen::sawtooth`] — rise `swing` steps, fall `swing` steps
+//!   around a base level.
+//! * [`AdversarialGen::zero_crossing`] — oscillate between `+amp` and
+//!   `−amp`, crossing `f = 0` every half-period (each crossing contributes
+//!   `v' = 1`).
+
+use crate::DeltaGen;
+
+/// Deterministic adversarial stream generator.
+#[derive(Debug, Clone)]
+pub struct AdversarialGen {
+    kind: Kind,
+    /// Current value of f (mirrors the emitted prefix sum).
+    f: i64,
+    /// Steps emitted so far.
+    t: u64,
+    /// Current direction for the oscillating phases.
+    dir: i64,
+}
+
+#[derive(Debug, Clone)]
+enum Kind {
+    Hover { level: i64 },
+    Sawtooth { base: i64, swing: i64 },
+    ZeroCrossing { amp: i64 },
+}
+
+impl AdversarialGen {
+    /// Climb to `level ≥ 1`, then alternate −1/+1 forever so `f` hovers in
+    /// `{level − 1, level}`. Asymptotic variability `v(n) ≈ n / level`.
+    pub fn hover(level: i64) -> Self {
+        assert!(level >= 1);
+        AdversarialGen {
+            kind: Kind::Hover { level },
+            f: 0,
+            t: 0,
+            dir: -1,
+        }
+    }
+
+    /// Climb to `base + swing`, then repeatedly descend to `base` and climb
+    /// back. Requires `base ≥ 1` so `f` never reaches 0.
+    pub fn sawtooth(base: i64, swing: i64) -> Self {
+        assert!(base >= 1 && swing >= 1);
+        AdversarialGen {
+            kind: Kind::Sawtooth { base, swing },
+            f: 0,
+            t: 0,
+            dir: -1,
+        }
+    }
+
+    /// Oscillate between `+amp` and `−amp` (crossing zero repeatedly) —
+    /// the hardest regime, with `v' = 1` at every zero/sign-change step.
+    pub fn zero_crossing(amp: i64) -> Self {
+        assert!(amp >= 1);
+        AdversarialGen {
+            kind: Kind::ZeroCrossing { amp },
+            f: 0,
+            t: 0,
+            dir: 1,
+        }
+    }
+}
+
+impl DeltaGen for AdversarialGen {
+    fn next_delta(&mut self) -> i64 {
+        self.t += 1;
+        let d = match self.kind {
+            Kind::Hover { level } => {
+                // Climb while below the level; at the level, step down. The
+                // next step climbs back, so f alternates level−1, level, ...
+                if self.f < level {
+                    1
+                } else {
+                    -1
+                }
+            }
+            Kind::Sawtooth { base, swing } => {
+                let top = base + swing;
+                if self.t <= top as u64 {
+                    1 // initial climb
+                } else {
+                    if self.f <= base {
+                        self.dir = 1;
+                    } else if self.f >= top {
+                        self.dir = -1;
+                    }
+                    self.dir
+                }
+            }
+            Kind::ZeroCrossing { amp } => {
+                if self.f >= amp {
+                    self.dir = -1;
+                } else if self.f <= -amp {
+                    self.dir = 1;
+                }
+                self.dir
+            }
+        };
+        self.f += d;
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prefix_values;
+
+    #[test]
+    fn hover_stays_near_level() {
+        let mut g = AdversarialGen::hover(10);
+        let values = prefix_values(&g.deltas(100));
+        // First 10 steps climb; afterwards value ∈ {9, 10}.
+        assert_eq!(values[9], 10);
+        assert!(values[10..].iter().all(|&v| v == 9 || v == 10));
+    }
+
+    #[test]
+    fn hover_level_one_is_worst_case() {
+        let mut g = AdversarialGen::hover(1);
+        let values = prefix_values(&g.deltas(50));
+        assert!(values.iter().all(|&v| v == 0 || v == 1));
+        // Hits zero repeatedly → maximal per-step variability.
+        assert!(values.iter().filter(|&&v| v == 0).count() > 10);
+    }
+
+    #[test]
+    fn sawtooth_oscillates_between_levels() {
+        let mut g = AdversarialGen::sawtooth(5, 10);
+        let values = prefix_values(&g.deltas(200));
+        let after_climb = &values[15..];
+        assert!(after_climb.iter().all(|&v| (5..=15).contains(&v)));
+        assert!(after_climb.contains(&5));
+        assert!(after_climb.contains(&15));
+        // Never touches zero.
+        assert!(values.iter().all(|&v| v >= 1));
+    }
+
+    #[test]
+    fn zero_crossing_spans_both_signs() {
+        let mut g = AdversarialGen::zero_crossing(4);
+        let values = prefix_values(&g.deltas(100));
+        assert!(values.contains(&4));
+        assert!(values.contains(&-4));
+        assert!(values.iter().all(|&v| (-4..=4).contains(&v)));
+        let crossings = values.windows(2).filter(|w| w[0] == 0 || w[0].signum() != w[1].signum()).count();
+        assert!(crossings >= 10, "crossings = {crossings}");
+    }
+
+    #[test]
+    fn all_adversaries_emit_pm_one() {
+        for mut g in [
+            AdversarialGen::hover(3),
+            AdversarialGen::sawtooth(2, 7),
+            AdversarialGen::zero_crossing(5),
+        ] {
+            assert!(g.deltas(500).iter().all(|&d| d == 1 || d == -1));
+        }
+    }
+}

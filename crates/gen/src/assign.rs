@@ -1,0 +1,192 @@
+//! Site-assignment policies: which site observes the update at time `t`.
+//!
+//! The distributed monitoring model places each update at a single site
+//! `i(n)`; the choice of `i(n)` is adversarial in the worst case. These
+//! policies cover the spectrum used by the experiments: round-robin
+//! (balanced), uniform random, hashed (deterministic but scattered), and
+//! single-site (fully skewed).
+
+use dsv_net::{SiteId, Time};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A policy mapping timesteps to sites.
+pub trait SiteAssign {
+    /// The site observing the update at time `t`.
+    fn site_for(&mut self, t: Time) -> SiteId;
+    /// Number of sites `k` this policy spreads over.
+    fn k(&self) -> usize;
+}
+
+/// Cycles through sites `0, 1, ..., k-1, 0, ...`.
+#[derive(Debug, Clone)]
+pub struct RoundRobin {
+    k: usize,
+    next: usize,
+}
+
+impl RoundRobin {
+    /// Round-robin over `k` sites.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1);
+        RoundRobin { k, next: 0 }
+    }
+}
+
+impl SiteAssign for RoundRobin {
+    fn site_for(&mut self, _t: Time) -> SiteId {
+        let s = self.next;
+        self.next = (self.next + 1) % self.k;
+        s
+    }
+    fn k(&self) -> usize {
+        self.k
+    }
+}
+
+/// Uniformly random site per update (seedable).
+#[derive(Debug, Clone)]
+pub struct RandomAssign {
+    k: usize,
+    rng: SmallRng,
+}
+
+impl RandomAssign {
+    /// Uniform assignment over `k` sites with the given seed.
+    pub fn new(k: usize, seed: u64) -> Self {
+        assert!(k >= 1);
+        RandomAssign {
+            k,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl SiteAssign for RandomAssign {
+    fn site_for(&mut self, _t: Time) -> SiteId {
+        self.rng.gen_range(0..self.k)
+    }
+    fn k(&self) -> usize {
+        self.k
+    }
+}
+
+/// Deterministic scattered assignment via a multiplicative hash of `t`.
+/// Unlike [`RandomAssign`] it is stateless, so re-running a stream segment
+/// yields the same placement.
+#[derive(Debug, Clone)]
+pub struct HashAssign {
+    k: usize,
+}
+
+impl HashAssign {
+    /// Hashed assignment over `k` sites.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1);
+        HashAssign { k }
+    }
+}
+
+impl SiteAssign for HashAssign {
+    fn site_for(&mut self, t: Time) -> SiteId {
+        // Fibonacci hashing; good scatter for sequential t.
+        let h = t.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (h >> 32) as usize % self.k
+    }
+    fn k(&self) -> usize {
+        self.k
+    }
+}
+
+/// Sends every update to one fixed site — the fully-skewed placement, and
+/// the natural model for the single-site algorithms of §5.2.
+#[derive(Debug, Clone)]
+pub struct SingleSite {
+    k: usize,
+    site: SiteId,
+}
+
+impl SingleSite {
+    /// All updates to `site`, out of `k` sites total.
+    pub fn new(k: usize, site: SiteId) -> Self {
+        assert!(site < k);
+        SingleSite { k, site }
+    }
+
+    /// The `k = 1` special case.
+    pub fn solo() -> Self {
+        SingleSite { k: 1, site: 0 }
+    }
+}
+
+impl SiteAssign for SingleSite {
+    fn site_for(&mut self, _t: Time) -> SiteId {
+        self.site
+    }
+    fn k(&self) -> usize {
+        self.k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut rr = RoundRobin::new(3);
+        let sites: Vec<SiteId> = (1..=7).map(|t| rr.site_for(t)).collect();
+        assert_eq!(sites, vec![0, 1, 2, 0, 1, 2, 0]);
+        assert_eq!(rr.k(), 3);
+    }
+
+    #[test]
+    fn random_assign_is_seed_deterministic_and_in_range() {
+        let mut a = RandomAssign::new(5, 99);
+        let mut b = RandomAssign::new(5, 99);
+        for t in 1..=1000 {
+            let sa = a.site_for(t);
+            assert_eq!(sa, b.site_for(t));
+            assert!(sa < 5);
+        }
+    }
+
+    #[test]
+    fn random_assign_covers_all_sites() {
+        let mut a = RandomAssign::new(8, 7);
+        let mut seen = [false; 8];
+        for t in 1..=1000 {
+            seen[a.site_for(t)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn hash_assign_is_stateless_and_spread() {
+        let mut h1 = HashAssign::new(4);
+        let mut h2 = HashAssign::new(4);
+        let mut counts = [0u32; 4];
+        for t in 1..=4000 {
+            let s = h1.site_for(t);
+            assert_eq!(s, h2.site_for(t));
+            counts[s] += 1;
+        }
+        // Roughly balanced: every site gets between 15% and 35%.
+        for &c in &counts {
+            assert!((600..=1400).contains(&c), "imbalanced: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn single_site_is_constant() {
+        let mut s = SingleSite::new(4, 2);
+        assert!(((1..=100).map(|t| s.site_for(t))).all(|x| x == 2));
+        assert_eq!(SingleSite::solo().k(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn single_site_validates_range() {
+        SingleSite::new(2, 5);
+    }
+}

@@ -1,0 +1,171 @@
+//! Flip streams: value trajectories that alternate between `m` and `m + 3`.
+//!
+//! Section 4's lower-bound families are built from sequences that take only
+//! the values `m = 1/ε` and `m + 3`, flipping at chosen timesteps. Each
+//! flip contributes `3/(m+3)` or `3/m` to the variability, so `r` flips
+//! give `v = (6m+9)/(2m+6) · ε·r` exactly (Theorem 4.1).
+//!
+//! [`FlipFamilyGen`] turns such a trajectory into a stream: a climb prefix
+//! `0 → m` (the paper starts at `f(0) = m`; a delta stream must reach it),
+//! followed by ±3 jumps at the flip times. Combine with
+//! `dsv-core::expand` to obtain a ±1 stream.
+
+use crate::DeltaGen;
+use dsv_net::Time;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Generator for an `m ↔ m+3` flip trajectory.
+#[derive(Debug, Clone)]
+pub struct FlipFamilyGen {
+    m: i64,
+    /// Sorted flip times, 1-based, indexing the post-climb phase.
+    flips: Vec<Time>,
+    /// Position in `flips` of the next flip to apply.
+    next_flip: usize,
+    /// Steps emitted so far.
+    t: u64,
+    /// Current value (post-climb): m or m+3.
+    value: i64,
+}
+
+impl FlipFamilyGen {
+    /// Build from `m ≥ 2` and a sorted list of distinct flip times (these
+    /// index the *post-climb* stream: flip time 1 is the first step after
+    /// the value first reaches `m`).
+    pub fn new(m: i64, flips: Vec<Time>) -> Self {
+        assert!(m >= 2, "theorem 4.1 requires m = 1/ε ≥ 2");
+        assert!(
+            flips.windows(2).all(|w| w[0] < w[1]),
+            "flip times must be sorted and distinct"
+        );
+        assert!(flips.first().is_none_or(|&f| f >= 1));
+        FlipFamilyGen {
+            m,
+            flips,
+            next_flip: 0,
+            t: 0,
+            value: 0,
+        }
+    }
+
+    /// Choose `r` distinct flip times uniformly from `1..=n` (seedable) —
+    /// one member of the Theorem 4.1 family with parameters `(m, n, r)`.
+    pub fn random(m: i64, n: u64, r: usize, seed: u64) -> Self {
+        assert!(r as u64 <= n);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        // Floyd's algorithm for a uniform r-subset of {1..n}.
+        let mut chosen = std::collections::BTreeSet::new();
+        for j in (n - r as u64 + 1)..=n {
+            let x = rng.gen_range(1..=j);
+            if !chosen.insert(x) {
+                chosen.insert(j);
+            }
+        }
+        Self::new(m, chosen.into_iter().collect())
+    }
+
+    /// The base level `m`.
+    pub fn m(&self) -> i64 {
+        self.m
+    }
+
+    /// The flip times.
+    pub fn flips(&self) -> &[Time] {
+        &self.flips
+    }
+
+    /// The value trajectory of the *post-climb* sequence at post-climb time
+    /// `t ≥ 0` (t = 0 is the moment the climb finishes): `m` or `m+3`.
+    pub fn value_at(&self, t: Time) -> i64 {
+        let nflips = self.flips.partition_point(|&ft| ft <= t);
+        if nflips % 2 == 0 {
+            self.m
+        } else {
+            self.m + 3
+        }
+    }
+}
+
+impl DeltaGen for FlipFamilyGen {
+    fn next_delta(&mut self) -> i64 {
+        self.t += 1;
+        if self.value < self.m {
+            // Climb prefix 0 → m.
+            self.value += 1;
+            return 1;
+        }
+        let post_climb_t = self.t - self.m as u64;
+        if self.next_flip < self.flips.len() && self.flips[self.next_flip] == post_climb_t {
+            self.next_flip += 1;
+            let d = if self.value == self.m { 3 } else { -3 };
+            self.value += d;
+            d
+        } else {
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prefix_values;
+
+    #[test]
+    fn climb_then_flip_trajectory() {
+        let mut g = FlipFamilyGen::new(4, vec![2, 5]);
+        // climb: 4 steps of +1; then post-climb times 1..: flips at 2 and 5.
+        let deltas = g.deltas(10);
+        assert_eq!(deltas, vec![1, 1, 1, 1, 0, 3, 0, 0, -3, 0]);
+        let values = prefix_values(&deltas);
+        assert_eq!(values, vec![1, 2, 3, 4, 4, 7, 7, 7, 4, 4]);
+    }
+
+    #[test]
+    fn value_at_matches_emitted_stream() {
+        let g0 = FlipFamilyGen::new(5, vec![1, 4, 9, 10]);
+        let mut g = g0.clone();
+        let deltas = g.deltas(20);
+        let values = prefix_values(&deltas);
+        // Climb takes m = 5 steps, so the value at post-climb time p is the
+        // prefix value after 5 + p stream steps, i.e. values[4 + p].
+        for post_t in 0..15u64 {
+            assert_eq!(
+                values[4 + post_t as usize],
+                g0.value_at(post_t),
+                "mismatch at post-climb t = {post_t}"
+            );
+        }
+    }
+
+    #[test]
+    fn random_family_member_has_r_flips_in_range() {
+        let g = FlipFamilyGen::random(8, 1000, 40, 123);
+        assert_eq!(g.flips().len(), 40);
+        assert!(g.flips().iter().all(|&t| (1..=1000).contains(&t)));
+        // Sorted & distinct is enforced by the constructor.
+    }
+
+    #[test]
+    fn random_is_seed_deterministic_and_seed_sensitive() {
+        let a = FlipFamilyGen::random(4, 500, 20, 7);
+        let b = FlipFamilyGen::random(4, 500, 20, 7);
+        let c = FlipFamilyGen::random(4, 500, 20, 8);
+        assert_eq!(a.flips(), b.flips());
+        assert_ne!(a.flips(), c.flips());
+    }
+
+    #[test]
+    fn values_only_m_or_m_plus_3_after_climb() {
+        let mut g = FlipFamilyGen::random(6, 300, 30, 5);
+        let values = prefix_values(&g.deltas(306));
+        assert!(values[6..].iter().all(|&v| v == 6 || v == 9));
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_flips_rejected() {
+        FlipFamilyGen::new(4, vec![5, 2]);
+    }
+}

@@ -1,0 +1,125 @@
+//! Monotone (insert-only) streams — the classic distributed counting
+//! setting of Cormode et al. and Huang et al., for which the paper proves
+//! `v(n) = O(log f(n))` (Theorem 2.1 with β = 1) and to which its
+//! algorithms' bounds specialize.
+
+use crate::DeltaGen;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A non-decreasing stream generator.
+#[derive(Debug, Clone)]
+pub struct MonotoneGen {
+    mode: Mode,
+}
+
+#[derive(Debug, Clone)]
+enum Mode {
+    /// `f'(t) = 1` always: the pure counter.
+    Ones,
+    /// `f'(t)` uniform in `1..=max_jump` — used by the Appendix C expansion
+    /// experiments (jumps must be simulated by ±1 arrivals).
+    Jumps { rng: SmallRng, max_jump: i64 },
+    /// Bursty: alternate quiet phases (`f' = 1`) and bursts
+    /// (`f' = burst_size`), switching phase every `period` steps.
+    Bursty {
+        period: u64,
+        burst_size: i64,
+        t: u64,
+    },
+}
+
+impl MonotoneGen {
+    /// The pure counter: `f(t) = t`.
+    pub fn ones() -> Self {
+        MonotoneGen { mode: Mode::Ones }
+    }
+
+    /// Positive jumps uniform in `1..=max_jump`.
+    pub fn jumps(seed: u64, max_jump: i64) -> Self {
+        assert!(max_jump >= 1);
+        MonotoneGen {
+            mode: Mode::Jumps {
+                rng: SmallRng::seed_from_u64(seed),
+                max_jump,
+            },
+        }
+    }
+
+    /// Bursty increments: `period` steps of `+1` then `period` steps of
+    /// `+burst_size`, repeating.
+    pub fn bursty(period: u64, burst_size: i64) -> Self {
+        assert!(period >= 1 && burst_size >= 1);
+        MonotoneGen {
+            mode: Mode::Bursty {
+                period,
+                burst_size,
+                t: 0,
+            },
+        }
+    }
+}
+
+impl DeltaGen for MonotoneGen {
+    fn next_delta(&mut self) -> i64 {
+        match &mut self.mode {
+            Mode::Ones => 1,
+            Mode::Jumps { rng, max_jump } => rng.gen_range(1..=*max_jump),
+            Mode::Bursty {
+                period,
+                burst_size,
+                t,
+            } => {
+                let phase = (*t / *period) % 2;
+                *t += 1;
+                if phase == 0 {
+                    1
+                } else {
+                    *burst_size
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prefix_values;
+
+    #[test]
+    fn ones_is_the_identity_counter() {
+        let mut g = MonotoneGen::ones();
+        let values = prefix_values(&g.deltas(100));
+        assert_eq!(values, (1..=100).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn jumps_stay_positive_and_bounded() {
+        let mut g = MonotoneGen::jumps(5, 16);
+        let d = g.deltas(10_000);
+        assert!(d.iter().all(|&x| (1..=16).contains(&x)));
+        // All jump sizes should appear over 10k draws.
+        for j in 1..=16i64 {
+            assert!(d.contains(&j), "jump size {j} never drawn");
+        }
+    }
+
+    #[test]
+    fn bursty_alternates_phases() {
+        let mut g = MonotoneGen::bursty(3, 10);
+        assert_eq!(g.deltas(12), vec![1, 1, 1, 10, 10, 10, 1, 1, 1, 10, 10, 10]);
+    }
+
+    #[test]
+    fn monotone_streams_never_decrease() {
+        for mut g in [
+            MonotoneGen::ones(),
+            MonotoneGen::jumps(1, 100),
+            MonotoneGen::bursty(7, 3),
+        ] {
+            let values = prefix_values(&g.deltas(1000));
+            assert!(values.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Random-walk streams: the input classes of Theorems 2.2 and 2.4.
+//!
+//! * **Fair walk** — `f'(t)` i.i.d. uniform ±1. Theorem 2.2 proves
+//!   `E[v(n)] = O(√n log n)`; Liu et al. study the same class.
+//! * **Biased walk** — `P(f'(t) = +1) = (1+μ)/2` for drift `μ ∈ (0, 1)`.
+//!   Theorem 2.4 proves `E[v(n)] = O(log(n)/μ)`.
+//! * **Lazy walk** — with probability `1 − p_move` the step is repeated as a
+//!   zero-effect pair later; implemented here simply as ±1 with holding
+//!   probability, useful for slowly-varying workloads.
+
+use crate::DeltaGen;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A seedable ±1 random-walk generator.
+#[derive(Debug, Clone)]
+pub struct WalkGen {
+    rng: SmallRng,
+    /// Probability that a *moving* step is +1.
+    p_up: f64,
+    /// Probability that the walk moves at all this step (else emits 0).
+    p_move: f64,
+}
+
+impl WalkGen {
+    /// Fair coin flips: `P(+1) = P(-1) = 1/2` (Theorem 2.2's class).
+    pub fn fair(seed: u64) -> Self {
+        WalkGen {
+            rng: SmallRng::seed_from_u64(seed),
+            p_up: 0.5,
+            p_move: 1.0,
+        }
+    }
+
+    /// Biased coin flips with drift `mu`: `P(+1) = (1 + mu)/2`
+    /// (Theorem 2.4's class). `mu` may be negative; the paper notes the
+    /// `μ < 0` case is symmetric.
+    pub fn biased(seed: u64, mu: f64) -> Self {
+        assert!(
+            (-1.0..=1.0).contains(&mu),
+            "drift must lie in [-1, 1], got {mu}"
+        );
+        WalkGen {
+            rng: SmallRng::seed_from_u64(seed),
+            p_up: (1.0 + mu) / 2.0,
+            p_move: 1.0,
+        }
+    }
+
+    /// Lazy walk: moves (fairly) only with probability `p_move`, else emits
+    /// a zero increment.
+    pub fn lazy(seed: u64, p_move: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p_move));
+        WalkGen {
+            rng: SmallRng::seed_from_u64(seed),
+            p_up: 0.5,
+            p_move,
+        }
+    }
+
+    /// The drift `μ = 2·p_up − 1` of this walk.
+    pub fn drift(&self) -> f64 {
+        2.0 * self.p_up - 1.0
+    }
+}
+
+impl DeltaGen for WalkGen {
+    fn next_delta(&mut self) -> i64 {
+        if self.p_move < 1.0 && !self.rng.gen_bool(self.p_move) {
+            return 0;
+        }
+        if self.rng.gen_bool(self.p_up) {
+            1
+        } else {
+            -1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prefix_values;
+
+    #[test]
+    fn fair_walk_is_pm_one_and_seed_deterministic() {
+        let mut a = WalkGen::fair(1);
+        let mut b = WalkGen::fair(1);
+        let da = a.deltas(1000);
+        let db = b.deltas(1000);
+        assert_eq!(da, db);
+        assert!(da.iter().all(|&d| d == 1 || d == -1));
+    }
+
+    #[test]
+    fn fair_walk_is_roughly_balanced() {
+        let mut g = WalkGen::fair(7);
+        let sum: i64 = g.deltas(100_000).iter().sum();
+        // 5σ ≈ 1581 for n = 100k.
+        assert!(sum.abs() < 1600, "sum = {sum}");
+    }
+
+    #[test]
+    fn biased_walk_drifts() {
+        let mu = 0.2;
+        let mut g = WalkGen::biased(11, mu);
+        assert!((g.drift() - mu).abs() < 1e-12);
+        let n = 100_000u64;
+        let f = *prefix_values(&g.deltas(n)).last().unwrap();
+        let expected = (mu * n as f64) as i64;
+        assert!(
+            (f - expected).abs() < 2_000,
+            "f = {f}, expected ≈ {expected}"
+        );
+    }
+
+    #[test]
+    fn negative_drift_is_symmetric() {
+        let mut g = WalkGen::biased(11, -0.3);
+        let sum: i64 = g.deltas(50_000).iter().sum();
+        assert!(sum < -10_000, "sum = {sum}");
+    }
+
+    #[test]
+    fn lazy_walk_emits_zeros() {
+        let mut g = WalkGen::lazy(3, 0.25);
+        let d = g.deltas(10_000);
+        let zeros = d.iter().filter(|&&x| x == 0).count();
+        assert!(
+            (6_500..=8_500).contains(&zeros),
+            "zeros = {zeros}, expected ≈ 7500"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "drift must lie")]
+    fn biased_rejects_bad_mu() {
+        WalkGen::biased(0, 1.5);
+    }
+}

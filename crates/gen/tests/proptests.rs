@@ -1,0 +1,122 @@
+//! Property-based tests for the workload generators.
+
+use dsv_gen::{
+    assign_updates, prefix_values, values_to_deltas, AdversarialGen, DeltaGen, FlipFamilyGen,
+    HashAssign, MonotoneGen, NearlyMonotoneGen, RandomAssign, RoundRobin, SiteAssign, WalkGen,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// prefix_values and values_to_deltas are inverse bijections.
+    #[test]
+    fn prefix_roundtrip(deltas in prop::collection::vec(-1000i64..1000, 0..200)) {
+        let values = prefix_values(&deltas);
+        prop_assert_eq!(values_to_deltas(&values), deltas);
+    }
+
+    /// Walks emit only the advertised support and are seed-deterministic.
+    #[test]
+    fn walks_have_correct_support(seed in 0u64..10_000, n in 1u64..2_000) {
+        let fair = WalkGen::fair(seed).deltas(n);
+        prop_assert!(fair.iter().all(|&d| d == 1 || d == -1));
+        let lazy = WalkGen::lazy(seed, 0.5).deltas(n);
+        prop_assert!(lazy.iter().all(|&d| (-1..=1).contains(&d)));
+        prop_assert_eq!(WalkGen::fair(seed).deltas(n), fair);
+    }
+
+    /// Biased walks have empirical mean within 5σ of μ.
+    #[test]
+    fn biased_walk_mean(seed in 0u64..1000, mu_pct in -80i32..80) {
+        let mu = mu_pct as f64 / 100.0;
+        let n = 20_000u64;
+        let sum: i64 = WalkGen::biased(seed, mu).deltas(n).iter().sum();
+        let sigma = (n as f64).sqrt(); // ≥ per-step std
+        prop_assert!(
+            (sum as f64 - mu * n as f64).abs() < 5.0 * sigma + 1.0,
+            "sum {sum} vs expectation {}", mu * n as f64
+        );
+    }
+
+    /// Nearly-monotone streams satisfy their defining constraint for any
+    /// parameters.
+    #[test]
+    fn nearly_monotone_constraint(
+        seed in 0u64..5_000,
+        beta10 in 10u32..80,
+        dp_pct in 0u32..50,
+        n in 1u64..5_000,
+    ) {
+        let beta = beta10 as f64 / 10.0;
+        let mut g = NearlyMonotoneGen::new(seed, beta, dp_pct as f64 / 100.0);
+        let deltas = g.deltas(n);
+        let mut f = 0i64;
+        let mut f_minus = 0i64;
+        for &d in &deltas {
+            f += d;
+            if d < 0 {
+                f_minus -= d;
+            }
+            prop_assert!(f_minus as f64 <= beta * f as f64 + 1e-9);
+            prop_assert!(f >= 0);
+        }
+    }
+
+    /// Adversarial streams respect their envelopes.
+    #[test]
+    fn adversaries_respect_envelopes(n in 10u64..3_000, level in 1i64..50, amp in 1i64..50) {
+        let hv = prefix_values(&AdversarialGen::hover(level).deltas(n));
+        prop_assert!(hv.iter().all(|&v| v >= 0 && v <= level));
+        let zc = prefix_values(&AdversarialGen::zero_crossing(amp).deltas(n));
+        prop_assert!(zc.iter().all(|&v| v.abs() <= amp));
+        let st = prefix_values(&AdversarialGen::sawtooth(level, amp).deltas(n));
+        prop_assert!(st.iter().all(|&v| v >= 0 && v <= level + amp));
+    }
+
+    /// Site assignments stay in range for every policy.
+    #[test]
+    fn assignments_in_range(k in 1usize..12, seed in 0u64..1000, n in 1u64..500) {
+        let mut policies: Vec<Box<dyn SiteAssign>> = vec![
+            Box::new(RoundRobin::new(k)),
+            Box::new(RandomAssign::new(k, seed)),
+            Box::new(HashAssign::new(k)),
+        ];
+        for p in &mut policies {
+            for t in 1..=n {
+                prop_assert!(p.site_for(t) < k);
+            }
+        }
+        let deltas = vec![1i64; n as usize];
+        let ups = assign_updates(&deltas, RoundRobin::new(k));
+        prop_assert!(ups.iter().all(|u| u.site < k));
+        prop_assert!(ups.iter().enumerate().all(|(i, u)| u.time == (i + 1) as u64));
+    }
+
+    /// Flip-family streams: after the climb, values alternate between m
+    /// and m+3 and match value_at.
+    #[test]
+    fn flip_gen_consistency(m in 2i64..12, n in 20u64..500, r in 0usize..10, seed in 0u64..1000) {
+        let r = r.min(n as usize / 2);
+        let g0 = FlipFamilyGen::random(m, n, r, seed);
+        let mut g = g0.clone();
+        let total = m as u64 + n;
+        let values = prefix_values(&g.deltas(total));
+        for post_t in 0..n {
+            prop_assert_eq!(
+                values[(m as u64 + post_t) as usize - 1],
+                g0.value_at(post_t),
+                "post_t = {}", post_t
+            );
+        }
+    }
+
+    /// Monotone generators never decrease.
+    #[test]
+    fn monotone_never_decreases(seed in 0u64..1000, maxj in 1i64..100, n in 1u64..2_000) {
+        for mut g in [MonotoneGen::ones(), MonotoneGen::jumps(seed, maxj)] {
+            let values = prefix_values(&g.deltas(n));
+            prop_assert!(values.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Message metadata: kinds, wire sizes, and transcript records.
+//!
+//! The network layer treats protocol payloads as opaque; all it needs is a
+//! *size in words* for accounting. The paper states all messages are
+//! `O(log n)` bits; we account in 64-bit words (1 word per scalar value) and
+//! provide [`bits_per_word`] to convert a word budget into a bit budget for
+//! a given stream length when comparing against bit-level lower bounds.
+
+use crate::{SiteId, Time};
+
+/// Direction/kind of a charged message, for per-kind accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MsgKind {
+    /// Site → coordinator, spontaneous (e.g. a threshold fired).
+    Up,
+    /// Site → coordinator, in reply to a coordinator request.
+    Reply,
+    /// Coordinator → single site.
+    Unicast,
+    /// Coordinator → all sites. Charged as `k` messages.
+    Broadcast,
+    /// Coordinator → all sites asking them to report. Charged as `k`
+    /// messages (the "k in requests from the coordinator" of §3.1).
+    Request,
+}
+
+impl MsgKind {
+    /// All kinds, for iteration in reports.
+    pub const ALL: [MsgKind; 5] = [
+        MsgKind::Up,
+        MsgKind::Reply,
+        MsgKind::Unicast,
+        MsgKind::Broadcast,
+        MsgKind::Request,
+    ];
+
+    /// Short label used by experiment tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            MsgKind::Up => "up",
+            MsgKind::Reply => "reply",
+            MsgKind::Unicast => "unicast",
+            MsgKind::Broadcast => "broadcast",
+            MsgKind::Request => "request",
+        }
+    }
+}
+
+/// The wire size of a payload, in 64-bit words.
+///
+/// Implemented by every protocol message type in `dsv-core`. The default of
+/// one word models a single counter value, the common case in the paper's
+/// algorithms ("Message: the new value of d_i").
+pub trait WireSize {
+    /// Number of 64-bit words this message occupies on the wire.
+    fn words(&self) -> usize {
+        1
+    }
+}
+
+impl WireSize for () {}
+impl WireSize for i64 {}
+impl WireSize for u64 {}
+impl WireSize for u32 {}
+
+impl<A: WireSize, B: WireSize> WireSize for (A, B) {
+    fn words(&self) -> usize {
+        self.0.words() + self.1.words()
+    }
+}
+
+impl<T: WireSize> WireSize for Vec<T> {
+    fn words(&self) -> usize {
+        // One word of framing (the length) plus the payload.
+        1 + self.iter().map(WireSize::words).sum::<usize>()
+    }
+}
+
+impl<T: WireSize> WireSize for Option<T> {
+    fn words(&self) -> usize {
+        match self {
+            Some(t) => t.words(),
+            None => 0,
+        }
+    }
+}
+
+/// A transcript entry: one charged message.
+///
+/// Transcripts are optional (they cost memory proportional to the number of
+/// messages) and are used by the tracing-problem experiments of §4, where
+/// the summary of a distributed algorithm is exactly its recorded
+/// communication (Appendix D).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MsgRecord {
+    /// Timestep during which the message was sent.
+    pub time: Time,
+    /// Kind of message.
+    pub kind: MsgKind,
+    /// The site concerned (sender for Up/Reply, receiver for Unicast; for
+    /// Broadcast/Request this is `usize::MAX` as all sites are concerned).
+    pub site: SiteId,
+    /// Payload size in words (for broadcasts: per-recipient size).
+    pub words: usize,
+}
+
+/// Marker site id used in [`MsgRecord`] for broadcast/request records.
+pub const ALL_SITES: SiteId = usize::MAX;
+
+/// Number of bits a single word-message costs for a stream of length `n`
+/// over a universe of values bounded by `n` — the paper's `O(log n)` bits
+/// per message. We charge `ceil(log2(n+1)) + 2` bits (value + sign + tag).
+pub fn bits_per_word(n: u64) -> u64 {
+    (u64::BITS - n.leading_zeros()) as u64 + 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_size_defaults_to_one_word() {
+        assert_eq!(0i64.words(), 1);
+        assert_eq!(().words(), 1);
+        assert_eq!((1i64, 2i64).words(), 2);
+    }
+
+    #[test]
+    fn vec_wire_size_counts_framing() {
+        let v: Vec<i64> = vec![1, 2, 3];
+        assert_eq!(v.words(), 4);
+        let empty: Vec<i64> = vec![];
+        assert_eq!(empty.words(), 1);
+    }
+
+    #[test]
+    fn option_wire_size() {
+        assert_eq!(Some(3i64).words(), 1);
+        assert_eq!(None::<i64>.words(), 0);
+    }
+
+    #[test]
+    fn bits_per_word_grows_logarithmically() {
+        assert_eq!(bits_per_word(0), 2);
+        assert_eq!(bits_per_word(1), 3);
+        assert_eq!(bits_per_word(1023), 12);
+        assert_eq!(bits_per_word(1024), 13);
+        // Doubling n adds one bit.
+        for n in [10u64, 100, 1000, 123_456] {
+            assert_eq!(bits_per_word(2 * n), bits_per_word(n) + 1);
+        }
+    }
+
+    #[test]
+    fn msg_kind_labels_are_distinct() {
+        let mut labels: Vec<&str> = MsgKind::ALL.iter().map(|k| k.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), MsgKind::ALL.len());
+    }
+}

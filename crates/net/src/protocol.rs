@@ -1,0 +1,190 @@
+//! Protocol traits: how algorithms plug into the star network.
+//!
+//! A distributed tracking algorithm is a pair of state machines:
+//!
+//! * a [`SiteNode`] replicated at each of the `k` sites, reacting to stream
+//!   updates and to messages from the coordinator;
+//! * a [`CoordinatorNode`] at the center, reacting to site messages and
+//!   maintaining the estimate `f̂(n)`.
+//!
+//! Nodes communicate exclusively through outboxes; the simulator
+//! ([`crate::sim::StarSim`]) delivers messages and charges them to the
+//! communication ledger. Keeping I/O in outboxes (rather than letting nodes
+//! call each other) is what makes the message accounting exact and the
+//! execution deterministic.
+
+use crate::message::WireSize;
+use crate::{SiteId, Time};
+
+/// Buffer of site→coordinator messages produced during one activation.
+#[derive(Debug)]
+pub struct Outbox<M> {
+    msgs: Vec<M>,
+}
+
+impl<M> Default for Outbox<M> {
+    fn default() -> Self {
+        Outbox { msgs: Vec::new() }
+    }
+}
+
+impl<M> Outbox<M> {
+    /// Create an empty outbox.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queue a message for the coordinator.
+    pub fn send(&mut self, msg: M) {
+        self.msgs.push(msg);
+    }
+
+    /// Number of queued messages.
+    pub fn len(&self) -> usize {
+        self.msgs.len()
+    }
+
+    /// Whether no messages are queued.
+    pub fn is_empty(&self) -> bool {
+        self.msgs.is_empty()
+    }
+
+    /// Drain all queued messages.
+    pub fn drain(&mut self) -> impl Iterator<Item = M> + '_ {
+        self.msgs.drain(..)
+    }
+}
+
+/// A coordinator→sites message with its addressing mode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DownMsg<M> {
+    /// Deliver to a single site. Charged as one message.
+    Unicast(SiteId, M),
+    /// Deliver to every site. Charged as `k` messages.
+    Broadcast(M),
+    /// Deliver to every site, flagged as a report request. Charged as `k`
+    /// messages; kept distinct from `Broadcast` so experiments can report
+    /// the §3.1 "k in requests + k replies" breakdown.
+    Request(M),
+}
+
+/// Buffer of coordinator→site messages produced during one activation.
+#[derive(Debug)]
+pub struct CoordOutbox<M> {
+    msgs: Vec<DownMsg<M>>,
+}
+
+impl<M> Default for CoordOutbox<M> {
+    fn default() -> Self {
+        CoordOutbox { msgs: Vec::new() }
+    }
+}
+
+impl<M> CoordOutbox<M> {
+    /// Create an empty outbox.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queue a unicast to `site`.
+    pub fn unicast(&mut self, site: SiteId, msg: M) {
+        self.msgs.push(DownMsg::Unicast(site, msg));
+    }
+
+    /// Queue a broadcast to all sites.
+    pub fn broadcast(&mut self, msg: M) {
+        self.msgs.push(DownMsg::Broadcast(msg));
+    }
+
+    /// Queue a request to all sites (sites are expected to reply).
+    pub fn request(&mut self, msg: M) {
+        self.msgs.push(DownMsg::Request(msg));
+    }
+
+    /// Number of queued operations (a broadcast counts once here).
+    pub fn len(&self) -> usize {
+        self.msgs.len()
+    }
+
+    /// Whether no operations are queued.
+    pub fn is_empty(&self) -> bool {
+        self.msgs.is_empty()
+    }
+
+    /// Drain all queued operations.
+    pub fn drain(&mut self) -> impl Iterator<Item = DownMsg<M>> + '_ {
+        self.msgs.drain(..)
+    }
+}
+
+/// Per-site half of a distributed tracking protocol.
+pub trait SiteNode {
+    /// Stream update payload: `i64` for counting problems (the increment
+    /// `f'(t)`), `(u64, i64)` for item-frequency problems (item, ±1).
+    type In;
+    /// Site → coordinator payload.
+    type Up: WireSize;
+    /// Coordinator → site payload.
+    type Down: WireSize;
+
+    /// A stream update arrived at this site at time `t`.
+    fn on_update(&mut self, t: Time, input: Self::In, out: &mut Outbox<Self::Up>);
+
+    /// A message from the coordinator arrived. `is_request` is true when the
+    /// message was sent with [`CoordOutbox::request`] addressing; replies
+    /// emitted here are charged as [`crate::MsgKind::Reply`].
+    fn on_down(&mut self, t: Time, msg: &Self::Down, is_request: bool, out: &mut Outbox<Self::Up>);
+}
+
+/// Coordinator half of a distributed tracking protocol.
+pub trait CoordinatorNode {
+    /// Site → coordinator payload (must match the sites').
+    type Up: WireSize;
+    /// Coordinator → site payload (must match the sites').
+    type Down: WireSize;
+
+    /// A message from `site` arrived at time `t`.
+    fn on_up(&mut self, t: Time, site: SiteId, msg: Self::Up, out: &mut CoordOutbox<Self::Down>);
+
+    /// The timestep is about to end (all messages delivered, network
+    /// quiescent). Most protocols do nothing here; it exists so protocols
+    /// can assert end-of-step invariants.
+    fn on_step_end(&mut self, _t: Time) {}
+
+    /// Current estimate `f̂(n)` held at the coordinator.
+    fn estimate(&self) -> i64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outbox_send_and_drain() {
+        let mut ob: Outbox<i64> = Outbox::new();
+        assert!(ob.is_empty());
+        ob.send(1);
+        ob.send(2);
+        assert_eq!(ob.len(), 2);
+        let got: Vec<i64> = ob.drain().collect();
+        assert_eq!(got, vec![1, 2]);
+        assert!(ob.is_empty());
+    }
+
+    #[test]
+    fn coord_outbox_addressing_modes() {
+        let mut ob: CoordOutbox<u64> = CoordOutbox::new();
+        ob.unicast(2, 10);
+        ob.broadcast(20);
+        ob.request(30);
+        let got: Vec<DownMsg<u64>> = ob.drain().collect();
+        assert_eq!(
+            got,
+            vec![
+                DownMsg::Unicast(2, 10),
+                DownMsg::Broadcast(20),
+                DownMsg::Request(30)
+            ]
+        );
+    }
+}

@@ -1,0 +1,240 @@
+//! Driving a tracker over a stream and auditing its guarantees.
+//!
+//! [`TrackerRunner`] feeds a sequence of [`Update`]s to a [`StarSim`],
+//! maintains the ground-truth `f(n)`, and checks the paper's correctness
+//! requirement after **every** timestep:
+//!
+//! * deterministic algorithms: `|f(n) − f̂(n)| ≤ ε·|f(n)|` must always hold
+//!   (with the convention that `f(n) = 0` requires `f̂(n) = 0`);
+//! * randomized algorithms: the same event must hold with probability ≥ 2/3
+//!   at each fixed `n`, so the runner reports the *fraction* of violated
+//!   timesteps instead of failing.
+
+use crate::protocol::{CoordinatorNode, SiteNode};
+use crate::sim::StarSim;
+use crate::stats::CommStats;
+use crate::{Time, Update};
+
+/// Relative error of an estimate, with the `f = 0` convention: zero error
+/// iff the estimate is also zero, otherwise infinite.
+pub fn relative_error(f: i64, fhat: i64) -> f64 {
+    if f == 0 {
+        if fhat == 0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (f - fhat).unsigned_abs() as f64 / f.unsigned_abs() as f64
+    }
+}
+
+/// A sampled point of the tracked trajectory.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorProbe {
+    /// Timestep of the sample.
+    pub time: Time,
+    /// Ground truth `f(t)`.
+    pub f: i64,
+    /// Coordinator estimate `f̂(t)`.
+    pub fhat: i64,
+    /// Relative error at the sample.
+    pub rel_err: f64,
+}
+
+/// Outcome of running a tracker over a whole stream.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Stream length consumed.
+    pub n: u64,
+    /// Ground-truth final value `f(n)`.
+    pub final_f: i64,
+    /// Final coordinator estimate.
+    pub final_estimate: i64,
+    /// Largest relative error observed at any timestep (∞ if `f(t) = 0`
+    /// was ever mis-estimated).
+    pub max_rel_err: f64,
+    /// Number of timesteps where the ε-guarantee was violated.
+    pub violations: u64,
+    /// Number of timesteps where the estimate changed at the coordinator.
+    pub estimate_changes: u64,
+    /// Final communication ledger.
+    pub stats: CommStats,
+    /// Optional sampled trajectory (when `sample_every > 0`).
+    pub probes: Vec<ErrorProbe>,
+}
+
+impl RunReport {
+    /// Fraction of timesteps violating the ε-guarantee.
+    pub fn violation_rate(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.violations as f64 / self.n as f64
+        }
+    }
+}
+
+/// Feeds updates into a simulator and audits the ε-guarantee.
+#[derive(Debug)]
+pub struct TrackerRunner {
+    eps: f64,
+    sample_every: u64,
+}
+
+impl TrackerRunner {
+    /// Create a runner that audits against relative error `eps`.
+    pub fn new(eps: f64) -> Self {
+        assert!(eps > 0.0 && eps < 1.0, "eps must be in (0,1)");
+        TrackerRunner {
+            eps,
+            sample_every: 0,
+        }
+    }
+
+    /// Also record a trajectory sample every `every` timesteps (0 = never).
+    pub fn with_sampling(mut self, every: u64) -> Self {
+        self.sample_every = every;
+        self
+    }
+
+    /// The audited ε.
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    /// Run `sim` over `updates`, checking the guarantee after every step.
+    pub fn run<S, C>(&self, sim: &mut StarSim<S, C>, updates: &[Update]) -> RunReport
+    where
+        S: SiteNode<In = i64>,
+        C: CoordinatorNode<Up = S::Up, Down = S::Down>,
+    {
+        let mut f = 0i64;
+        let mut max_rel_err = 0.0f64;
+        let mut violations = 0u64;
+        let mut estimate_changes = 0u64;
+        let mut last_estimate = sim.estimate();
+        let mut probes = Vec::new();
+
+        for u in updates {
+            f += u.delta;
+            let fhat = sim.step(u.site, u.delta);
+            if fhat != last_estimate {
+                estimate_changes += 1;
+                last_estimate = fhat;
+            }
+            let err = relative_error(f, fhat);
+            if err > max_rel_err {
+                max_rel_err = err;
+            }
+            // Use a tiny slack for the ≤ comparison to avoid counting
+            // floating-point round-off as a violation of an exact bound.
+            if err > self.eps * (1.0 + 1e-12) {
+                violations += 1;
+            }
+            if self.sample_every > 0 && u.time % self.sample_every == 0 {
+                probes.push(ErrorProbe {
+                    time: u.time,
+                    f,
+                    fhat,
+                    rel_err: err,
+                });
+            }
+        }
+
+        RunReport {
+            n: updates.len() as u64,
+            final_f: f,
+            final_estimate: sim.estimate(),
+            max_rel_err,
+            violations,
+            estimate_changes,
+            stats: sim.stats().clone(),
+            probes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{CoordOutbox, Outbox};
+    use crate::SiteId;
+
+    #[test]
+    fn relative_error_conventions() {
+        assert_eq!(relative_error(0, 0), 0.0);
+        assert!(relative_error(0, 1).is_infinite());
+        assert!((relative_error(10, 9) - 0.1).abs() < 1e-12);
+        assert!((relative_error(-10, -9) - 0.1).abs() < 1e-12);
+        assert!((relative_error(-10, -11) - 0.1).abs() < 1e-12);
+    }
+
+    /// Exact forwarding protocol for runner auditing.
+    struct FwdSite;
+    struct FwdCoord {
+        sum: i64,
+    }
+    impl crate::protocol::SiteNode for FwdSite {
+        type In = i64;
+        type Up = i64;
+        type Down = ();
+        fn on_update(&mut self, _t: Time, d: i64, out: &mut Outbox<i64>) {
+            out.send(d);
+        }
+        fn on_down(&mut self, _t: Time, _m: &(), _r: bool, _o: &mut Outbox<i64>) {}
+    }
+    impl crate::protocol::CoordinatorNode for FwdCoord {
+        type Up = i64;
+        type Down = ();
+        fn on_up(&mut self, _t: Time, _s: SiteId, m: i64, _o: &mut CoordOutbox<()>) {
+            self.sum += m;
+        }
+        fn estimate(&self) -> i64 {
+            self.sum
+        }
+    }
+
+    fn walk_updates(n: u64, k: usize) -> Vec<Update> {
+        (1..=n)
+            .map(|t| Update::new(t, (t as usize * 7 + 3) % k, if t % 2 == 0 { 1 } else { -1 }))
+            .collect()
+    }
+
+    #[test]
+    fn exact_tracker_never_violates() {
+        let updates = walk_updates(500, 4);
+        let mut sim = StarSim::with_k(4, |_| FwdSite, FwdCoord { sum: 0 });
+        let report = TrackerRunner::new(0.1).with_sampling(100).run(&mut sim, &updates);
+        assert_eq!(report.n, 500);
+        assert_eq!(report.violations, 0);
+        assert_eq!(report.max_rel_err, 0.0);
+        assert_eq!(report.final_f, report.final_estimate);
+        assert_eq!(report.probes.len(), 5);
+        assert_eq!(report.stats.total_messages(), 500);
+        assert_eq!(report.violation_rate(), 0.0);
+    }
+
+    /// A coordinator that never updates (estimate stuck at 0) must rack up
+    /// violations once f departs from 0.
+    struct DeafCoord;
+    impl crate::protocol::CoordinatorNode for DeafCoord {
+        type Up = i64;
+        type Down = ();
+        fn on_up(&mut self, _t: Time, _s: SiteId, _m: i64, _o: &mut CoordOutbox<()>) {}
+        fn estimate(&self) -> i64 {
+            0
+        }
+    }
+
+    #[test]
+    fn stuck_tracker_is_flagged() {
+        // Monotone stream: f(t) = t, estimate stays 0 → violation at every t.
+        let updates: Vec<Update> = (1..=100).map(|t| Update::new(t, 0, 1)).collect();
+        let mut sim = StarSim::with_k(1, |_| FwdSite, DeafCoord);
+        let report = TrackerRunner::new(0.5).run(&mut sim, &updates);
+        assert_eq!(report.violations, 100);
+        assert!(report.max_rel_err >= 1.0);
+        assert_eq!(report.violation_rate(), 1.0);
+    }
+}

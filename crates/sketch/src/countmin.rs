@@ -1,0 +1,254 @@
+//! The Count-Min sketch (Cormode & Muthukrishnan, reference [3]).
+//!
+//! A `d × w` array of counters with one pairwise-independent hash per row.
+//! On strict-turnstile streams (all true frequencies non-negative) the
+//! min-over-rows point query never under-estimates and over-estimates by
+//! more than `e·F1/w` with probability at least `1 − e^{−d}` per query.
+//!
+//! Appendix H uses a Count-Min with `27/ε` counters per row so each
+//! `f_ℓ(n)` is within `ε·F1(n)/3` with probability ≥ 8/9; the sketch is
+//! linear, so each site can run one and the coordinator combines them.
+
+use crate::hash::HashFamily;
+use crate::FreqSketch;
+
+/// Count-Min sketch with `i64` counters (supports deletions).
+#[derive(Debug, Clone)]
+pub struct CountMin {
+    hashes: HashFamily,
+    rows: usize,
+    width: u64,
+    table: Vec<i64>, // rows × width, row-major
+}
+
+impl CountMin {
+    /// Create a `rows × width` sketch seeded deterministically.
+    pub fn new(rows: usize, width: u64, seed: u64) -> Self {
+        assert!(rows >= 1 && width >= 1);
+        CountMin {
+            hashes: HashFamily::new(rows, width, seed),
+            rows,
+            width,
+            table: vec![0i64; rows * width as usize],
+        }
+    }
+
+    /// Shape for guarantee "error ≤ eps_frac·F1 w.p. ≥ 1 − delta":
+    /// `width = ⌈e/eps_frac⌉`, `rows = ⌈ln(1/delta)⌉`.
+    pub fn for_guarantee(eps_frac: f64, delta: f64, seed: u64) -> Self {
+        assert!(eps_frac > 0.0 && eps_frac < 1.0);
+        assert!(delta > 0.0 && delta < 1.0);
+        let width = (std::f64::consts::E / eps_frac).ceil() as u64;
+        let rows = (1.0 / delta).ln().ceil().max(1.0) as usize;
+        Self::new(rows, width, seed)
+    }
+
+    /// The Appendix H shape: `27/ε` counters per row so that the per-item
+    /// error is at most `ε·F1/3` with probability ≥ 8/9 (one row has
+    /// failure probability `e·(ε/27)/(ε/3) = e/9 ≈ 0.30`; three rows give
+    /// ≤ 1/9 by the min bound). We use 3 rows.
+    pub fn appendix_h(eps: f64, seed: u64) -> Self {
+        assert!(eps > 0.0 && eps < 1.0);
+        Self::new(3, (27.0 / eps).ceil() as u64, seed)
+    }
+
+    /// Number of rows `d`.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Row width `w`.
+    pub fn width(&self) -> u64 {
+        self.width
+    }
+
+    #[inline]
+    fn idx(&self, row: usize, col: u64) -> usize {
+        row * self.width as usize + col as usize
+    }
+
+    /// Two sketches are mergeable iff same shape and same hash functions.
+    pub fn same_shape(&self, other: &Self) -> bool {
+        self.rows == other.rows
+            && self.width == other.width
+            && self.hashes.functions() == other.hashes.functions()
+    }
+
+    /// Direct access to a row's counters (diagnostics / tests).
+    pub fn row(&self, row: usize) -> &[i64] {
+        &self.table[row * self.width as usize..(row + 1) * self.width as usize]
+    }
+}
+
+impl FreqSketch for CountMin {
+    fn update(&mut self, item: u64, delta: i64) {
+        for r in 0..self.rows {
+            let c = self.hashes.hash(r, item);
+            let i = self.idx(r, c);
+            self.table[i] += delta;
+        }
+    }
+
+    /// Min over rows — on strict-turnstile streams this never
+    /// under-estimates.
+    fn estimate(&self, item: u64) -> i64 {
+        (0..self.rows)
+            .map(|r| self.table[self.idx(r, self.hashes.hash(r, item))])
+            .min()
+            .expect("rows >= 1")
+    }
+
+    fn merge(&mut self, other: &Self) {
+        assert!(self.same_shape(other), "incompatible Count-Min shapes");
+        for (a, b) in self.table.iter_mut().zip(other.table.iter()) {
+            *a += b;
+        }
+    }
+
+    fn space_words(&self) -> usize {
+        // Counters plus 2 words per hash function (a, b).
+        self.table.len() + 2 * self.rows
+    }
+
+    fn clear(&mut self) {
+        self.table.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use std::collections::HashMap;
+
+    fn zipfish_workload(n: usize, universe: u64, seed: u64) -> Vec<(u64, i64)> {
+        // Skewed inserts with occasional deletes of previously-inserted items.
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut live: Vec<u64> = Vec::new();
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            if !live.is_empty() && rng.gen_bool(0.25) {
+                let pos = rng.gen_range(0..live.len());
+                let item = live.swap_remove(pos);
+                out.push((item, -1));
+            } else {
+                // Quadratically skewed item choice.
+                let r: f64 = rng.gen();
+                let item = ((r * r) * universe as f64) as u64;
+                live.push(item);
+                out.push((item, 1));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn never_underestimates_on_strict_turnstile() {
+        let mut cm = CountMin::new(4, 128, 9);
+        let mut truth: HashMap<u64, i64> = HashMap::new();
+        let mut f1 = 0i64;
+        for (item, delta) in zipfish_workload(20_000, 5_000, 3) {
+            cm.update(item, delta);
+            *truth.entry(item).or_insert(0) += delta;
+            f1 += delta;
+        }
+        assert!(f1 > 0);
+        for (&item, &t) in &truth {
+            assert!(t >= 0, "strict turnstile violated by workload");
+            assert!(cm.estimate(item) >= t, "under-estimate for {item}");
+        }
+    }
+
+    #[test]
+    fn error_bounded_by_e_f1_over_w() {
+        let width = 256u64;
+        let mut cm = CountMin::new(5, width, 1);
+        let mut truth: HashMap<u64, i64> = HashMap::new();
+        let mut f1 = 0i64;
+        for (item, delta) in zipfish_workload(30_000, 10_000, 7) {
+            cm.update(item, delta);
+            *truth.entry(item).or_insert(0) += delta;
+            f1 += delta;
+        }
+        let bound = (std::f64::consts::E * f1 as f64 / width as f64).ceil() as i64;
+        let mut failures = 0usize;
+        for (&item, &t) in &truth {
+            if cm.estimate(item) - t > bound {
+                failures += 1;
+            }
+        }
+        // Per-query failure probability ≤ e^-5 < 0.7%; allow 2% slack.
+        assert!(
+            failures <= truth.len() / 50,
+            "{failures}/{} beyond bound",
+            truth.len()
+        );
+    }
+
+    #[test]
+    fn merge_equals_union_stream() {
+        let mut a = CountMin::new(3, 64, 5);
+        let mut b = CountMin::new(3, 64, 5);
+        let mut whole = CountMin::new(3, 64, 5);
+        for (i, (item, delta)) in zipfish_workload(5_000, 1000, 11).into_iter().enumerate() {
+            if i % 2 == 0 {
+                a.update(item, delta);
+            } else {
+                b.update(item, delta);
+            }
+            whole.update(item, delta);
+        }
+        a.merge(&b);
+        for item in 0..1000u64 {
+            assert_eq!(a.estimate(item), whole.estimate(item));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible")]
+    fn merge_rejects_different_seeds() {
+        let mut a = CountMin::new(3, 64, 1);
+        let b = CountMin::new(3, 64, 2);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn clear_resets_counts() {
+        let mut cm = CountMin::new(2, 16, 0);
+        cm.update(3, 10);
+        cm.clear();
+        assert_eq!(cm.estimate(3), 0);
+    }
+
+    #[test]
+    fn guarantee_constructor_shapes() {
+        let cm = CountMin::for_guarantee(0.01, 0.01, 0);
+        assert!(cm.width() >= 272); // e/0.01 ≈ 271.8
+        assert!(cm.rows() >= 5); // ln 100 ≈ 4.6
+        let ah = CountMin::appendix_h(0.1, 0);
+        assert_eq!(ah.width(), 270);
+        assert_eq!(ah.rows(), 3);
+    }
+
+    #[test]
+    fn space_words_counts_table_and_hashes() {
+        let cm = CountMin::new(3, 64, 0);
+        assert_eq!(cm.space_words(), 3 * 64 + 6);
+    }
+
+    #[test]
+    fn deletions_cancel_insertions_exactly() {
+        let mut cm = CountMin::new(4, 32, 13);
+        for item in 0..100u64 {
+            cm.update(item, 5);
+        }
+        for item in 0..100u64 {
+            cm.update(item, -5);
+        }
+        // Sketch is linear: all counters return to zero.
+        for r in 0..cm.rows() {
+            assert!(cm.row(r).iter().all(|&c| c == 0));
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Exact frequency map — ground truth and the "per-item counters" variant
+//! of Appendix H (space `O(|U|)` per site, which the sketches replace).
+
+use crate::FreqSketch;
+use std::collections::HashMap;
+
+/// Exact per-item counts with `F1` maintenance.
+#[derive(Debug, Clone, Default)]
+pub struct ExactCounts {
+    counts: HashMap<u64, i64>,
+    f1: i64,
+}
+
+impl ExactCounts {
+    /// Empty dataset.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The first frequency moment `F1 = Σ_ℓ f_ℓ` (= `|D|` for item
+    /// streams).
+    pub fn f1(&self) -> i64 {
+        self.f1
+    }
+
+    /// Number of items with non-zero frequency.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Iterate over `(item, frequency)` pairs with non-zero frequency.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, i64)> + '_ {
+        self.counts.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Items whose frequency is at least `threshold`.
+    pub fn heavy_hitters(&self, threshold: i64) -> Vec<(u64, i64)> {
+        let mut out: Vec<(u64, i64)> = self
+            .counts
+            .iter()
+            .filter(|&(_, &v)| v >= threshold)
+            .map(|(&k, &v)| (k, v))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+impl FreqSketch for ExactCounts {
+    fn update(&mut self, item: u64, delta: i64) {
+        self.f1 += delta;
+        let e = self.counts.entry(item).or_insert(0);
+        *e += delta;
+        if *e == 0 {
+            self.counts.remove(&item);
+        }
+    }
+
+    fn estimate(&self, item: u64) -> i64 {
+        self.counts.get(&item).copied().unwrap_or(0)
+    }
+
+    fn merge(&mut self, other: &Self) {
+        for (&item, &v) in &other.counts {
+            self.update(item, v);
+        }
+    }
+
+    fn space_words(&self) -> usize {
+        // Two words (key, count) per stored item.
+        2 * self.counts.len()
+    }
+
+    fn clear(&mut self) {
+        self.counts.clear();
+        self.f1 = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_counts_and_f1() {
+        let mut ex = ExactCounts::new();
+        ex.update(1, 3);
+        ex.update(2, 2);
+        ex.update(1, -1);
+        assert_eq!(ex.estimate(1), 2);
+        assert_eq!(ex.estimate(2), 2);
+        assert_eq!(ex.estimate(99), 0);
+        assert_eq!(ex.f1(), 4);
+        assert_eq!(ex.distinct(), 2);
+    }
+
+    #[test]
+    fn zero_counts_are_evicted() {
+        let mut ex = ExactCounts::new();
+        ex.update(7, 5);
+        ex.update(7, -5);
+        assert_eq!(ex.distinct(), 0);
+        assert_eq!(ex.space_words(), 0);
+        assert_eq!(ex.f1(), 0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = ExactCounts::new();
+        let mut b = ExactCounts::new();
+        a.update(1, 2);
+        b.update(1, 3);
+        b.update(2, 1);
+        a.merge(&b);
+        assert_eq!(a.estimate(1), 5);
+        assert_eq!(a.estimate(2), 1);
+        assert_eq!(a.f1(), 6);
+    }
+
+    #[test]
+    fn heavy_hitters_sorted_and_filtered() {
+        let mut ex = ExactCounts::new();
+        for (item, c) in [(5u64, 10i64), (1, 3), (9, 10), (2, 1)] {
+            ex.update(item, c);
+        }
+        assert_eq!(ex.heavy_hitters(4), vec![(5, 10), (9, 10)]);
+        assert_eq!(ex.heavy_hitters(1).len(), 4);
+    }
+}

@@ -1,0 +1,214 @@
+//! Pairwise-independent hashing.
+//!
+//! Appendix H reduces the item universe `U` to a small number of counters
+//! "using a pairwise-independent hash function h". We implement the classic
+//! Carter–Wegman construction `h(x) = ((a·x + b) mod p) mod w` over the
+//! Mersenne prime `p = 2^61 − 1`, with fast modular reduction.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The Mersenne prime `2^61 − 1` used as the hash field.
+pub const MERSENNE61: u64 = (1u64 << 61) - 1;
+
+/// Reduce a 128-bit value modulo `2^61 − 1` using the Mersenne identity
+/// `2^61 ≡ 1 (mod p)`.
+#[inline]
+fn mod_mersenne61(x: u128) -> u64 {
+    let p = MERSENNE61 as u128;
+    // Fold twice in 128 bits: x = hi·2^61 + lo ≡ hi + lo (mod p). After the
+    // first fold the value is < 2^68; after the second it is < p + 128, so
+    // one conditional subtraction finishes the reduction.
+    let x = (x >> 61) + (x & p);
+    let x = (x >> 61) + (x & p);
+    let mut s = x as u64;
+    if s >= MERSENNE61 {
+        s -= MERSENNE61;
+    }
+    s
+}
+
+/// A single pairwise-independent hash function into `0..w`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PairwiseHash {
+    a: u64,
+    b: u64,
+    w: u64,
+}
+
+impl PairwiseHash {
+    /// Draw a random function into `0..w` (w ≥ 1) from the family.
+    pub fn random<R: Rng>(w: u64, rng: &mut R) -> Self {
+        assert!(w >= 1);
+        PairwiseHash {
+            a: rng.gen_range(1..MERSENNE61),
+            b: rng.gen_range(0..MERSENNE61),
+            w,
+        }
+    }
+
+    /// Construct with explicit coefficients (for tests / reproducibility).
+    pub fn with_coefficients(a: u64, b: u64, w: u64) -> Self {
+        assert!((1..MERSENNE61).contains(&a) && b < MERSENNE61 && w >= 1);
+        PairwiseHash { a, b, w }
+    }
+
+    /// Range size `w`.
+    pub fn range(&self) -> u64 {
+        self.w
+    }
+
+    /// Evaluate the hash.
+    #[inline]
+    pub fn hash(&self, x: u64) -> u64 {
+        // Inputs ≥ p are first reduced; this keeps pairwise independence on
+        // the sub-universe [0, p) which covers all practical item ids.
+        let x = x % MERSENNE61;
+        let v = mod_mersenne61(self.a as u128 * x as u128 + self.b as u128);
+        v % self.w
+    }
+}
+
+/// An indexed family of independent pairwise hash functions, one per sketch
+/// row, all derived deterministically from one seed.
+#[derive(Debug, Clone)]
+pub struct HashFamily {
+    fns: Vec<PairwiseHash>,
+}
+
+impl HashFamily {
+    /// `rows` independent functions into `0..w`, derived from `seed`.
+    pub fn new(rows: usize, w: u64, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        HashFamily {
+            fns: (0..rows).map(|_| PairwiseHash::random(w, &mut rng)).collect(),
+        }
+    }
+
+    /// Number of functions.
+    pub fn rows(&self) -> usize {
+        self.fns.len()
+    }
+
+    /// Evaluate function `row` on `x`.
+    #[inline]
+    pub fn hash(&self, row: usize, x: u64) -> u64 {
+        self.fns[row].hash(x)
+    }
+
+    /// Access the underlying functions.
+    pub fn functions(&self) -> &[PairwiseHash] {
+        &self.fns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mersenne_reduction_matches_naive() {
+        let cases: Vec<u128> = vec![
+            0,
+            1,
+            MERSENNE61 as u128 - 1,
+            MERSENNE61 as u128,
+            MERSENNE61 as u128 + 1,
+            u64::MAX as u128,
+            u128::from(u64::MAX) * u128::from(u64::MAX),
+            (MERSENNE61 as u128) * (MERSENNE61 as u128),
+        ];
+        for x in cases {
+            assert_eq!(
+                mod_mersenne61(x) as u128,
+                x % MERSENNE61 as u128,
+                "x = {x}"
+            );
+        }
+    }
+
+    #[test]
+    fn hash_is_deterministic_and_in_range() {
+        let h = PairwiseHash::with_coefficients(12345, 6789, 97);
+        for x in 0..10_000u64 {
+            let v = h.hash(x);
+            assert!(v < 97);
+            assert_eq!(v, h.hash(x));
+        }
+    }
+
+    #[test]
+    fn identity_like_function_behaves() {
+        // a = 1, b = 0, w = p: h(x) = x for x < p.
+        let h = PairwiseHash::with_coefficients(1, 0, MERSENNE61);
+        for x in [0u64, 1, 17, 1 << 40, MERSENNE61 - 1] {
+            assert_eq!(h.hash(x), x);
+        }
+    }
+
+    /// Empirical pairwise-collision check: for random functions into w
+    /// buckets, P(h(x) = h(y)) ≈ 1/w for x ≠ y.
+    #[test]
+    fn collision_probability_close_to_uniform() {
+        let w = 64u64;
+        let trials = 4000usize;
+        let mut rng = SmallRng::seed_from_u64(2024);
+        let mut collisions = 0usize;
+        for _ in 0..trials {
+            let h = PairwiseHash::random(w, &mut rng);
+            if h.hash(101) == h.hash(9_999_999) {
+                collisions += 1;
+            }
+        }
+        let p = collisions as f64 / trials as f64;
+        let expect = 1.0 / w as f64;
+        assert!(
+            (p - expect).abs() < 4.0 * (expect / trials as f64).sqrt() + 0.01,
+            "collision rate {p} vs expected {expect}"
+        );
+    }
+
+    /// Buckets should be close to uniformly loaded for sequential keys.
+    #[test]
+    fn sequential_keys_spread_evenly() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let w = 16u64;
+        let h = PairwiseHash::random(w, &mut rng);
+        let n = 16_000u64;
+        let mut counts = vec![0u64; w as usize];
+        for x in 0..n {
+            counts[h.hash(x) as usize] += 1;
+        }
+        let expect = n / w;
+        for (b, &c) in counts.iter().enumerate() {
+            assert!(
+                c > expect / 2 && c < expect * 2,
+                "bucket {b} has {c}, expected ≈ {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn family_functions_differ() {
+        let fam = HashFamily::new(8, 1024, 7);
+        assert_eq!(fam.rows(), 8);
+        // Distinct rows disagree somewhere on a small probe set.
+        for i in 0..8 {
+            for j in (i + 1)..8 {
+                let differs = (0..64u64).any(|x| fam.hash(i, x) != fam.hash(j, x));
+                assert!(differs, "rows {i} and {j} identical");
+            }
+        }
+    }
+
+    #[test]
+    fn family_is_seed_deterministic() {
+        let a = HashFamily::new(4, 100, 99);
+        let b = HashFamily::new(4, 100, 99);
+        for row in 0..4 {
+            for x in 0..1000u64 {
+                assert_eq!(a.hash(row, x), b.hash(row, x));
+            }
+        }
+    }
+}

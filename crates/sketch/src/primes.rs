@@ -1,0 +1,108 @@
+//! Small prime utilities for CR-precis row moduli.
+
+/// Deterministic Miller–Rabin primality test, exact for all `u64` using the
+/// standard 12-witness base set.
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n.is_multiple_of(p) {
+            return false;
+        }
+    }
+    // n-1 = d * 2^s with d odd.
+    let mut d = n - 1;
+    let mut s = 0u32;
+    while d.is_multiple_of(2) {
+        d /= 2;
+        s += 1;
+    }
+    'witness: for a in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = pow_mod(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..s - 1 {
+            x = mul_mod(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+fn mul_mod(a: u64, b: u64, m: u64) -> u64 {
+    ((a as u128 * b as u128) % m as u128) as u64
+}
+
+fn pow_mod(mut base: u64, mut exp: u64, m: u64) -> u64 {
+    let mut acc = 1u64 % m;
+    base %= m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul_mod(acc, base, m);
+        }
+        base = mul_mod(base, base, m);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// The first `count` primes that are ≥ `start`.
+pub fn primes_from(start: u64, count: usize) -> Vec<u64> {
+    let mut out = Vec::with_capacity(count);
+    let mut n = start.max(2);
+    while out.len() < count {
+        if is_prime(n) {
+            out.push(n);
+        }
+        n += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_primes_classified() {
+        let primes: Vec<u64> = (0..60).filter(|&n| is_prime(n)).collect();
+        assert_eq!(
+            primes,
+            vec![2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59]
+        );
+    }
+
+    #[test]
+    fn known_large_primes_and_composites() {
+        assert!(is_prime((1u64 << 61) - 1)); // Mersenne prime M61
+        assert!(is_prime(4_294_967_311)); // first prime > 2^32
+        assert!(!is_prime(4_294_967_297)); // F5 = 641 × 6700417
+        assert!(!is_prime(u64::MAX)); // 3 · 5 · 17 · ...
+        assert!(is_prime(18_446_744_073_709_551_557)); // largest u64 prime
+    }
+
+    #[test]
+    fn primes_from_is_sorted_distinct_and_geq_start() {
+        let ps = primes_from(100, 20);
+        assert_eq!(ps.len(), 20);
+        assert!(ps[0] >= 100);
+        assert!(ps.windows(2).all(|w| w[0] < w[1]));
+        assert!(ps.iter().all(|&p| is_prime(p)));
+        assert_eq!(ps[0], 101);
+    }
+
+    #[test]
+    fn carmichael_numbers_rejected() {
+        for c in [561u64, 1105, 1729, 2465, 2821, 6601, 8911, 41041, 825265] {
+            assert!(!is_prime(c), "{c} is Carmichael, not prime");
+        }
+    }
+}

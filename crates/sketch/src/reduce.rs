@@ -1,0 +1,334 @@
+//! Counter reductions for distributed frequency tracking — Appendix H.
+//!
+//! The distributed frequency tracker does not ship whole sketches around;
+//! instead, Appendix H says: *"we can first reduce our set of items ℓ to a
+//! small number of counters c, and instead of tracking f_iℓ we track f_ic
+//! for each counter c"*. A [`CounterMap`] is exactly that reduction: a
+//! fixed mapping from items to the (one or more) counters they touch, plus
+//! the rule for re-assembling an item estimate from estimated counters.
+//!
+//! Three reductions cover the paper's three variants:
+//!
+//! * [`IdentityMap`] — one counter per item (the exact algorithm of
+//!   H.0.1; space `O(|U|)`);
+//! * [`CountMinMap`] — Count-Min rows with pairwise-independent hashing;
+//!   item estimate = min over rows (randomized, `≥ 8/9` per-item);
+//! * [`CrPrecisMap`] — CR-precis prime-modulus rows; item estimate =
+//!   average over rows (deterministic, linear).
+
+use crate::hash::HashFamily;
+use crate::primes::primes_from;
+
+/// A static item→counters reduction with an estimate-assembly rule.
+pub trait CounterMap {
+    /// Total number of counters `C`.
+    fn counters(&self) -> usize;
+
+    /// Append the counter indices touched by `item` to `out` (one per
+    /// row; [`IdentityMap`] appends exactly one).
+    fn map(&self, item: u64, out: &mut Vec<u32>);
+
+    /// Assemble an item-frequency estimate from the full estimated counter
+    /// vector.
+    fn assemble(&self, item: u64, counters: &[i64]) -> i64;
+
+    /// Words of static description that must be shared between sites and
+    /// coordinator (hash coefficients / moduli) — the `O(k·log|U|)` setup
+    /// cost Appendix H mentions.
+    fn setup_words(&self) -> usize;
+
+    /// Number of counters each update touches (= rows).
+    fn rows(&self) -> usize;
+}
+
+/// One counter per item: the exact per-item algorithm of H.0.1.
+#[derive(Debug, Clone)]
+pub struct IdentityMap {
+    universe: usize,
+}
+
+impl IdentityMap {
+    /// Over a universe of `universe` items.
+    pub fn new(universe: usize) -> Self {
+        assert!(universe >= 1);
+        IdentityMap { universe }
+    }
+}
+
+impl CounterMap for IdentityMap {
+    fn counters(&self) -> usize {
+        self.universe
+    }
+    fn map(&self, item: u64, out: &mut Vec<u32>) {
+        assert!((item as usize) < self.universe, "item out of universe");
+        out.push(item as u32);
+    }
+    fn assemble(&self, item: u64, counters: &[i64]) -> i64 {
+        counters[item as usize]
+    }
+    fn setup_words(&self) -> usize {
+        1 // just |U|
+    }
+    fn rows(&self) -> usize {
+        1
+    }
+}
+
+/// Count-Min-shaped reduction: `rows × width` counters, min-assembly.
+#[derive(Debug, Clone)]
+pub struct CountMinMap {
+    hashes: HashFamily,
+    rows: usize,
+    width: u64,
+}
+
+impl CountMinMap {
+    /// `rows` rows of `width` counters, hashes derived from `seed`.
+    pub fn new(rows: usize, width: u64, seed: u64) -> Self {
+        assert!(rows >= 1 && width >= 1);
+        CountMinMap {
+            hashes: HashFamily::new(rows, width, seed),
+            rows,
+            width,
+        }
+    }
+
+    /// The Appendix H shape: 3 rows of `27/ε` counters (per-item error
+    /// ≤ ε·F1/3 w.p. ≥ 8/9).
+    pub fn appendix_h(eps: f64, seed: u64) -> Self {
+        assert!(eps > 0.0 && eps < 1.0);
+        Self::new(3, (27.0 / eps).ceil() as u64, seed)
+    }
+}
+
+impl CounterMap for CountMinMap {
+    fn counters(&self) -> usize {
+        self.rows * self.width as usize
+    }
+    fn map(&self, item: u64, out: &mut Vec<u32>) {
+        for r in 0..self.rows {
+            out.push((r as u64 * self.width + self.hashes.hash(r, item)) as u32);
+        }
+    }
+    fn assemble(&self, item: u64, counters: &[i64]) -> i64 {
+        (0..self.rows)
+            .map(|r| counters[(r as u64 * self.width + self.hashes.hash(r, item)) as usize])
+            .min()
+            .expect("rows >= 1")
+    }
+    fn setup_words(&self) -> usize {
+        2 * self.rows + 2 // (a, b) per row + shape
+    }
+    fn rows(&self) -> usize {
+        self.rows
+    }
+}
+
+/// CR-precis-shaped reduction: prime-modulus rows, average-assembly
+/// (deterministic; the paper's linear variant).
+#[derive(Debug, Clone)]
+pub struct CrPrecisMap {
+    moduli: Vec<u64>,
+    offsets: Vec<u32>,
+    total: usize,
+}
+
+impl CrPrecisMap {
+    /// `rows` rows with prime moduli starting at the first prime ≥
+    /// `min_width`.
+    pub fn new(rows: usize, min_width: u64) -> Self {
+        assert!(rows >= 1 && min_width >= 2);
+        let moduli = primes_from(min_width, rows);
+        let mut offsets = Vec::with_capacity(rows);
+        let mut total = 0usize;
+        for &p in &moduli {
+            offsets.push(total as u32);
+            total += p as usize;
+        }
+        CrPrecisMap {
+            moduli,
+            offsets,
+            total,
+        }
+    }
+
+    /// Shape guaranteeing deterministic per-item error ≤ `eps_frac·F1`
+    /// (see `CrPrecis::for_guarantee` for the derivation).
+    pub fn for_guarantee(eps_frac: f64, universe: u64) -> Self {
+        assert!(eps_frac > 0.0 && eps_frac < 1.0);
+        let min_width = (1.0 / eps_frac).ceil().max(2.0) as u64;
+        let collide = ((universe as f64).ln() / (min_width as f64).ln()).max(1.0);
+        let rows = (collide / eps_frac).ceil() as usize;
+        Self::new(rows, min_width)
+    }
+
+    /// Deterministic per-item assembly error bound for first moment `f1`
+    /// over a universe of `universe` items.
+    pub fn error_bound(&self, f1: i64, universe: u64) -> f64 {
+        let p1 = self.moduli[0] as f64;
+        let collide = ((universe as f64).ln() / p1.ln()).max(0.0);
+        f1.max(0) as f64 * collide / self.moduli.len() as f64
+    }
+}
+
+impl CounterMap for CrPrecisMap {
+    fn counters(&self) -> usize {
+        self.total
+    }
+    fn map(&self, item: u64, out: &mut Vec<u32>) {
+        for (i, &p) in self.moduli.iter().enumerate() {
+            out.push(self.offsets[i] + (item % p) as u32);
+        }
+    }
+    fn assemble(&self, item: u64, counters: &[i64]) -> i64 {
+        let t = self.moduli.len() as i64;
+        let sum: i64 = self
+            .moduli
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| counters[(self.offsets[i] + (item % p) as u32) as usize])
+            .sum();
+        if sum >= 0 {
+            (sum + t / 2) / t
+        } else {
+            -((-sum + t / 2) / t)
+        }
+    }
+    fn setup_words(&self) -> usize {
+        self.moduli.len() + 1
+    }
+    fn rows(&self) -> usize {
+        self.moduli.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use std::collections::HashMap;
+
+    fn apply_stream<M: CounterMap>(map: &M, stream: &[(u64, i64)]) -> Vec<i64> {
+        let mut counters = vec![0i64; map.counters()];
+        let mut idx = Vec::new();
+        for &(item, delta) in stream {
+            idx.clear();
+            map.map(item, &mut idx);
+            for &c in &idx {
+                counters[c as usize] += delta;
+            }
+        }
+        counters
+    }
+
+    fn random_stream(n: usize, universe: u64, seed: u64) -> (Vec<(u64, i64)>, HashMap<u64, i64>) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut live: Vec<u64> = Vec::new();
+        let mut truth: HashMap<u64, i64> = HashMap::new();
+        let mut stream = Vec::with_capacity(n);
+        for _ in 0..n {
+            if !live.is_empty() && rng.gen_bool(0.3) {
+                let pos = rng.gen_range(0..live.len());
+                let item = live.swap_remove(pos);
+                stream.push((item, -1));
+                *truth.get_mut(&item).unwrap() -= 1;
+            } else {
+                let r: f64 = rng.gen();
+                let item = ((r * r) * universe as f64) as u64;
+                live.push(item);
+                stream.push((item, 1));
+                *truth.entry(item).or_insert(0) += 1;
+            }
+        }
+        (stream, truth)
+    }
+
+    #[test]
+    fn identity_map_is_exact() {
+        let map = IdentityMap::new(1000);
+        let (stream, truth) = random_stream(10_000, 1000, 1);
+        let counters = apply_stream(&map, &stream);
+        for item in 0..1000u64 {
+            assert_eq!(
+                map.assemble(item, &counters),
+                truth.get(&item).copied().unwrap_or(0)
+            );
+        }
+        assert_eq!(map.rows(), 1);
+    }
+
+    #[test]
+    fn countmin_map_matches_countmin_sketch() {
+        use crate::{CountMin, FreqSketch};
+        let (stream, _) = random_stream(5_000, 2_000, 5);
+        let map = CountMinMap::new(3, 64, 42);
+        let mut cm = CountMin::new(3, 64, 42);
+        let counters = apply_stream(&map, &stream);
+        for &(item, delta) in &stream {
+            cm.update(item, delta);
+        }
+        for item in 0..2_000u64 {
+            assert_eq!(map.assemble(item, &counters), cm.estimate(item));
+        }
+    }
+
+    #[test]
+    fn crprecis_map_matches_crprecis_sketch() {
+        use crate::{CrPrecis, FreqSketch};
+        let (stream, _) = random_stream(5_000, 2_000, 9);
+        let map = CrPrecisMap::new(4, 30);
+        let mut cr = CrPrecis::new(4, 30);
+        let counters = apply_stream(&map, &stream);
+        for &(item, delta) in &stream {
+            cr.update(item, delta);
+        }
+        for item in 0..2_000u64 {
+            assert_eq!(map.assemble(item, &counters), cr.estimate(item));
+        }
+    }
+
+    #[test]
+    fn countmin_never_underestimates_nonnegative_truth() {
+        let map = CountMinMap::appendix_h(0.1, 7);
+        let (stream, truth) = random_stream(20_000, 5_000, 11);
+        let counters = apply_stream(&map, &stream);
+        for (&item, &t) in &truth {
+            assert!(t >= 0);
+            assert!(map.assemble(item, &counters) >= t);
+        }
+    }
+
+    #[test]
+    fn crprecis_guarantee_shape_bound() {
+        let universe = 5_000u64;
+        let map = CrPrecisMap::for_guarantee(0.25, universe);
+        let (stream, truth) = random_stream(20_000, universe, 13);
+        let counters = apply_stream(&map, &stream);
+        let f1: i64 = truth.values().sum();
+        let bound = map.error_bound(f1, universe);
+        for item in 0..universe {
+            let t = truth.get(&item).copied().unwrap_or(0);
+            let err = (map.assemble(item, &counters) - t).abs() as f64;
+            assert!(err <= bound + 0.5, "item {item}: {err} > {bound}");
+        }
+    }
+
+    #[test]
+    fn map_emits_rows_indices_in_range() {
+        let maps: Vec<Box<dyn CounterMap>> = vec![
+            Box::new(IdentityMap::new(100)),
+            Box::new(CountMinMap::new(4, 32, 3)),
+            Box::new(CrPrecisMap::new(3, 11)),
+        ];
+        for map in &maps {
+            let mut out = Vec::new();
+            for item in 0..100u64 {
+                out.clear();
+                map.map(item, &mut out);
+                assert_eq!(out.len(), map.rows());
+                assert!(out.iter().all(|&c| (c as usize) < map.counters()));
+            }
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Property-based tests for the sketching substrate.
+
+use dsv_sketch::{
+    is_prime, primes_from, CounterMap, CountMin, CountMinMap, CrPrecis, CrPrecisMap, ExactCounts,
+    FreqSketch, IdentityMap, PairwiseHash,
+};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+fn apply<S: FreqSketch>(sketch: &mut S, stream: &[(u64, i64)]) {
+    for &(item, delta) in stream {
+        sketch.update(item, delta);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Linearity: sketch(A) + sketch(B) == sketch(A ++ B), for both
+    /// sketches, on arbitrary signed streams.
+    #[test]
+    fn sketches_are_linear(
+        a in prop::collection::vec((0u64..500, -3i64..4), 0..200),
+        b in prop::collection::vec((0u64..500, -3i64..4), 0..200),
+        seed in 0u64..1000,
+    ) {
+        let mut cm_a = CountMin::new(3, 64, seed);
+        let mut cm_b = CountMin::new(3, 64, seed);
+        let mut cm_ab = CountMin::new(3, 64, seed);
+        apply(&mut cm_a, &a);
+        apply(&mut cm_b, &b);
+        apply(&mut cm_ab, &a);
+        apply(&mut cm_ab, &b);
+        cm_a.merge(&cm_b);
+        for item in (0..500u64).step_by(17) {
+            prop_assert_eq!(cm_a.estimate(item), cm_ab.estimate(item));
+        }
+
+        let mut cr_a = CrPrecis::new(3, 13);
+        let mut cr_b = CrPrecis::new(3, 13);
+        let mut cr_ab = CrPrecis::new(3, 13);
+        apply(&mut cr_a, &a);
+        apply(&mut cr_b, &b);
+        apply(&mut cr_ab, &a);
+        apply(&mut cr_ab, &b);
+        cr_a.merge(&cr_b);
+        for item in (0..500u64).step_by(17) {
+            prop_assert_eq!(cr_a.estimate(item), cr_ab.estimate(item));
+        }
+    }
+
+    /// Count-Min never under-estimates when all true counts are ≥ 0.
+    #[test]
+    fn countmin_one_sided(
+        inserts in prop::collection::vec((0u64..300, 1i64..5), 1..300),
+        seed in 0u64..1000,
+    ) {
+        let mut cm = CountMin::new(4, 32, seed);
+        let mut truth: HashMap<u64, i64> = HashMap::new();
+        for &(item, c) in &inserts {
+            cm.update(item, c);
+            *truth.entry(item).or_insert(0) += c;
+        }
+        for (&item, &t) in &truth {
+            prop_assert!(cm.estimate(item) >= t);
+        }
+    }
+
+    /// ExactCounts is an exact multiset under arbitrary updates.
+    #[test]
+    fn exact_counts_is_exact(
+        stream in prop::collection::vec((0u64..100, -5i64..6), 0..300),
+    ) {
+        let mut ex = ExactCounts::new();
+        let mut truth: HashMap<u64, i64> = HashMap::new();
+        let mut f1 = 0i64;
+        for &(item, d) in &stream {
+            ex.update(item, d);
+            *truth.entry(item).or_insert(0) += d;
+            f1 += d;
+        }
+        prop_assert_eq!(ex.f1(), f1);
+        for (&item, &t) in &truth {
+            prop_assert_eq!(ex.estimate(item), t);
+        }
+        prop_assert_eq!(ex.distinct(), truth.values().filter(|&&v| v != 0).count());
+    }
+
+    /// Pairwise hash: in range, deterministic, and uniform-ish over a
+    /// random probe pair.
+    #[test]
+    fn pairwise_hash_range(a in 1u64..1000, b in 0u64..1000, w in 1u64..1_000, x in 0u64..u64::MAX) {
+        let h = PairwiseHash::with_coefficients(a, b, w);
+        prop_assert!(h.hash(x) < w);
+        prop_assert_eq!(h.hash(x), h.hash(x));
+        prop_assert_eq!(h.range(), w);
+    }
+
+    /// primes_from yields sorted, distinct primes ≥ start.
+    #[test]
+    fn primes_from_properties(start in 2u64..10_000, count in 1usize..30) {
+        let ps = primes_from(start, count);
+        prop_assert_eq!(ps.len(), count);
+        prop_assert!(ps[0] >= start);
+        prop_assert!(ps.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(ps.iter().all(|&p| is_prime(p)));
+    }
+
+    /// CounterMap reductions agree with their standalone sketches and the
+    /// identity map is exact.
+    #[test]
+    fn counter_maps_match_sketches(
+        stream in prop::collection::vec((0u64..400, -2i64..3), 0..250),
+        seed in 0u64..500,
+    ) {
+        let maps_and_counters = {
+            let map = CountMinMap::new(3, 64, seed);
+            let mut counters = vec![0i64; map.counters()];
+            let mut idx = Vec::new();
+            let mut cm = CountMin::new(3, 64, seed);
+            for &(item, d) in &stream {
+                idx.clear();
+                map.map(item, &mut idx);
+                for &c in &idx {
+                    counters[c as usize] += d;
+                }
+                cm.update(item, d);
+            }
+            (map, counters, cm)
+        };
+        let (map, counters, cm) = maps_and_counters;
+        for item in (0..400u64).step_by(13) {
+            prop_assert_eq!(map.assemble(item, &counters), cm.estimate(item));
+        }
+
+        let idmap = IdentityMap::new(400);
+        let mut id_counters = vec![0i64; idmap.counters()];
+        let mut truth: HashMap<u64, i64> = HashMap::new();
+        let mut idx = Vec::new();
+        for &(item, d) in &stream {
+            idx.clear();
+            idmap.map(item, &mut idx);
+            id_counters[idx[0] as usize] += d;
+            *truth.entry(item).or_insert(0) += d;
+        }
+        for item in 0..400u64 {
+            prop_assert_eq!(
+                idmap.assemble(item, &id_counters),
+                truth.get(&item).copied().unwrap_or(0)
+            );
+        }
+    }
+
+    /// CR-precis deterministic error bound holds on arbitrary insert
+    /// streams (the Appendix H guarantee).
+    #[test]
+    fn crprecis_bound_always_holds(
+        inserts in prop::collection::vec(0u64..2_000, 1..400),
+        _seed in 0u64..10,
+    ) {
+        let universe = 2_000u64;
+        let map = CrPrecisMap::for_guarantee(0.25, universe);
+        let mut counters = vec![0i64; map.counters()];
+        let mut truth: HashMap<u64, i64> = HashMap::new();
+        let mut idx = Vec::new();
+        for &item in &inserts {
+            idx.clear();
+            map.map(item, &mut idx);
+            for &c in &idx {
+                counters[c as usize] += 1;
+            }
+            *truth.entry(item).or_insert(0) += 1;
+        }
+        let f1 = inserts.len() as i64;
+        let bound = map.error_bound(f1, universe);
+        for (&item, &t) in &truth {
+            let err = (map.assemble(item, &counters) - t).abs() as f64;
+            prop_assert!(err <= bound + 0.5, "item {}: {} > {}", item, err, bound);
+        }
+    }
+}
+
+/// Smoke test that SmallRng-based construction differs across seeds (kept
+/// outside proptest: a single fixed check).
+#[test]
+fn different_seeds_give_different_hashes() {
+    let mut r1 = SmallRng::seed_from_u64(1);
+    let mut r2 = SmallRng::seed_from_u64(2);
+    let h1 = PairwiseHash::random(1 << 20, &mut r1);
+    let h2 = PairwiseHash::random(1 << 20, &mut r2);
+    let differs = (0..100u64).any(|x| h1.hash(x) != h2.hash(x));
+    assert!(differs);
+}

@@ -1,0 +1,78 @@
+//! Tracker bake-off: every algorithm on every workload, one table.
+//!
+//! ```sh
+//! cargo run --release --example compare_trackers
+//! ```
+//!
+//! Uses the [`Monitor`] facade to run all counting algorithms uniformly
+//! and prints accuracy/communication for each workload class — a compact
+//! view of the paper's landscape: the monotone specialists win on inserts
+//! only, the naive tracker pays Θ(n) everywhere, and the variability
+//! trackers interpolate.
+
+use dsv::prelude::*;
+
+fn main() {
+    let k = 8;
+    let eps = 0.1;
+    let n = 50_000u64;
+
+    let workloads: Vec<(&str, Vec<i64>)> = vec![
+        ("monotone", MonotoneGen::ones().deltas(n)),
+        ("nearly-monotone", NearlyMonotoneGen::new(3, 2.0, 0.45).deltas(n)),
+        ("biased walk 0.2", WalkGen::biased(5, 0.2).deltas(n)),
+        ("fair walk", WalkGen::fair(7).deltas(n)),
+        ("hover 100", AdversarialGen::hover(100).deltas(n)),
+    ];
+
+    println!("k = {k}, eps = {eps}, n = {n}\n");
+    println!(
+        "{:<18} {:<15} {:>10} {:>10} {:>9}",
+        "workload", "tracker", "messages", "msgs/n %", "max err"
+    );
+    println!("{}", "-".repeat(68));
+
+    for (wname, deltas) in &workloads {
+        let v = Variability::of_stream(deltas.iter().copied());
+        let monotone = deltas.iter().all(|&d| d >= 0);
+        for kind in MonitorKind::ALL {
+            // Skip kinds that can't run this workload.
+            if kind == MonitorKind::SingleSite {
+                continue; // needs k = 1; covered by e11
+            }
+            if !kind.supports_deletions() && !monotone {
+                continue;
+            }
+            let mut mon = Monitor::new(kind, k, eps, 77);
+            let mut f = 0i64;
+            let mut max_err = 0.0f64;
+            for (i, &d) in deltas.iter().enumerate() {
+                f += d;
+                let est = mon.step(i % k, d);
+                if f != 0 {
+                    max_err = max_err.max((f - est).abs() as f64 / f.abs() as f64);
+                } else if est != 0 {
+                    max_err = f64::INFINITY;
+                }
+            }
+            let msgs = mon.stats().total_messages();
+            println!(
+                "{:<18} {:<15} {:>10} {:>9.2}% {:>9.4}",
+                wname,
+                kind.label(),
+                msgs,
+                100.0 * msgs as f64 / n as f64,
+                max_err
+            );
+        }
+        println!("{:<18} (variability v = {v:.1})", "");
+        println!();
+    }
+
+    println!(
+        "takeaways: the monotone specialists (cmy/hyz) only run on the first\n\
+         workload; naive always pays 100%; the variability trackers track the\n\
+         v column — near-specialist cost on calm streams, graceful growth as\n\
+         v rises, with the deterministic guarantee intact throughout."
+    );
+}

@@ -1,0 +1,102 @@
+//! Network monitoring: the paper's motivating application.
+//!
+//! ```sh
+//! cargo run --release --example network_monitor
+//! ```
+//!
+//! k = 16 edge routers observe flow-open (+1) and flow-close (−1) events;
+//! a central monitor must always know the number of active flows within
+//! ±10%, while radio/WAN messages are the scarce resource (the sensor-
+//! network motivation of Cormode–Muthukrishnan–Yi).
+//!
+//! The active-flow count is *non-monotonic* — the classic algorithms don't
+//! apply — but it grows through a morning ramp-up, plateaus with churn,
+//! and declines at night: exactly the "slowly varying in practice" regime
+//! where the variability framework wins.
+
+use dsv::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A synthetic diurnal flow pattern: ramp up, churn at plateau, ramp down.
+fn diurnal_day(seed: u64, steps_per_phase: u64) -> Vec<i64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut deltas = Vec::new();
+    let mut active = 0i64;
+    // Morning: 80% opens.
+    for _ in 0..steps_per_phase {
+        let open = rng.gen_bool(0.8) || active <= 1;
+        deltas.push(if open { 1 } else { -1 });
+        active += deltas.last().unwrap();
+    }
+    // Midday: balanced churn (50/50, floor at 1).
+    for _ in 0..steps_per_phase {
+        let open = rng.gen_bool(0.5) || active <= 1;
+        deltas.push(if open { 1 } else { -1 });
+        active += deltas.last().unwrap();
+    }
+    // Night: 80% closes, floor at 1.
+    for _ in 0..steps_per_phase {
+        let open = !rng.gen_bool(0.8) || active <= 1;
+        deltas.push(if open { 1 } else { -1 });
+        active += deltas.last().unwrap();
+    }
+    deltas
+}
+
+fn main() {
+    let k = 16;
+    let eps = 0.1;
+    let days = 3;
+    let steps_per_phase = 30_000u64;
+
+    let mut deltas = Vec::new();
+    for day in 0..days {
+        deltas.extend(diurnal_day(100 + day, steps_per_phase));
+    }
+    let n = deltas.len() as u64;
+    let updates = assign_updates(&deltas, RandomAssign::new(k, 7));
+    let v = Variability::of_stream(deltas.iter().copied());
+
+    println!("workload:  {days} days x 3 phases x {steps_per_phase} events = {n} flow events at {k} routers");
+    println!("variability: v(n) = {v:.1}  (vs n = {n}: the stream is 'slowly varying')\n");
+
+    // Deterministic tracker (unconditional guarantee).
+    let mut det = DeterministicTracker::sim(k, eps);
+    let det_report = TrackerRunner::new(eps).run(&mut det, &updates);
+
+    // Randomized tracker (2/3 guarantee per timestep, fewer messages).
+    let mut rnd = RandomizedTracker::sim(k, eps, 9);
+    let rnd_report = TrackerRunner::new(eps).run(&mut rnd, &updates);
+
+    // Naive baseline: every event forwarded to the monitor.
+    let mut naive = NaiveTracker::sim(k);
+    let naive_report = TrackerRunner::new(eps).run(&mut naive, &updates);
+
+    println!("tracker        messages    % of naive   violations   max err");
+    println!("-----------------------------------------------------------------");
+    for (name, r) in [
+        ("deterministic", &det_report),
+        ("randomized", &rnd_report),
+        ("naive", &naive_report),
+    ] {
+        println!(
+            "{name:<14} {:>9}    {:>8.2}%   {:>10}   {:.4}",
+            r.stats.total_messages(),
+            100.0 * r.stats.total_messages() as f64 / naive_report.stats.total_messages() as f64,
+            r.violations,
+            r.max_rel_err,
+        );
+    }
+
+    println!(
+        "\nradio budget: the deterministic tracker saves {:.1}x over naive\n\
+         forwarding while guaranteeing ±{:.0}% accuracy at every event;\n\
+         the randomized tracker stretches that to {:.1}x.",
+        naive_report.stats.total_messages() as f64 / det_report.stats.total_messages() as f64,
+        eps * 100.0,
+        naive_report.stats.total_messages() as f64 / rnd_report.stats.total_messages() as f64,
+    );
+
+    assert_eq!(det_report.violations, 0);
+}

@@ -1,0 +1,81 @@
+//! Quickstart: track a non-monotonic stream across distributed sites.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! The paper's core observation: databases are interesting because they
+//! grow more than they shrink, so the tracked quantity has low
+//! *variability* `v(n) = Σ min{1, |f'(t)/f(t)|}` — and the communication
+//! needed to track it to ε relative error is `O((k/ε)·v)`, not `Ω(n)`.
+//!
+//! Here k = 8 sites observe insert/delete events of a dataset whose size
+//! we track at a coordinator, with deletions bounded by the size itself
+//! (the "nearly monotone" class of Theorem 2.1).
+
+use dsv::prelude::*;
+
+fn main() {
+    let k = 8; // number of observer sites
+    let eps = 0.1; // relative-error target
+    let n = 200_000; // stream length
+
+    // A dataset that grows more than it shrinks: ±1 updates with total
+    // deletions bounded by 2·f(n) (Theorem 2.1's class with β = 2).
+    let updates = NearlyMonotoneGen::new(42, 2.0, 0.45).updates(n, RoundRobin::new(k));
+
+    // The stream parameter that governs everything.
+    let v = Variability::of_stream(updates.iter().map(|u| u.delta));
+
+    // Track with the deterministic algorithm (§3.3); the runner audits the
+    // ε-guarantee after every timestep.
+    let mut sim = DeterministicTracker::sim(k, eps);
+    let report = TrackerRunner::new(eps).run(&mut sim, &updates);
+
+    println!("stream:        nearly-monotone ±1 updates, n = {n}, k = {k} sites");
+    println!(
+        "variability:   v(n) = {v:.1}   (Thm 2.1: O(β·log(β·f)) = O(log n) here — tiny vs n = {n})"
+    );
+    println!("guarantee:     |f - f̂| ≤ {eps}·|f| at every timestep");
+    println!(
+        "audit:         {} violations over {} timesteps (max rel err {:.4})",
+        report.violations, report.n, report.max_rel_err
+    );
+    println!(
+        "final value:   f(n) = {}, coordinator estimate f̂(n) = {}",
+        report.final_f, report.final_estimate
+    );
+    println!();
+    println!(
+        "messages:      {} total — {:.2}% of the naive one-per-update cost",
+        report.stats.total_messages(),
+        100.0 * report.stats.total_messages() as f64 / n as f64
+    );
+    println!(
+        "theory:        ≤ O((k/ε)·v) = {:.0} messages",
+        DeterministicTracker::message_bound(k, eps, v)
+    );
+    println!(
+        "breakdown:     {} site→coordinator, {} coordinator→site",
+        report.stats.upward_messages(),
+        report.stats.downward_messages()
+    );
+
+    // For contrast: a maximally-variable stream on the same machinery.
+    let churn = AdversarialGen::hover(1).updates(20_000, RoundRobin::new(k));
+    let v_churn = Variability::of_stream(churn.iter().map(|u| u.delta));
+    let mut sim2 = DeterministicTracker::sim(k, eps);
+    let churn_report = TrackerRunner::new(eps).run(&mut sim2, &churn);
+    println!();
+    println!(
+        "contrast:      a hover-at-1 adversary has v = {:.0} ≈ n; tracking it\n\
+         \t       cost {} messages for 20000 updates — the Ω(n) regime\n\
+         \t       is real, but the cost *degrades gracefully with v* instead\n\
+         \t       of hitting it for every non-monotonic stream.",
+        v_churn,
+        churn_report.stats.total_messages()
+    );
+
+    assert_eq!(report.violations, 0, "the deterministic guarantee is unconditional");
+    assert_eq!(churn_report.violations, 0);
+}

@@ -1,0 +1,60 @@
+//! # dsv — Variability in Data Streams
+//!
+//! Facade crate re-exporting the full reproduction of Felber & Ostrovsky,
+//! *"Variability in Data Streams"* (PODS 2016 / arXiv:1502.07027).
+//!
+//! See the workspace `README.md` for an overview, `DESIGN.md` for the system
+//! inventory, and `EXPERIMENTS.md` for the per-theorem reproduction results.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dsv::prelude::*;
+//!
+//! // A fair ±1 random walk over 10_000 steps, spread over k = 8 sites.
+//! let k = 8;
+//! let updates = WalkGen::fair(42).updates(10_000, RoundRobin::new(k));
+//!
+//! // Track it at the coordinator with the deterministic algorithm (§3.3).
+//! let eps = 0.1;
+//! let mut sim = DeterministicTracker::sim(k, eps);
+//! let report = TrackerRunner::new(eps).run(&mut sim, &updates);
+//!
+//! // The deterministic guarantee holds at every timestep...
+//! assert_eq!(report.violations, 0);
+//! // ...and the message cost is governed by the stream's variability.
+//! let v = Variability::of_stream(updates.iter().map(|u| u.delta));
+//! assert!((report.stats.total_messages() as f64) <= 30.0 * k as f64 * (v + 1.0) / eps);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use dsv_core as core;
+pub use dsv_gen as gen;
+pub use dsv_net as net;
+pub use dsv_sketch as sketch;
+
+/// One-stop imports for examples and downstream users.
+pub mod prelude {
+    pub use dsv_core::baselines::{CmyCounter, HyzCounter, NaiveTracker, PeriodicSync};
+    pub use dsv_core::blocks::{BlockConfig, BlockCoordinator, BlockSite};
+    pub use dsv_core::deterministic::DeterministicTracker;
+    pub use dsv_core::expand::expand_update;
+    pub use dsv_core::frequencies::{
+        CountMinFreqTracker, CrPrecisFreqTracker, ExactFreqTracker, FreqRunReport, FreqRunner,
+    };
+    pub use dsv_core::frequencies_rand::RandFreqTracker;
+    pub use dsv_core::monitor::{Monitor, MonitorKind};
+    pub use dsv_core::randomized::RandomizedTracker;
+    pub use dsv_core::single_site::SingleSiteTracker;
+    pub use dsv_core::tracing::{HistorySummary, TracingRecorder};
+    pub use dsv_core::variability::{Variability, VariabilityMeter};
+    pub use dsv_gen::{
+        assign_updates, prefix_values, AdversarialGen, DeltaGen, FlipFamilyGen, HashAssign,
+        ItemStreamGen, MonotoneGen, NearlyMonotoneGen, RandomAssign, RoundRobin, SingleSite,
+        SiteAssign, WalkGen,
+    };
+    pub use dsv_net::{
+        CommStats, ErrorProbe, ItemUpdate, RunReport, StarSim, TrackerRunner, Update,
+    };
+}

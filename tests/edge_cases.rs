@@ -1,0 +1,160 @@
+//! Edge-case and robustness tests: short streams, degenerate parameters,
+//! zero deltas, extreme radii, and facade behavior.
+
+use dsv::prelude::*;
+
+#[test]
+fn empty_and_tiny_streams() {
+    let mut sim = DeterministicTracker::sim(4, 0.1);
+    let report = TrackerRunner::new(0.1).run(&mut sim, &[]);
+    assert_eq!(report.n, 0);
+    assert_eq!(report.violations, 0);
+    assert_eq!(report.stats.total_messages(), 0);
+
+    // One update.
+    let mut sim = DeterministicTracker::sim(4, 0.1);
+    let report = TrackerRunner::new(0.1).run(&mut sim, &[Update::new(1, 2, 1)]);
+    assert_eq!(report.final_estimate, 1);
+    assert_eq!(report.violations, 0);
+}
+
+#[test]
+fn stream_shorter_than_k() {
+    // Fewer updates than sites: the first block never completes; tracking
+    // must still be exact (r = 0 forwards everything).
+    let k = 16;
+    let updates: Vec<Update> = (1..=5).map(|t| Update::new(t, (t as usize) % k, -1)).collect();
+    let mut sim = DeterministicTracker::sim(k, 0.2);
+    let report = TrackerRunner::new(0.2).run(&mut sim, &updates);
+    assert_eq!(report.max_rel_err, 0.0);
+    assert_eq!(report.final_estimate, -5);
+}
+
+#[test]
+fn all_zero_deltas_are_harmless() {
+    let updates: Vec<Update> = (1..=200).map(|t| Update::new(t, 0, 0)).collect();
+    let mut det = DeterministicTracker::sim(2, 0.1);
+    let report = TrackerRunner::new(0.1).run(&mut det, &updates);
+    assert_eq!(report.final_estimate, 0);
+    assert_eq!(report.violations, 0);
+
+    let mut rnd = RandomizedTracker::sim(2, 0.1, 3);
+    let report = TrackerRunner::new(0.1).run(&mut rnd, &updates);
+    assert_eq!(report.final_estimate, 0);
+    assert_eq!(report.violations, 0);
+}
+
+#[test]
+fn negative_territory_tracking() {
+    // f goes deeply negative; |f| drives the radii symmetrically.
+    let deltas = vec![-1i64; 30_000];
+    let updates = assign_updates(&deltas, RoundRobin::new(4));
+    let mut sim = DeterministicTracker::sim(4, 0.1);
+    let report = TrackerRunner::new(0.1).run(&mut sim, &updates);
+    assert_eq!(report.violations, 0);
+    assert_eq!(report.final_f, -30_000);
+    // Cost must be logarithmic, mirroring the positive monotone case.
+    assert!(report.stats.total_messages() < 3_000);
+}
+
+#[test]
+fn sign_flip_mid_stream() {
+    // Climb to +2000, crash to −2000; guarantee must hold throughout the
+    // zero crossing.
+    let mut deltas = vec![1i64; 2_000];
+    deltas.extend(std::iter::repeat_n(-1i64, 4_000));
+    let updates = assign_updates(&deltas, RoundRobin::new(2));
+    let mut sim = DeterministicTracker::sim(2, 0.1);
+    let report = TrackerRunner::new(0.1).run(&mut sim, &updates);
+    assert_eq!(report.violations, 0, "max err {}", report.max_rel_err);
+    assert_eq!(report.final_f, -2_000);
+}
+
+#[test]
+fn extreme_epsilon_values() {
+    let updates = WalkGen::fair(9).updates(5_000, RoundRobin::new(2));
+    for eps in [0.9, 0.001] {
+        let mut sim = DeterministicTracker::sim(2, eps);
+        let report = TrackerRunner::new(eps).run(&mut sim, &updates);
+        assert_eq!(report.violations, 0, "eps = {eps}");
+    }
+}
+
+#[test]
+#[should_panic]
+fn eps_must_be_in_unit_interval() {
+    DeterministicTracker::sim(2, 1.5);
+}
+
+#[test]
+fn very_large_values_do_not_overflow_radius_math() {
+    use dsv::core::blocks::{radius_for, threshold_for};
+    let r = radius_for(u64::MAX / 2, 1);
+    assert!(r > 50);
+    assert!(threshold_for(r) > 0);
+    // Thresholds stay consistent: 2^r·2k ≤ f < 2^r·4k.
+    let f = u64::MAX / 2;
+    assert!((1u128 << r) * 2 <= f as u128);
+    assert!((1u128 << r) * 4 > f as u128);
+}
+
+#[test]
+fn monitor_facade_runs_every_kind_end_to_end() {
+    let deltas = MonotoneGen::ones().deltas(2_000);
+    for kind in MonitorKind::ALL {
+        let k = if kind == MonitorKind::SingleSite { 1 } else { 3 };
+        let mut mon = Monitor::new(kind, k, 0.25, 11);
+        for (i, &d) in deltas.iter().enumerate() {
+            mon.step(i % k, d);
+        }
+        let est = mon.estimate();
+        assert!(
+            (2_000 - est).unsigned_abs() as f64 <= 0.25 * 2_000.0,
+            "{}: estimate {est}",
+            kind.label()
+        );
+    }
+}
+
+#[test]
+fn single_site_huge_jumps() {
+    // A single update of ±10^12 must be tracked immediately.
+    let updates = vec![
+        Update::new(1, 0, 1_000_000_000_000),
+        Update::new(2, 0, -999_999_999_999),
+        Update::new(3, 0, -1),
+    ];
+    let mut sim = SingleSiteTracker::sim(0.01);
+    let report = TrackerRunner::new(0.01).run(&mut sim, &updates);
+    assert_eq!(report.violations, 0);
+    assert_eq!(report.final_f, 0);
+    assert_eq!(report.final_estimate, 0);
+}
+
+#[test]
+fn frequency_tracker_single_item_universe() {
+    let updates: Vec<ItemUpdate> = (1..=500)
+        .map(|t| ItemUpdate::new(t, (t as usize) % 2, 0, if t % 3 == 0 { -1 } else { 1 }))
+        .collect();
+    let mut sim = ExactFreqTracker::sim(2, 0.2, 1);
+    let report = FreqRunner::new(0.2, 50).run(&mut sim, &updates);
+    assert_eq!(report.item_violations, 0);
+    assert!(report.final_f1 > 0);
+}
+
+#[test]
+fn tracing_empty_history() {
+    let rec = TracingRecorder::new();
+    let summary = rec.finish();
+    assert_eq!(summary.query(0), 0);
+    assert_eq!(summary.query(100), 0);
+    assert_eq!(summary.words(), 0);
+}
+
+#[test]
+fn variability_saturates_at_n_for_worst_case() {
+    // hover(1) gives v'(t) = 1 at every post-climb step.
+    let deltas = AdversarialGen::hover(1).deltas(1_000);
+    let v = Variability::of_stream(deltas.iter().copied());
+    assert!(v > 999.0 - 1.0 && v <= 1_000.0);
+}

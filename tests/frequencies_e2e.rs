@@ -1,0 +1,152 @@
+//! Integration tests for the §5.1 / Appendix H frequency trackers through
+//! the public API, including the sketch substrate interplay.
+
+use dsv::prelude::*;
+use dsv::sketch::{CountMin, CrPrecis, ExactCounts, FreqSketch};
+
+fn stream(n: u64, k: usize, universe: usize, delete_prob: f64, seed: u64) -> Vec<ItemUpdate> {
+    ItemStreamGen::new(seed, universe, 1.1, delete_prob, 1).updates(n, RoundRobin::new(k))
+}
+
+#[test]
+fn exact_variant_deterministic_guarantee() {
+    for (k, eps) in [(2usize, 0.3f64), (4, 0.15), (8, 0.1)] {
+        let universe = 400;
+        let updates = stream(12_000, k, universe, 0.35, 71);
+        let mut sim = ExactFreqTracker::sim(k, eps, universe);
+        let report = FreqRunner::new(eps, 600).run(&mut sim, &updates);
+        assert!(report.audits > 0);
+        assert_eq!(report.item_violations, 0, "k={k} eps={eps}");
+        assert_eq!(report.f1_violations, 0, "k={k} eps={eps}");
+    }
+}
+
+#[test]
+fn crprecis_variant_deterministic_guarantee() {
+    let (k, eps, universe) = (4usize, 0.25f64, 600u64);
+    let updates = stream(12_000, k, universe as usize, 0.3, 73);
+    let mut sim = CrPrecisFreqTracker::sim(k, eps, universe);
+    let report = FreqRunner::new(eps, 600).run(&mut sim, &updates);
+    assert!(report.audits > 0);
+    assert_eq!(report.item_violations, 0);
+}
+
+#[test]
+fn countmin_variant_probabilistic_guarantee() {
+    let (k, eps, universe) = (4usize, 0.2f64, 3_000usize);
+    let updates = stream(15_000, k, universe, 0.35, 79);
+    let mut sim = CountMinFreqTracker::sim(k, eps, 5);
+    let report = FreqRunner::new(eps, 1_000).run(&mut sim, &updates);
+    assert!(report.audits > 0);
+    assert!(
+        report.item_violation_rate() < 1.0 / 9.0,
+        "violation rate {}",
+        report.item_violation_rate()
+    );
+}
+
+#[test]
+fn standalone_sketches_match_distributed_estimates_on_static_data() {
+    // Feed the same multiset into (a) a standalone Count-Min and (b) the
+    // distributed tracker; once a block boundary syncs, coordinator
+    // estimates must be within the tracking budget of the sketch's.
+    let universe = 500usize;
+    let k = 2;
+    let eps = 0.2;
+    let updates = stream(8_000, k, universe, 0.2, 83);
+
+    let mut truth = ExactCounts::new();
+    for u in &updates {
+        truth.update(u.item, u.delta);
+    }
+
+    let mut sim = ExactFreqTracker::sim(k, eps, universe);
+    for u in &updates {
+        sim.step(u.site, (u.item, u.delta));
+    }
+    let budget = eps * truth.f1() as f64;
+    for item in 0..universe as u64 {
+        let est = sim.coordinator().estimate_item(item);
+        let t = truth.estimate(item);
+        assert!(
+            (est - t).abs() as f64 <= budget + 1e-9,
+            "item {item}: est {est} vs truth {t} (budget {budget})"
+        );
+    }
+}
+
+#[test]
+fn sketch_linearity_supports_distributed_merging() {
+    // Site-local sketches merged at a coordinator equal a single global
+    // sketch — the property Appendix H relies on.
+    let mut global_cm = CountMin::new(3, 128, 11);
+    let mut site_cms: Vec<CountMin> = (0..4).map(|_| CountMin::new(3, 128, 11)).collect();
+    let mut global_cr = CrPrecis::new(4, 40);
+    let mut site_crs: Vec<CrPrecis> = (0..4).map(|_| CrPrecis::new(4, 40)).collect();
+
+    for u in stream(6_000, 4, 800, 0.3, 89) {
+        global_cm.update(u.item, u.delta);
+        site_cms[u.site].update(u.item, u.delta);
+        global_cr.update(u.item, u.delta);
+        site_crs[u.site].update(u.item, u.delta);
+    }
+    let mut merged_cm = site_cms.remove(0);
+    for s in &site_cms {
+        merged_cm.merge(s);
+    }
+    let mut merged_cr = site_crs.remove(0);
+    for s in &site_crs {
+        merged_cr.merge(s);
+    }
+    for item in 0..800u64 {
+        assert_eq!(merged_cm.estimate(item), global_cm.estimate(item));
+        assert_eq!(merged_cr.estimate(item), global_cr.estimate(item));
+    }
+}
+
+#[test]
+fn f1_estimate_matches_counter_tracking_guarantee() {
+    // The coordinator's F1 estimate is itself an ε-tracked counter.
+    let (k, eps, universe) = (4usize, 0.1f64, 200usize);
+    let updates = stream(25_000, k, universe, 0.4, 97);
+    let mut sim = ExactFreqTracker::sim(k, eps, universe);
+    let mut f1 = 0i64;
+    for u in &updates {
+        f1 += u.delta;
+        let est = sim.step(u.site, (u.item, u.delta));
+        assert!(
+            (f1 - est).abs() as f64 <= eps * f1.abs() as f64 + 1e-9,
+            "t={}: F1={f1}, est={est}",
+            u.time
+        );
+    }
+}
+
+#[test]
+fn heavy_hitters_surface_through_sketched_coordinator() {
+    // Zipf head items must be identifiable from the Count-Min coordinator.
+    // Use a heavy-headed Zipf(1.5) so true heavy hitters (≥ 2εF1) exist.
+    let (k, eps, universe) = (4usize, 0.1f64, 5_000usize);
+    let updates =
+        ItemStreamGen::new(101, universe, 1.5, 0.1, 1).updates(40_000, RoundRobin::new(k));
+    let mut truth = ExactCounts::new();
+    for u in &updates {
+        truth.update(u.item, u.delta);
+    }
+    let mut sim = CountMinFreqTracker::sim(k, eps, 7);
+    for u in &updates {
+        sim.step(u.site, (u.item, u.delta));
+    }
+    // Every true heavy hitter (≥ 2εF1) must have a large estimate
+    // (≥ εF1 after the ±εF1 tracking error).
+    let f1 = truth.f1();
+    let heavy = truth.heavy_hitters((2.0 * eps * f1 as f64) as i64);
+    assert!(!heavy.is_empty(), "workload should have heavy hitters");
+    for (item, count) in heavy {
+        let est = sim.coordinator().estimate_item(item);
+        assert!(
+            est as f64 >= eps * f1 as f64,
+            "heavy item {item} (count {count}) estimated at {est}"
+        );
+    }
+}
