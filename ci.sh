@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Full local CI gate for the dsv workspace. Runs everything the tier-1
+# verify runs, plus formatting, the full workspace test matrix, bench/
+# example compilation, and rustdoc. Fails fast on the first broken step.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+step() { printf '\n=== %s ===\n' "$*"; }
+
+step "cargo fmt --check"
+cargo fmt --all --check
+
+step "cargo build --release"
+cargo build --release
+
+step "cargo test --workspace -q (superset of the tier-1 'cargo test -q')"
+cargo test --workspace -q
+
+step "cargo build --examples"
+cargo build --examples
+
+step "cargo bench --no-run --workspace (compile all 17 bench targets)"
+cargo bench --no-run --workspace
+
+step "cargo doc --no-deps --workspace (warning-free)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
+printf '\nCI green.\n'

@@ -14,7 +14,13 @@ fn main() {
     );
 
     println!("\n-- unit counter f(t) = t (beta = 1, tightest monotone case) --");
-    let mut t = Table::new(&["n", "v(n) measured", "H(n) exact", "thm2.1 bound", "v/bound"]);
+    let mut t = Table::new(&[
+        "n",
+        "v(n) measured",
+        "H(n) exact",
+        "thm2.1 bound",
+        "v/bound",
+    ]);
     for n in [1_000u64, 10_000, 100_000, 1_000_000] {
         let v = Variability::of_stream(MonotoneGen::ones().deltas(n));
         let h = Variability::harmonic(n);
@@ -30,7 +36,13 @@ fn main() {
         let fnl: i64 = deltas.iter().sum();
         let v = Variability::of_stream(deltas);
         let bound = Variability::thm21_bound(1.0, fnl);
-        t.row(vec![n.to_string(), fnl.to_string(), f(v), f(bound), f(v / bound)]);
+        t.row(vec![
+            n.to_string(),
+            fnl.to_string(),
+            f(v),
+            f(bound),
+            f(v / bound),
+        ]);
     }
     t.print();
 

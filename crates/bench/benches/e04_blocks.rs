@@ -82,7 +82,11 @@ fn run_case(name: &str, deltas: Vec<i64>, k: usize, t: &mut Table) {
 }
 
 fn bool_mark(ok: bool) -> String {
-    if ok { "ok".into() } else { "VIOLATED".into() }
+    if ok {
+        "ok".into()
+    } else {
+        "VIOLATED".into()
+    }
 }
 
 fn main() {
@@ -113,7 +117,12 @@ fn main() {
             k,
             &mut t,
         );
-        run_case("sawtooth", AdversarialGen::sawtooth(64, 512).deltas(n), k, &mut t);
+        run_case(
+            "sawtooth",
+            AdversarialGen::sawtooth(64, 512).deltas(n),
+            k,
+            &mut t,
+        );
     }
     t.print();
 

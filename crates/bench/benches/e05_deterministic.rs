@@ -10,14 +10,26 @@ use dsv_net::{TrackerRunner, Update};
 
 fn workloads(n: u64, k: usize) -> Vec<(&'static str, Vec<Update>)> {
     vec![
-        ("monotone", MonotoneGen::ones().updates(n, RoundRobin::new(k))),
-        ("fair walk", WalkGen::fair(11).updates(n, RoundRobin::new(k))),
-        ("biased 0.2", WalkGen::biased(13, 0.2).updates(n, RoundRobin::new(k))),
+        (
+            "monotone",
+            MonotoneGen::ones().updates(n, RoundRobin::new(k)),
+        ),
+        (
+            "fair walk",
+            WalkGen::fair(11).updates(n, RoundRobin::new(k)),
+        ),
+        (
+            "biased 0.2",
+            WalkGen::biased(13, 0.2).updates(n, RoundRobin::new(k)),
+        ),
         (
             "nearly-mono b=2",
             NearlyMonotoneGen::new(17, 2.0, 0.45).updates(n, RoundRobin::new(k)),
         ),
-        ("hover 100", AdversarialGen::hover(100).updates(n, RoundRobin::new(k))),
+        (
+            "hover 100",
+            AdversarialGen::hover(100).updates(n, RoundRobin::new(k)),
+        ),
     ]
 }
 

@@ -10,9 +10,18 @@ use dsv_net::{TrackerRunner, Update};
 
 fn workloads(n: u64, k: usize) -> Vec<(&'static str, Vec<Update>)> {
     vec![
-        ("monotone", MonotoneGen::ones().updates(n, RoundRobin::new(k))),
-        ("fair walk", WalkGen::fair(19).updates(n, RoundRobin::new(k))),
-        ("biased 0.3", WalkGen::biased(23, 0.3).updates(n, RoundRobin::new(k))),
+        (
+            "monotone",
+            MonotoneGen::ones().updates(n, RoundRobin::new(k)),
+        ),
+        (
+            "fair walk",
+            WalkGen::fair(19).updates(n, RoundRobin::new(k)),
+        ),
+        (
+            "biased 0.3",
+            WalkGen::biased(23, 0.3).updates(n, RoundRobin::new(k)),
+        ),
         (
             "nearly-mono b=2",
             NearlyMonotoneGen::new(29, 2.0, 0.45).updates(n, RoundRobin::new(k)),

@@ -41,15 +41,24 @@ fn main() {
         let v = Variability::of_stream(updates.iter().map(|u| u.delta));
 
         let mut det = DeterministicTracker::sim(k, eps);
-        let det_m = TrackerRunner::new(eps).run(&mut det, &updates).stats.total_messages();
+        let det_m = TrackerRunner::new(eps)
+            .run(&mut det, &updates)
+            .stats
+            .total_messages();
         let mut cmy = CmyCounter::sim(k, eps);
-        let cmy_m = TrackerRunner::new(eps).run(&mut cmy, &updates).stats.total_messages();
+        let cmy_m = TrackerRunner::new(eps)
+            .run(&mut cmy, &updates)
+            .stats
+            .total_messages();
 
         let rand_m: f64 = {
             let runs: Vec<f64> = (0..8)
                 .map(|s| {
                     let mut sim = RandomizedTracker::sim(k, eps, 100 + s);
-                    TrackerRunner::new(eps).run(&mut sim, &updates).stats.total_messages() as f64
+                    TrackerRunner::new(eps)
+                        .run(&mut sim, &updates)
+                        .stats
+                        .total_messages() as f64
                 })
                 .collect();
             Summary::of(&runs).mean
@@ -58,7 +67,10 @@ fn main() {
             let runs: Vec<f64> = (0..8)
                 .map(|s| {
                     let mut sim = HyzCounter::sim(k, eps, 200 + s);
-                    TrackerRunner::new(eps).run(&mut sim, &updates).stats.total_messages() as f64
+                    TrackerRunner::new(eps)
+                        .run(&mut sim, &updates)
+                        .stats
+                        .total_messages() as f64
                 })
                 .collect();
             Summary::of(&runs).mean
@@ -103,11 +115,17 @@ fn main() {
             vs.push(Variability::of_stream(updates.iter().map(|u| u.delta)));
             let mut det = DeterministicTracker::sim(k2, eps);
             det_ms.push(
-                TrackerRunner::new(eps).run(&mut det, &updates).stats.total_messages() as f64,
+                TrackerRunner::new(eps)
+                    .run(&mut det, &updates)
+                    .stats
+                    .total_messages() as f64,
             );
             let mut rnd = RandomizedTracker::sim(k2, eps, 400 + seed);
             rand_ms.push(
-                TrackerRunner::new(eps).run(&mut rnd, &updates).stats.total_messages() as f64,
+                TrackerRunner::new(eps)
+                    .run(&mut rnd, &updates)
+                    .stats
+                    .total_messages() as f64,
             );
         }
         let shape = Variability::thm22_shape(n);

@@ -71,9 +71,7 @@ fn main() {
     }
     t.print();
 
-    println!(
-        "\n-- lemma quantities --"
-    );
+    println!("\n-- lemma quantities --");
     let fam = RandSwitchFamily::new(0.25, 120.0, 10_000);
     println!(
         "mixing-time bound T <= 3/(2p) = {:.1} steps; match-probability exponent v/(32400·eps) = {:.4};\n\

@@ -35,8 +35,7 @@ fn main() {
     ]);
 
     for eps in [0.2f64, 0.1] {
-        let updates = ItemStreamGen::new(77, universe, 1.1, 0.35, 1)
-            .updates(n, RoundRobin::new(k));
+        let updates = ItemStreamGen::new(77, universe, 1.1, 0.35, 1).updates(n, RoundRobin::new(k));
 
         let mut exact = ExactFreqTracker::sim(k, eps, universe);
         let re = FreqRunner::new(eps, audit_every).run(&mut exact, &updates);
@@ -86,8 +85,8 @@ fn main() {
         ("balanced (35% deletes)", 0.35),
         ("churning (49.5% deletes)", 0.495),
     ] {
-        let updates = ItemStreamGen::new(5, 1_000, 1.1, delete_prob, 1)
-            .updates(n, RoundRobin::new(k));
+        let updates =
+            ItemStreamGen::new(5, 1_000, 1.1, delete_prob, 1).updates(n, RoundRobin::new(k));
         let mut sim = ExactFreqTracker::sim(k, 0.2, 1_000);
         let r = FreqRunner::new(0.2, n).run(&mut sim, &updates);
         t.row(vec![

@@ -32,7 +32,10 @@ fn main() {
         ("fair walk", WalkGen::fair(7).deltas(n)),
         ("biased 0.1", WalkGen::biased(9, 0.1).deltas(n)),
         ("hover 50", AdversarialGen::hover(50).deltas(n)),
-        ("zero-crossing", AdversarialGen::zero_crossing(20).deltas(20_000)),
+        (
+            "zero-crossing",
+            AdversarialGen::zero_crossing(20).deltas(20_000),
+        ),
     ];
     for eps in [0.2f64, 0.05, 0.01] {
         for (name, deltas) in &streams {

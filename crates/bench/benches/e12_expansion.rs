@@ -64,13 +64,7 @@ fn main() {
     t.print();
 
     println!("\n-- whole-stream expansion: bursty monotone with jumps <= J --");
-    let mut t = Table::new(&[
-        "max jump J",
-        "orig v",
-        "expanded v",
-        "overhead x",
-        "1+H(J)",
-    ]);
+    let mut t = Table::new(&["max jump J", "orig v", "expanded v", "overhead x", "1+H(J)"]);
     for j in [4i64, 16, 64, 256, 1024] {
         let deltas = MonotoneGen::jumps(11, j).deltas(20_000);
         let v_orig = Variability::of_stream(deltas.iter().copied());

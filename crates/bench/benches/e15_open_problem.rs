@@ -40,8 +40,7 @@ fn main() {
         "heavy share",
     ]);
     for k in [4usize, 16, 64] {
-        let updates =
-            ItemStreamGen::new(61, universe, 1.1, 0.35, 1).updates(n, RoundRobin::new(k));
+        let updates = ItemStreamGen::new(61, universe, 1.1, 0.35, 1).updates(n, RoundRobin::new(k));
 
         let mut det = ExactFreqTracker::sim(k, eps, universe);
         let det_msgs = FreqRunner::new(eps, n)

@@ -1,0 +1,260 @@
+//! Offline, API-compatible subset of the `criterion` crate.
+//!
+//! This workspace builds hermetically with no network access, so the real
+//! `criterion` cannot be fetched from a registry. This crate implements the
+//! surface the workspace's micro-benchmarks use — [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher::iter`] / [`Bencher::iter_batched`],
+//! [`Throughput`], [`BatchSize`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros — with compatible signatures, so switching
+//! the workspace dependency back to the registry `criterion = "0.5"` is a
+//! one-line change in the root `Cargo.toml`.
+//!
+//! Unlike the real crate there is no statistical analysis: each benchmark
+//! is calibrated to a short wall-clock window and the mean time per
+//! iteration is printed, with element throughput when declared. That is
+//! enough to compare hot paths between commits; for publication-grade
+//! numbers, swap in the real criterion.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], mirroring `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Target measurement window per benchmark. Kept short: these are smoke
+/// numbers, not publication statistics.
+const MEASURE_WINDOW: Duration = Duration::from_millis(200);
+
+/// Declared per-iteration workload, used to derive throughput lines.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Each iteration processes this many logical elements.
+    Elements(u64),
+    /// Each iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// How batches are sized for [`Bencher::iter_batched`]. The stub runs one
+/// setup per measured routine call regardless, so the variants only exist
+/// for signature compatibility.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs (setup dominates; batch of one).
+    LargeInput,
+    /// One routine call per batch.
+    PerIteration,
+}
+
+/// The benchmark driver handed to every registered function.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    /// Build a driver, honouring a substring filter passed on the command
+    /// line (`cargo bench --bench micro_sketch -- <filter>`).
+    fn default() -> Self {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        match &self.filter {
+            Some(f) => id.contains(f.as_str()),
+            None => true,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing a throughput declaration.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare the per-iteration workload for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Measure one benchmark function.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        if !self.criterion.matches(&id) {
+            return self;
+        }
+        let mut bencher = Bencher {
+            measurement: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut bencher);
+        report(&id, self.throughput, bencher.measurement, bencher.iters);
+        self
+    }
+
+    /// Close the group (printing is incremental, so this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// Runs and times the measured routine.
+pub struct Bencher {
+    measurement: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measure `routine`, called back-to-back in a calibrated loop.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: grow the batch until it fills ~1/10 of the window.
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let once = start.elapsed();
+            if once >= MEASURE_WINDOW / 10 || batch >= 1 << 40 {
+                break;
+            }
+            batch = batch.saturating_mul(2);
+        }
+        // Measure.
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < MEASURE_WINDOW {
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            iters += batch;
+        }
+        self.measurement = start.elapsed();
+        self.iters = iters;
+    }
+
+    /// Measure `routine` on fresh inputs built by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        while total < MEASURE_WINDOW {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+            iters += 1;
+        }
+        self.measurement = total;
+        self.iters = iters;
+    }
+}
+
+fn report(id: &str, throughput: Option<Throughput>, total: Duration, iters: u64) {
+    if iters == 0 {
+        println!("{id:<40} (not measured)");
+        return;
+    }
+    let per_iter = total.as_nanos() as f64 / iters as f64;
+    let mut line = format!("{id:<40} {:>12}/iter   ({iters} iters)", fmt_ns(per_iter));
+    match throughput {
+        Some(Throughput::Elements(n)) if n > 0 => {
+            let per_elem = per_iter / n as f64;
+            let rate = 1e9 / per_elem;
+            line.push_str(&format!("   {:>10.1} Melem/s", rate / 1e6));
+        }
+        Some(Throughput::Bytes(n)) if n > 0 => {
+            let per_byte = per_iter / n as f64;
+            let rate = 1e9 / per_byte;
+            line.push_str(&format!("   {:>10.1} MiB/s", rate / (1024.0 * 1024.0)));
+        }
+        _ => {}
+    }
+    println!("{line}");
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    }
+}
+
+/// Group benchmark functions under one name, mirror of
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = <$crate::Criterion as ::core::default::Default>::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `fn main` running benchmark groups, mirror of
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_reports() {
+        let mut c = Criterion { filter: None };
+        let mut g = c.benchmark_group("smoke");
+        g.throughput(Throughput::Elements(1));
+        let mut x = 0u64;
+        g.bench_function("add", |b| b.iter(|| x = x.wrapping_add(1)));
+        g.finish();
+        assert!(x > 0);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_call() {
+        let mut b = Bencher {
+            measurement: Duration::ZERO,
+            iters: 0,
+        };
+        b.iter_batched(
+            || vec![1u64; 8],
+            |v| v.iter().sum::<u64>(),
+            BatchSize::LargeInput,
+        );
+        assert!(b.iters > 0);
+        assert!(b.measurement >= MEASURE_WINDOW);
+    }
+}

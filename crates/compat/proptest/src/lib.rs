@@ -1,0 +1,402 @@
+//! Offline, API-compatible subset of the `proptest` crate.
+//!
+//! This workspace builds hermetically with no network access, so the real
+//! `proptest` cannot be fetched from a registry. This crate implements the
+//! surface the workspace's property tests use — the [`proptest!`] macro
+//! (with `#![proptest_config(..)]`), [`strategy::Strategy`] implementations
+//! for ranges / tuples / [`strategy::Just`] / [`prop_oneof!`] /
+//! `prop::collection::vec`,
+//! [`prelude::any`], and the `prop_assert*` macros — with compatible
+//! signatures, so switching the workspace dependency back to the registry
+//! `proptest = "1"` is a one-line change in the root `Cargo.toml`.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking.** A failing case reports its inputs (via the
+//!   `prop_assert*` message and the per-case seed) but is not minimized.
+//! * **Fixed derivation of cases.** Each test derives its RNG from a hash
+//!   of the test name and the case index, so runs are fully deterministic;
+//!   there is no persistence file.
+
+#![warn(missing_docs)]
+
+/// Namespaced strategy constructors (`prop::collection::vec`, ...), mirror
+/// of `proptest::prop`.
+pub mod prop {
+    /// Strategies for collections.
+    pub mod collection {
+        pub use crate::strategy::vec;
+    }
+}
+
+/// Everything a property test needs, mirror of `proptest::prelude`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::test_runner::{TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Strategies: typed recipes for generating arbitrary values.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// A recipe for generating values of type [`Strategy::Value`].
+    ///
+    /// Mirror of `proptest::strategy::Strategy`, reduced to generation
+    /// (no shrink tree).
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Erase the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// A type-erased strategy, mirror of `proptest::strategy::BoxedStrategy`.
+    pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate(rng)
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, i8, u16, i16, u32, i32, u64, i64, usize, isize, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+
+    /// Types with a canonical "any value" strategy, mirror of
+    /// `proptest::arbitrary::Arbitrary`.
+    pub trait Arbitrary: Sized {
+        /// Generate one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.gen::<bool>()
+        }
+    }
+
+    impl Arbitrary for u64 {
+        fn arbitrary(rng: &mut TestRng) -> u64 {
+            rng.gen::<u64>()
+        }
+    }
+
+    impl Arbitrary for u32 {
+        fn arbitrary(rng: &mut TestRng) -> u32 {
+            rng.gen::<u32>()
+        }
+    }
+
+    impl Arbitrary for i64 {
+        fn arbitrary(rng: &mut TestRng) -> i64 {
+            rng.gen::<u64>() as i64
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            rng.gen::<f64>()
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct AnyStrategy<T>(core::marker::PhantomData<fn() -> T>);
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// `any::<T>()` — the canonical strategy for all values of `T`.
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(core::marker::PhantomData)
+    }
+
+    /// The strategy returned by [`vec()`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: core::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            assert!(
+                self.size.start < self.size.end,
+                "prop::collection::vec: empty length range {:?}",
+                self.size
+            );
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `prop::collection::vec(element, len_range)` — vectors whose length is
+    /// drawn from `len_range` and whose elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// A uniform choice among type-erased strategies; the expansion target
+    /// of [`prop_oneof!`](crate::prop_oneof).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Choose uniformly among `options`. Panics if `options` is empty.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let ix = rng.gen_range(0..self.options.len());
+            self.options[ix].generate(rng)
+        }
+    }
+}
+
+/// The per-test driver: configuration, RNG, and failure type.
+pub mod test_runner {
+    pub use rand::rngs::SmallRng as TestRng;
+
+    /// Mirror of `proptest::test_runner::Config`, reduced to the number of
+    /// cases to run.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    /// Why a single generated case failed.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// A `prop_assert*` was violated.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Construct a failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+    }
+
+    impl core::fmt::Display for TestCaseError {
+        fn fmt(&self, fmt: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            match self {
+                TestCaseError::Fail(msg) => write!(fmt, "{msg}"),
+            }
+        }
+    }
+
+    /// FNV-1a, used to derive a per-test RNG seed from its name so every
+    /// property explores a distinct but deterministic stream of cases.
+    pub fn seed_for(test_name: &str, case: u64) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+
+    /// Construct the per-case RNG (kept here so the [`crate::proptest!`]
+    /// expansion does not need `rand` in the caller's namespace).
+    pub fn rng_for(seed: u64) -> TestRng {
+        <TestRng as rand::SeedableRng>::seed_from_u64(seed)
+    }
+}
+
+/// Assert a condition inside a [`proptest!`] property, failing the current
+/// case (not panicking directly) if it is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` for [`proptest!`] properties.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)*);
+    }};
+}
+
+/// `assert_ne!` for [`proptest!`] properties.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Uniform choice among strategies: `prop_oneof![s1, s2, ...]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Define property tests.
+///
+/// Mirror of `proptest::proptest!`: an optional
+/// `#![proptest_config(expr)]` inner attribute followed by any number of
+/// `#[test] fn name(pat in strategy, ...) { body }` items. Each property
+/// becomes a `#[test]` that generates `cases` inputs and runs the body on
+/// each; `prop_assert*` failures report the case number and per-case seed.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            config = (<$crate::test_runner::Config as ::core::default::Default>::default());
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: munches one `fn` item at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = ($config:expr);) => {};
+    (config = ($config:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $config;
+            for case in 0..config.cases as u64 {
+                let seed = $crate::test_runner::seed_for(stringify!($name), case);
+                let mut rng = $crate::test_runner::rng_for(seed);
+                let result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $(let $arg = $crate::strategy::Strategy::generate(
+                            &($strategy), &mut rng);)+
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                if let ::core::result::Result::Err(err) = result {
+                    panic!(
+                        "proptest '{}' failed at case {case} (seed {seed:#x}): {err}",
+                        stringify!($name),
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { config = ($config); $($rest)* }
+    };
+}

@@ -84,7 +84,11 @@ impl CmySite {
     /// Fresh site with error parameter `eps`.
     pub fn new(eps: f64) -> Self {
         assert!(eps > 0.0 && eps < 1.0);
-        CmySite { n_i: 0, last: 0, eps }
+        CmySite {
+            n_i: 0,
+            last: 0,
+            eps,
+        }
     }
 }
 

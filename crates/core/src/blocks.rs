@@ -25,9 +25,7 @@
 //!   steps contributes ≥ `1/(2^r·5k)`. We assert `1/10` and report the
 //!   measured per-block gains, which land between the two, in E4.)
 
-use dsv_net::{
-    CoordOutbox, CoordinatorNode, Outbox, SiteNode, Time, WireSize,
-};
+use dsv_net::{CoordOutbox, CoordinatorNode, Outbox, SiteNode, Time, WireSize};
 
 /// `⌈2^{r−1}⌉`: the per-site count threshold and the unit of the block
 /// quota.

@@ -104,10 +104,7 @@ mod tests {
     fn expansion_preserves_total() {
         let deltas = vec![5, -3, 0, 1, -1, 7];
         let expanded = expand_stream(&deltas);
-        assert_eq!(
-            expanded.iter().sum::<i64>(),
-            deltas.iter().sum::<i64>()
-        );
+        assert_eq!(expanded.iter().sum::<i64>(), deltas.iter().sum::<i64>());
         assert!(expanded.iter().all(|&d| (-1..=1).contains(&d)));
         assert_eq!(expanded.len(), 5 + 3 + 1 + 1 + 1 + 7);
     }
@@ -169,7 +166,11 @@ mod tests {
             assert!(ratio >= last_ratio - 1e-9, "ratio not growing");
             last_ratio = ratio;
             let h = Variability::harmonic(delta as u64);
-            assert!(ratio <= 1.0 + h + 1e-9, "ratio {ratio} > 1 + H = {}", 1.0 + h);
+            assert!(
+                ratio <= 1.0 + h + 1e-9,
+                "ratio {ratio} > 1 + H = {}",
+                1.0 + h
+            );
         }
     }
 }

@@ -36,7 +36,7 @@ use crate::blocks::{BlockConfig, BlockCoordinator, BlockSite};
 use dsv_net::{
     CoordOutbox, CoordinatorNode, ItemUpdate, Outbox, SiteNode, StarSim, Time, WireSize,
 };
-use dsv_sketch::{CounterMap, CountMinMap, CrPrecisMap, ExactCounts, FreqSketch, IdentityMap};
+use dsv_sketch::{CountMinMap, CounterMap, CrPrecisMap, ExactCounts, FreqSketch, IdentityMap};
 
 /// Site → coordinator messages of the frequency tracker.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -487,7 +487,11 @@ mod tests {
         let mut sim = ExactFreqTracker::sim(k, eps, universe);
         let report = FreqRunner::new(eps, 500).run(&mut sim, &updates);
         assert!(report.audits > 0);
-        assert_eq!(report.item_violations, 0, "max ratio {}", report.max_err_over_f1);
+        assert_eq!(
+            report.item_violations, 0,
+            "max ratio {}",
+            report.max_err_over_f1
+        );
         assert_eq!(report.f1_violations, 0);
     }
 
@@ -498,7 +502,11 @@ mod tests {
         let mut sim = CrPrecisFreqTracker::sim(k, eps, universe);
         let report = FreqRunner::new(eps, 500).run(&mut sim, &updates);
         assert!(report.audits > 0);
-        assert_eq!(report.item_violations, 0, "max ratio {}", report.max_err_over_f1);
+        assert_eq!(
+            report.item_violations, 0,
+            "max ratio {}",
+            report.max_err_over_f1
+        );
     }
 
     #[test]
@@ -550,14 +558,14 @@ mod tests {
     fn message_cost_scales_with_f1_variability() {
         // Mostly-insert stream: F1 grows ⇒ v(F1) = O(log n) ⇒ few messages.
         let (k, eps, universe) = (4, 0.2, 1_000);
-        let grow = ItemStreamGen::new(5, universe, 1.1, 0.05, 1)
-            .updates(40_000, RoundRobin::new(k));
+        let grow =
+            ItemStreamGen::new(5, universe, 1.1, 0.05, 1).updates(40_000, RoundRobin::new(k));
         let mut sim = ExactFreqTracker::sim(k, eps, universe);
         let r_grow = FreqRunner::new(eps, 40_000).run(&mut sim, &grow);
 
         // Heavy-churn stream at small F1: v is much larger ⇒ more messages.
-        let churn = ItemStreamGen::new(5, universe, 1.1, 0.495, 1)
-            .updates(40_000, RoundRobin::new(k));
+        let churn =
+            ItemStreamGen::new(5, universe, 1.1, 0.495, 1).updates(40_000, RoundRobin::new(k));
         let mut sim2 = ExactFreqTracker::sim(k, eps, universe);
         let r_churn = FreqRunner::new(eps, 40_000).run(&mut sim2, &churn);
 

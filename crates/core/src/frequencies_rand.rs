@@ -27,7 +27,7 @@
 use crate::blocks::{BlockConfig, BlockCoordinator, BlockSite};
 use crate::randomized::sampling_probability_with;
 use dsv_net::{CoordOutbox, CoordinatorNode, Outbox, SiteNode, StarSim, Time, WireSize};
-use dsv_sketch::{CounterMap, CountMinMap, IdentityMap};
+use dsv_sketch::{CountMinMap, CounterMap, IdentityMap};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -471,8 +471,7 @@ mod tests {
                 let budget = eps * truth.f1() as f64;
                 for item in 0..universe as u64 {
                     audits += 1;
-                    let err =
-                        (sim.coordinator().estimate_item(item) - truth.estimate(item)).abs();
+                    let err = (sim.coordinator().estimate_item(item) - truth.estimate(item)).abs();
                     if err as f64 > budget {
                         violations += 1;
                     }
@@ -514,8 +513,7 @@ mod tests {
                 let r = sim.coordinator().blocks().r();
                 let slack = k as f64 * eps * (1u64 << r) as f64 / 3.0;
                 for item in 0..universe as u64 {
-                    let err =
-                        (sim.coordinator().estimate_item(item) - truth.estimate(item)).abs();
+                    let err = (sim.coordinator().estimate_item(item) - truth.estimate(item)).abs();
                     assert!(
                         err as f64 <= slack + 1e-9,
                         "post-sync error {err} > {slack} for item {item}"

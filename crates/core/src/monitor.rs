@@ -161,7 +161,11 @@ mod tests {
         let eps = 0.2;
         let deltas = MonotoneGen::ones().deltas(5_000);
         for kind in MonitorKind::ALL {
-            let k_eff = if kind == MonitorKind::SingleSite { 1 } else { k };
+            let k_eff = if kind == MonitorKind::SingleSite {
+                1
+            } else {
+                k
+            };
             let mut mon = Monitor::new(kind, k_eff, eps, 7);
             assert_eq!(mon.kind(), kind);
             let mut f = 0i64;

@@ -257,8 +257,7 @@ impl CoordinatorNode for RandCoord {
                     self.sum_plus = 0.0;
                     self.sum_minus = 0.0;
                     self.r = r;
-                    self.p =
-                        sampling_probability_with(self.sample_const, self.eps, r, self.k);
+                    self.p = sampling_probability_with(self.sample_const, self.eps, r, self.k);
                     out.broadcast(RandDown::NewBlock { r });
                 }
             }
@@ -470,7 +469,10 @@ mod tests {
             let mut paper = RandomizedTracker::sim_with_constant(3.0, k, eps, 100 + seed);
             viol_paper += TrackerRunner::new(eps).run(&mut paper, &updates).violations;
         }
-        assert!(viol_small > viol_paper, "small {viol_small} vs paper {viol_paper}");
+        assert!(
+            viol_small > viol_paper,
+            "small {viol_small} vs paper {viol_paper}"
+        );
         assert!(viol_small > 0);
         // Paper constant stays within the 1/3 budget with a wide margin.
         assert!((viol_paper as f64) < 8.0 * n as f64 / 3.0);

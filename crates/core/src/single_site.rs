@@ -130,7 +130,11 @@ mod tests {
                 MonotoneGen::jumps(7, 50).deltas(5_000), // arbitrary integers!
             ] {
                 let (report, _) = run(eps, deltas);
-                assert_eq!(report.violations, 0, "eps={eps}: max {}", report.max_rel_err);
+                assert_eq!(
+                    report.violations, 0,
+                    "eps={eps}: max {}",
+                    report.max_rel_err
+                );
             }
         }
     }

@@ -154,7 +154,10 @@ mod tests {
         assert!(values.contains(&4));
         assert!(values.contains(&-4));
         assert!(values.iter().all(|&v| (-4..=4).contains(&v)));
-        let crossings = values.windows(2).filter(|w| w[0] == 0 || w[0].signum() != w[1].signum()).count();
+        let crossings = values
+            .windows(2)
+            .filter(|w| w[0] == 0 || w[0].signum() != w[1].signum())
+            .count();
         assert!(crossings >= 10, "crossings = {crossings}");
     }
 

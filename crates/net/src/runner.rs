@@ -205,7 +205,9 @@ mod tests {
     fn exact_tracker_never_violates() {
         let updates = walk_updates(500, 4);
         let mut sim = StarSim::with_k(4, |_| FwdSite, FwdCoord { sum: 0 });
-        let report = TrackerRunner::new(0.1).with_sampling(100).run(&mut sim, &updates);
+        let report = TrackerRunner::new(0.1)
+            .with_sampling(100)
+            .run(&mut sim, &updates);
         assert_eq!(report.n, 500);
         assert_eq!(report.violations, 0);
         assert_eq!(report.max_rel_err, 0.0);

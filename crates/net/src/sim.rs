@@ -258,7 +258,11 @@ mod tests {
     }
 
     fn echo_sim(k: usize) -> StarSim<EchoSite, EchoCoord> {
-        StarSim::with_k(k, |_| EchoSite { acks_seen: 0 }, EchoCoord { sum: 0, ups: 0 })
+        StarSim::with_k(
+            k,
+            |_| EchoSite { acks_seen: 0 },
+            EchoCoord { sum: 0, ups: 0 },
+        )
     }
 
     #[test]

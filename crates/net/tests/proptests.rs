@@ -2,8 +2,7 @@
 
 use dsv_net::message::{bits_per_word, MsgKind};
 use dsv_net::{
-    CommStats, CoordOutbox, CoordinatorNode, Outbox, SiteNode, StarSim, Time, TrackerRunner,
-    Update,
+    CommStats, CoordOutbox, CoordinatorNode, Outbox, SiteNode, StarSim, Time, TrackerRunner, Update,
 };
 use proptest::prelude::*;
 

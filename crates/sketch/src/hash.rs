@@ -81,7 +81,9 @@ impl HashFamily {
     pub fn new(rows: usize, w: u64, seed: u64) -> Self {
         let mut rng = SmallRng::seed_from_u64(seed);
         HashFamily {
-            fns: (0..rows).map(|_| PairwiseHash::random(w, &mut rng)).collect(),
+            fns: (0..rows)
+                .map(|_| PairwiseHash::random(w, &mut rng))
+                .collect(),
         }
     }
 
@@ -119,11 +121,7 @@ mod tests {
             (MERSENNE61 as u128) * (MERSENNE61 as u128),
         ];
         for x in cases {
-            assert_eq!(
-                mod_mersenne61(x) as u128,
-                x % MERSENNE61 as u128,
-                "x = {x}"
-            );
+            assert_eq!(mod_mersenne61(x) as u128, x % MERSENNE61 as u128, "x = {x}");
         }
     }
 

@@ -35,7 +35,7 @@ pub use crprecis::CrPrecis;
 pub use exact::ExactCounts;
 pub use hash::{HashFamily, PairwiseHash};
 pub use primes::{is_prime, primes_from};
-pub use reduce::{CounterMap, CountMinMap, CrPrecisMap, IdentityMap};
+pub use reduce::{CountMinMap, CounterMap, CrPrecisMap, IdentityMap};
 
 /// Common interface of the frequency summaries used by Appendix H.
 pub trait FreqSketch {

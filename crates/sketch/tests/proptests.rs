@@ -1,7 +1,7 @@
 //! Property-based tests for the sketching substrate.
 
 use dsv_sketch::{
-    is_prime, primes_from, CounterMap, CountMin, CountMinMap, CrPrecis, CrPrecisMap, ExactCounts,
+    is_prime, primes_from, CountMin, CountMinMap, CounterMap, CrPrecis, CrPrecisMap, ExactCounts,
     FreqSketch, IdentityMap, PairwiseHash,
 };
 use proptest::prelude::*;

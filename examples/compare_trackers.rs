@@ -19,7 +19,10 @@ fn main() {
 
     let workloads: Vec<(&str, Vec<i64>)> = vec![
         ("monotone", MonotoneGen::ones().deltas(n)),
-        ("nearly-monotone", NearlyMonotoneGen::new(3, 2.0, 0.45).deltas(n)),
+        (
+            "nearly-monotone",
+            NearlyMonotoneGen::new(3, 2.0, 0.45).deltas(n),
+        ),
         ("biased walk 0.2", WalkGen::biased(5, 0.2).deltas(n)),
         ("fair walk", WalkGen::fair(7).deltas(n)),
         ("hover 100", AdversarialGen::hover(100).deltas(n)),

@@ -64,7 +64,10 @@ fn main() {
         let tru = truth[(t - 1) as usize];
         let err = (tru - ans).abs() as f64 / tru.max(1) as f64;
         worst = worst.max(err);
-        println!("  t = {t:>7}: {tru:>7} rows, answered {ans:>7}  ({:.3}%)", err * 100.0);
+        println!(
+            "  t = {t:>7}: {tru:>7} rows, answered {ans:>7}  ({:.3}%)",
+            err * 100.0
+        );
     }
 
     // Exhaustive check of the ε-guarantee at every historical instant.

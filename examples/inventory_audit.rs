@@ -22,8 +22,7 @@ fn main() {
     let n = 80_000u64;
 
     // Zipf(1.2) demand, 30% shipments, inventory never below 1.
-    let updates =
-        ItemStreamGen::new(2024, universe, 1.2, 0.30, 1).updates(n, RoundRobin::new(k));
+    let updates = ItemStreamGen::new(2024, universe, 1.2, 0.30, 1).updates(n, RoundRobin::new(k));
 
     println!("workload: {n} stock movements over {universe} SKUs at {k} warehouses\n");
     println!("variant          msgs      coord space   audited err   violations");

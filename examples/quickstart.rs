@@ -76,6 +76,9 @@ fn main() {
         churn_report.stats.total_messages()
     );
 
-    assert_eq!(report.violations, 0, "the deterministic guarantee is unconditional");
+    assert_eq!(
+        report.violations, 0,
+        "the deterministic guarantee is unconditional"
+    );
     assert_eq!(churn_report.violations, 0);
 }

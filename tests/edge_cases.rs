@@ -23,7 +23,9 @@ fn stream_shorter_than_k() {
     // Fewer updates than sites: the first block never completes; tracking
     // must still be exact (r = 0 forwards everything).
     let k = 16;
-    let updates: Vec<Update> = (1..=5).map(|t| Update::new(t, (t as usize) % k, -1)).collect();
+    let updates: Vec<Update> = (1..=5)
+        .map(|t| Update::new(t, (t as usize) % k, -1))
+        .collect();
     let mut sim = DeterministicTracker::sim(k, 0.2);
     let report = TrackerRunner::new(0.2).run(&mut sim, &updates);
     assert_eq!(report.max_rel_err, 0.0);
@@ -102,7 +104,11 @@ fn very_large_values_do_not_overflow_radius_math() {
 fn monitor_facade_runs_every_kind_end_to_end() {
     let deltas = MonotoneGen::ones().deltas(2_000);
     for kind in MonitorKind::ALL {
-        let k = if kind == MonitorKind::SingleSite { 1 } else { 3 };
+        let k = if kind == MonitorKind::SingleSite {
+            1
+        } else {
+            3
+        };
         let mut mon = Monitor::new(kind, k, 0.25, 11);
         for (i, &d) in deltas.iter().enumerate() {
             mon.step(i % k, d);

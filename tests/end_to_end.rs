@@ -5,8 +5,14 @@ use dsv::prelude::*;
 
 fn workload_suite(n: u64, k: usize) -> Vec<(&'static str, Vec<Update>)> {
     vec![
-        ("monotone", MonotoneGen::ones().updates(n, RoundRobin::new(k))),
-        ("fair-walk", WalkGen::fair(101).updates(n, RoundRobin::new(k))),
+        (
+            "monotone",
+            MonotoneGen::ones().updates(n, RoundRobin::new(k)),
+        ),
+        (
+            "fair-walk",
+            WalkGen::fair(101).updates(n, RoundRobin::new(k)),
+        ),
         (
             "biased-walk",
             WalkGen::biased(103, 0.25).updates(n, RandomAssign::new(k, 5)),
@@ -15,7 +21,10 @@ fn workload_suite(n: u64, k: usize) -> Vec<(&'static str, Vec<Update>)> {
             "nearly-monotone",
             NearlyMonotoneGen::new(107, 2.0, 0.45).updates(n, RoundRobin::new(k)),
         ),
-        ("hover-20", AdversarialGen::hover(20).updates(n, RoundRobin::new(k))),
+        (
+            "hover-20",
+            AdversarialGen::hover(20).updates(n, RoundRobin::new(k)),
+        ),
         (
             "zero-crossing",
             AdversarialGen::zero_crossing(7).updates(n / 4, RandomAssign::new(k, 9)),
@@ -84,7 +93,10 @@ fn single_site_tracker_arbitrary_aggregates() {
     let streams: Vec<(&str, Vec<i64>)> = vec![
         ("jumps", MonotoneGen::jumps(3, 1000).deltas(5_000)),
         ("walk", WalkGen::fair(5).deltas(30_000)),
-        ("zero-crossing", AdversarialGen::zero_crossing(3).deltas(5_000)),
+        (
+            "zero-crossing",
+            AdversarialGen::zero_crossing(3).deltas(5_000),
+        ),
     ];
     for eps in [0.3f64, 0.07] {
         for (name, deltas) in &streams {
@@ -94,8 +106,7 @@ fn single_site_tracker_arbitrary_aggregates() {
             let report = TrackerRunner::new(eps).run(&mut sim, &updates);
             assert_eq!(report.violations, 0, "{name} eps={eps}");
             assert!(
-                (report.stats.total_messages() as f64)
-                    <= SingleSiteTracker::message_bound(eps, v),
+                (report.stats.total_messages() as f64) <= SingleSiteTracker::message_bound(eps, v),
                 "{name} eps={eps}"
             );
         }

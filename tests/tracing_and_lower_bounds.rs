@@ -173,7 +173,10 @@ fn rand_family_overlap_statistics() {
         assert!(a.variability() <= fam.v + 1e-9);
     }
     assert!(matches <= 1, "{matches} matches out of 40 pairs");
-    assert!(max_overlap_frac < 0.65, "max overlap fraction {max_overlap_frac}");
+    assert!(
+        max_overlap_frac < 0.65,
+        "max overlap fraction {max_overlap_frac}"
+    );
 }
 
 #[test]
