@@ -16,11 +16,30 @@ cargo build --release
 step "cargo test --workspace -q (superset of the tier-1 'cargo test -q')"
 cargo test --workspace -q
 
-step "cargo build --examples"
-cargo build --examples
+step "cargo build --release --examples"
+cargo build --release --examples
+
+step "run all 5 examples (API regressions in non-test binaries fail here)"
+for ex in quickstart compare_trackers network_monitor history_audit inventory_audit; do
+    printf -- '-- example %s\n' "$ex"
+    cargo run -q --release --example "$ex" > /dev/null
+done
 
 step "cargo bench --no-run --workspace (compile all 17 bench targets)"
 cargo bench --no-run --workspace
+
+step "1s smoke run of one e* bench binary"
+# The e* binaries are full experiments; a 1-second slice is enough to
+# catch panics on their startup path. timeout exit 124 (alarm fired
+# while the bench was still happily running) counts as success.
+bench_bin=$(ls -t target/release/deps/e11_single_site-* 2>/dev/null | grep -v '\.d$' | head -1)
+[ -n "$bench_bin" ] || { echo "e11 bench binary not found"; exit 1; }
+rc=0
+timeout 1s "$bench_bin" > /dev/null 2>&1 || rc=$?
+if [ "$rc" -ne 0 ] && [ "$rc" -ne 124 ]; then
+    echo "bench smoke run failed with exit code $rc"
+    exit 1
+fi
 
 step "cargo doc --no-deps --workspace (warning-free)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace

@@ -3,10 +3,11 @@
 
 use dsv_bench::table::f;
 use dsv_bench::{banner, Table};
+use dsv_core::api::{Driver, TrackerKind, TrackerSpec};
 use dsv_core::deterministic::DeterministicTracker;
 use dsv_core::variability::Variability;
 use dsv_gen::{AdversarialGen, DeltaGen, MonotoneGen, NearlyMonotoneGen, RoundRobin, WalkGen};
-use dsv_net::{TrackerRunner, Update};
+use dsv_net::Update;
 
 fn workloads(n: u64, k: usize) -> Vec<(&'static str, Vec<Update>)> {
     vec![
@@ -56,8 +57,16 @@ fn main() {
         for eps in [0.2f64, 0.05] {
             for (name, updates) in workloads(n, k) {
                 let v = Variability::of_stream(updates.iter().map(|u| u.delta));
-                let mut sim = DeterministicTracker::sim(k, eps);
-                let report = TrackerRunner::new(eps).run(&mut sim, &updates);
+                let mut tracker = TrackerSpec::new(TrackerKind::Deterministic)
+                    .k(k)
+                    .eps(eps)
+                    .deletions(true)
+                    .build()
+                    .expect("valid spec");
+                let report = Driver::new(eps)
+                    .expect("valid eps")
+                    .run(&mut tracker, &updates)
+                    .expect("deterministic tracker accepts deletions");
                 let bound = DeterministicTracker::message_bound(k, eps, v);
                 let msgs = report.stats.total_messages();
                 t.row(vec![

@@ -3,10 +3,11 @@
 
 use dsv_bench::table::f;
 use dsv_bench::{banner, Summary, Table};
+use dsv_core::api::{Driver, TrackerKind, TrackerSpec};
 use dsv_core::randomized::RandomizedTracker;
 use dsv_core::variability::Variability;
 use dsv_gen::{DeltaGen, MonotoneGen, NearlyMonotoneGen, RoundRobin, WalkGen};
-use dsv_net::{TrackerRunner, Update};
+use dsv_net::Update;
 
 fn workloads(n: u64, k: usize) -> Vec<(&'static str, Vec<Update>)> {
     vec![
@@ -54,9 +55,18 @@ fn main() {
                 let v = Variability::of_stream(updates.iter().map(|u| u.delta));
                 let mut viols = 0u64;
                 let mut msgs = Vec::new();
+                let driver = Driver::new(eps).expect("valid eps");
                 for seed in 0..trials {
-                    let mut sim = RandomizedTracker::sim(k, eps, 5_000 + seed);
-                    let report = TrackerRunner::new(eps).run(&mut sim, &updates);
+                    let mut tracker = TrackerSpec::new(TrackerKind::Randomized)
+                        .k(k)
+                        .eps(eps)
+                        .seed(5_000 + seed)
+                        .deletions(true)
+                        .build()
+                        .expect("valid spec");
+                    let report = driver
+                        .run(&mut tracker, &updates)
+                        .expect("randomized tracker accepts deletions");
                     viols += report.violations;
                     msgs.push(report.stats.total_messages() as f64);
                 }

@@ -9,12 +9,26 @@
 
 use dsv_bench::table::f;
 use dsv_bench::{banner, Summary, Table};
-use dsv_core::baselines::{CmyCounter, HyzCounter};
-use dsv_core::deterministic::DeterministicTracker;
-use dsv_core::randomized::RandomizedTracker;
+use dsv_core::api::{Driver, TrackerKind, TrackerSpec};
 use dsv_core::variability::Variability;
 use dsv_gen::{DeltaGen, MonotoneGen, RoundRobin, WalkGen};
-use dsv_net::TrackerRunner;
+use dsv_net::Update;
+
+/// Total messages of one spec-built tracker over `updates`.
+fn messages(kind: TrackerKind, k: usize, eps: f64, seed: u64, updates: &[Update]) -> u64 {
+    let mut tracker = TrackerSpec::new(kind)
+        .k(k)
+        .eps(eps)
+        .seed(seed)
+        .build()
+        .expect("valid spec");
+    Driver::new(eps)
+        .expect("valid eps")
+        .run(&mut tracker, updates)
+        .expect("stream fits this kind")
+        .stats
+        .total_messages()
+}
 
 fn main() {
     banner(
@@ -40,38 +54,18 @@ fn main() {
         let updates = MonotoneGen::ones().updates(n, RoundRobin::new(k));
         let v = Variability::of_stream(updates.iter().map(|u| u.delta));
 
-        let mut det = DeterministicTracker::sim(k, eps);
-        let det_m = TrackerRunner::new(eps)
-            .run(&mut det, &updates)
-            .stats
-            .total_messages();
-        let mut cmy = CmyCounter::sim(k, eps);
-        let cmy_m = TrackerRunner::new(eps)
-            .run(&mut cmy, &updates)
-            .stats
-            .total_messages();
+        let det_m = messages(TrackerKind::Deterministic, k, eps, 0, &updates);
+        let cmy_m = messages(TrackerKind::CmyMonotone, k, eps, 0, &updates);
 
         let rand_m: f64 = {
             let runs: Vec<f64> = (0..8)
-                .map(|s| {
-                    let mut sim = RandomizedTracker::sim(k, eps, 100 + s);
-                    TrackerRunner::new(eps)
-                        .run(&mut sim, &updates)
-                        .stats
-                        .total_messages() as f64
-                })
+                .map(|s| messages(TrackerKind::Randomized, k, eps, 100 + s, &updates) as f64)
                 .collect();
             Summary::of(&runs).mean
         };
         let hyz_m: f64 = {
             let runs: Vec<f64> = (0..8)
-                .map(|s| {
-                    let mut sim = HyzCounter::sim(k, eps, 200 + s);
-                    TrackerRunner::new(eps)
-                        .run(&mut sim, &updates)
-                        .stats
-                        .total_messages() as f64
-                })
+                .map(|s| messages(TrackerKind::HyzMonotone, k, eps, 200 + s, &updates) as f64)
                 .collect();
             Summary::of(&runs).mean
         };
@@ -113,20 +107,8 @@ fn main() {
         for seed in 0..16u64 {
             let updates = WalkGen::fair(3_000 + seed).updates(n, RoundRobin::new(k2));
             vs.push(Variability::of_stream(updates.iter().map(|u| u.delta)));
-            let mut det = DeterministicTracker::sim(k2, eps);
-            det_ms.push(
-                TrackerRunner::new(eps)
-                    .run(&mut det, &updates)
-                    .stats
-                    .total_messages() as f64,
-            );
-            let mut rnd = RandomizedTracker::sim(k2, eps, 400 + seed);
-            rand_ms.push(
-                TrackerRunner::new(eps)
-                    .run(&mut rnd, &updates)
-                    .stats
-                    .total_messages() as f64,
-            );
+            det_ms.push(messages(TrackerKind::Deterministic, k2, eps, 0, &updates) as f64);
+            rand_ms.push(messages(TrackerKind::Randomized, k2, eps, 400 + seed, &updates) as f64);
         }
         let shape = Variability::thm22_shape(n);
         t.row(vec![

@@ -7,10 +7,32 @@
 
 use dsv_bench::table::f;
 use dsv_bench::{banner, Table};
-use dsv_core::frequencies::{
-    CountMinFreqTracker, CrPrecisFreqTracker, ExactFreqTracker, FreqRunner,
-};
+use dsv_core::api::{ItemDriver, ItemRunReport, TrackerKind, TrackerSpec};
 use dsv_gen::{ItemStreamGen, RoundRobin};
+use dsv_net::ItemUpdate;
+
+/// Build one frequency kind from the spec and audit it over `updates`.
+fn audit(
+    kind: TrackerKind,
+    k: usize,
+    eps: f64,
+    universe: usize,
+    audit_every: u64,
+    updates: &[ItemUpdate],
+) -> ItemRunReport {
+    let mut tracker = TrackerSpec::new(kind)
+        .k(k)
+        .eps(eps)
+        .seed(99)
+        .universe(universe)
+        .build_item()
+        .expect("valid spec");
+    ItemDriver::new(eps)
+        .expect("valid eps")
+        .with_item_audit(audit_every)
+        .run_items(&mut tracker, updates)
+        .expect("item streams fit every frequency kind")
+}
 
 fn main() {
     banner(
@@ -37,44 +59,23 @@ fn main() {
     for eps in [0.2f64, 0.1] {
         let updates = ItemStreamGen::new(77, universe, 1.1, 0.35, 1).updates(n, RoundRobin::new(k));
 
-        let mut exact = ExactFreqTracker::sim(k, eps, universe);
-        let re = FreqRunner::new(eps, audit_every).run(&mut exact, &updates);
-        t.row(vec![
-            "exact per-item".into(),
-            f(eps),
-            re.audits.to_string(),
-            f(re.item_violation_rate()),
-            f(re.max_err_over_f1),
-            re.f1_violations.to_string(),
-            re.stats.total_messages().to_string(),
-            re.coord_space_words.to_string(),
-        ]);
-
-        let mut cm = CountMinFreqTracker::sim(k, eps, 99);
-        let rc = FreqRunner::new(eps, audit_every).run(&mut cm, &updates);
-        t.row(vec![
-            "Count-Min".into(),
-            f(eps),
-            rc.audits.to_string(),
-            f(rc.item_violation_rate()),
-            f(rc.max_err_over_f1),
-            rc.f1_violations.to_string(),
-            rc.stats.total_messages().to_string(),
-            rc.coord_space_words.to_string(),
-        ]);
-
-        let mut cr = CrPrecisFreqTracker::sim(k, eps, universe as u64);
-        let rr = FreqRunner::new(eps, audit_every).run(&mut cr, &updates);
-        t.row(vec![
-            "CR-precis".into(),
-            f(eps),
-            rr.audits.to_string(),
-            f(rr.item_violation_rate()),
-            f(rr.max_err_over_f1),
-            rr.f1_violations.to_string(),
-            rr.stats.total_messages().to_string(),
-            rr.coord_space_words.to_string(),
-        ]);
+        for (label, kind) in [
+            ("exact per-item", TrackerKind::ExactFreq),
+            ("Count-Min", TrackerKind::CountMinFreq),
+            ("CR-precis", TrackerKind::CrPrecisFreq),
+        ] {
+            let r = audit(kind, k, eps, universe, audit_every, &updates);
+            t.row(vec![
+                label.into(),
+                f(eps),
+                r.audits.to_string(),
+                f(r.item_violation_rate()),
+                f(r.max_err_over_f1),
+                r.run.violations.to_string(),
+                r.run.stats.total_messages().to_string(),
+                r.coord_space_words.to_string(),
+            ]);
+        }
     }
     t.print();
 
@@ -87,13 +88,12 @@ fn main() {
     ] {
         let updates =
             ItemStreamGen::new(5, 1_000, 1.1, delete_prob, 1).updates(n, RoundRobin::new(k));
-        let mut sim = ExactFreqTracker::sim(k, 0.2, 1_000);
-        let r = FreqRunner::new(0.2, n).run(&mut sim, &updates);
+        let r = audit(TrackerKind::ExactFreq, k, 0.2, 1_000, n, &updates);
         t.row(vec![
             name.into(),
-            r.final_f1.to_string(),
-            r.stats.total_messages().to_string(),
-            f(r.stats.total_messages() as f64 / n as f64),
+            r.run.final_f.to_string(),
+            r.run.stats.total_messages().to_string(),
+            f(r.run.stats.total_messages() as f64 / n as f64),
         ]);
     }
     t.print();

@@ -4,10 +4,10 @@
 
 use dsv_bench::table::f;
 use dsv_bench::{banner, Table};
+use dsv_core::api::{Driver, TrackerKind, TrackerSpec};
 use dsv_core::single_site::SingleSiteTracker;
 use dsv_core::variability::Variability;
 use dsv_gen::{assign_updates, AdversarialGen, DeltaGen, MonotoneGen, SingleSite, WalkGen};
-use dsv_net::TrackerRunner;
 
 fn main() {
     banner(
@@ -41,8 +41,16 @@ fn main() {
         for (name, deltas) in &streams {
             let v = Variability::of_stream(deltas.iter().copied());
             let updates = assign_updates(deltas, SingleSite::solo());
-            let mut sim = SingleSiteTracker::sim(eps);
-            let report = TrackerRunner::new(eps).run(&mut sim, &updates);
+            let mut tracker = TrackerSpec::new(TrackerKind::SingleSite)
+                .k(1)
+                .eps(eps)
+                .deletions(true)
+                .build()
+                .expect("k = 1 satisfies the single-site requirement");
+            let report = Driver::new(eps)
+                .expect("valid eps")
+                .run(&mut tracker, &updates)
+                .expect("single-site tracker accepts arbitrary integer updates");
             let bound = SingleSiteTracker::message_bound(eps, v);
             let msgs = report.stats.total_messages();
             t.row(vec![

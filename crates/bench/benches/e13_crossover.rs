@@ -9,11 +9,9 @@
 
 use dsv_bench::table::f;
 use dsv_bench::{banner, Table};
-use dsv_core::deterministic::DeterministicTracker;
-use dsv_core::randomized::RandomizedTracker;
+use dsv_core::api::{Driver, TrackerKind, TrackerSpec};
 use dsv_core::variability::Variability;
 use dsv_gen::{AdversarialGen, DeltaGen, RoundRobin};
-use dsv_net::TrackerRunner;
 
 fn main() {
     banner(
@@ -40,17 +38,31 @@ fn main() {
         let updates = AdversarialGen::hover(level).updates(n, RoundRobin::new(k));
         let v = Variability::of_stream(updates.iter().map(|u| u.delta));
 
-        let mut det = DeterministicTracker::sim(k, eps);
-        let det_m = TrackerRunner::new(eps)
+        let driver = Driver::new(eps).expect("valid eps");
+        let mut det = TrackerSpec::new(TrackerKind::Deterministic)
+            .k(k)
+            .eps(eps)
+            .deletions(true)
+            .build()
+            .expect("valid spec");
+        let det_m = driver
             .run(&mut det, &updates)
+            .expect("deterministic tracker accepts deletions")
             .stats
             .total_messages();
 
         let rand_m: f64 = (0..trials)
             .map(|s| {
-                let mut sim = RandomizedTracker::sim(k, eps, 900 + s);
-                TrackerRunner::new(eps)
-                    .run(&mut sim, &updates)
+                let mut tracker = TrackerSpec::new(TrackerKind::Randomized)
+                    .k(k)
+                    .eps(eps)
+                    .seed(900 + s)
+                    .deletions(true)
+                    .build()
+                    .expect("valid spec");
+                driver
+                    .run(&mut tracker, &updates)
+                    .expect("randomized tracker accepts deletions")
                     .stats
                     .total_messages() as f64
             })

@@ -7,10 +7,9 @@
 
 use dsv_bench::table::f;
 use dsv_bench::{banner, Summary, Table};
-use dsv_core::randomized::RandomizedTracker;
+use dsv_core::api::{Driver, TrackerKind, TrackerSpec};
 use dsv_core::variability::Variability;
 use dsv_gen::{DeltaGen, RoundRobin, WalkGen};
-use dsv_net::TrackerRunner;
 
 fn main() {
     banner(
@@ -37,9 +36,19 @@ fn main() {
     for c in [0.5f64, 1.0, 2.0, 3.0, 6.0, 12.0] {
         let mut viol = 0u64;
         let mut msgs = Vec::new();
+        let driver = Driver::new(eps).expect("valid eps");
         for seed in 0..trials {
-            let mut sim = RandomizedTracker::sim_with_constant(c, k, eps, 7_000 + seed);
-            let report = TrackerRunner::new(eps).run(&mut sim, &updates);
+            let mut tracker = TrackerSpec::new(TrackerKind::Randomized)
+                .k(k)
+                .eps(eps)
+                .seed(7_000 + seed)
+                .sample_const(c)
+                .deletions(true)
+                .build()
+                .expect("valid spec");
+            let report = driver
+                .run(&mut tracker, &updates)
+                .expect("randomized tracker accepts deletions");
             viol += report.violations;
             msgs.push(report.stats.total_messages() as f64);
         }

@@ -16,7 +16,7 @@
 
 use dsv_bench::table::f;
 use dsv_bench::{banner, Table};
-use dsv_core::frequencies::{ExactFreqTracker, FreqRunner};
+use dsv_core::api::{ItemDriver, ItemTracker, Tracker, TrackerKind, TrackerSpec};
 use dsv_core::frequencies_rand::RandFreqTracker;
 use dsv_gen::{ItemStreamGen, RoundRobin};
 
@@ -42,9 +42,17 @@ fn main() {
     for k in [4usize, 16, 64] {
         let updates = ItemStreamGen::new(61, universe, 1.1, 0.35, 1).updates(n, RoundRobin::new(k));
 
-        let mut det = ExactFreqTracker::sim(k, eps, universe);
-        let det_msgs = FreqRunner::new(eps, n)
-            .run(&mut det, &updates)
+        let mut det = TrackerSpec::new(TrackerKind::ExactFreq)
+            .k(k)
+            .eps(eps)
+            .universe(universe)
+            .build_item()
+            .expect("valid spec");
+        let det_msgs = ItemDriver::new(eps)
+            .expect("valid eps")
+            .run_items(&mut det, &updates)
+            .expect("item streams fit every frequency kind")
+            .run
             .stats
             .total_messages();
 
@@ -79,21 +87,29 @@ fn main() {
     println!("\n-- accuracy of the candidate (should be usable despite the cost) --");
     let k = 8;
     let updates = ItemStreamGen::new(67, universe, 1.1, 0.35, 1).updates(n, RoundRobin::new(k));
+    let mut tracker = TrackerSpec::new(TrackerKind::RandFreq)
+        .k(k)
+        .eps(eps)
+        .universe(universe)
+        .seed(99)
+        .build_item()
+        .expect("valid spec");
+    // Audit the FULL universe at each checkpoint, not just items seen so
+    // far (the ItemDriver's audit set): sampled drift misattributed to a
+    // never-seen item must count against the candidate too, and the rate's
+    // denominator stays comparable across runs.
     let mut truth = dsv_sketch::ExactCounts::new();
     use dsv_sketch::FreqSketch;
-    let mut sim = RandFreqTracker::sim_exact(k, eps, universe, 99);
     let mut audits = 0u64;
     let mut violations = 0u64;
     for u in &updates {
         truth.update(u.item, u.delta);
-        sim.step(u.site, (u.item, u.delta));
+        tracker.step(u.site, (u.item, u.delta));
         if u.time % 2_000 == 0 {
             let budget = eps * truth.f1() as f64;
             for item in 0..universe as u64 {
                 audits += 1;
-                if (sim.coordinator().estimate_item(item) - truth.estimate(item)).abs() as f64
-                    > budget
-                {
+                if (tracker.estimate_item(item) - truth.estimate(item)).abs() as f64 > budget {
                     violations += 1;
                 }
             }

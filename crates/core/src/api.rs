@@ -1,0 +1,1469 @@
+//! The unified tracker API: one object-safe front door over every
+//! algorithm in this crate.
+//!
+//! Downstream users want "give me a tracker with guarantee X" plus one
+//! `step`/`estimate`/`stats` interface — for the counting problem (§3, §5.2)
+//! *and* the item-frequency problem (§5.1) — without naming concrete
+//! site/coordinator types and without panicking on misconfiguration. This
+//! module provides exactly that seam:
+//!
+//! * [`Tracker`] — an object-safe trait implemented (via a blanket impl)
+//!   by every [`StarSim`] whose protocol pair is registered with
+//!   [`KnownKind`], so `Box<dyn Tracker>` replaces per-algorithm enums and
+//!   match dispatch;
+//! * [`ItemTracker`] — the item-frequency extension (`estimate_item`,
+//!   coordinator space) over `Tracker<(u64, i64)>`;
+//! * [`TrackerKind`] — the registry of all ten algorithms (six counting,
+//!   four frequency) with their capabilities ([`KindInfo`]);
+//! * [`TrackerSpec`] — a fallible builder whose
+//!   [`build`](TrackerSpec::build) /
+//!   [`build_item`](TrackerSpec::build_item) return typed
+//!   [`BuildError`]s instead of panicking on `SingleSite` with `k ≠ 1`,
+//!   deletions into monotone kinds, missing universes, and the like;
+//! * [`Driver`] — a single generic runner unifying the old
+//!   `dsv_net::TrackerRunner` (counting, `In = i64`) and
+//!   `frequencies::FreqRunner` (items, `In = (u64, i64)`) stacks: same
+//!   [`RunReport`], same probe sampling, same violation accounting, plus
+//!   the paper's `q`-floor as an opt-in audit knob
+//!   ([`Driver::with_floor`]).
+//!
+//! The deprecated `monitor::Monitor` enum remains as a thin shim for one
+//! release; see the workspace `MIGRATION.md` for the old-to-new mapping.
+//!
+//! # Example
+//!
+//! ```
+//! use dsv_core::api::{Driver, TrackerKind, TrackerSpec};
+//! use dsv_net::Update;
+//!
+//! let mut tracker = TrackerSpec::new(TrackerKind::Deterministic)
+//!     .k(4)
+//!     .eps(0.1)
+//!     .deletions(true)
+//!     .build()
+//!     .unwrap();
+//! let updates: Vec<Update> = (1..=100)
+//!     .map(|t| Update::new(t, (t % 4) as usize, if t % 3 == 0 { -1 } else { 1 }))
+//!     .collect();
+//! let report = Driver::new(0.1).unwrap().run(&mut tracker, &updates).unwrap();
+//! assert_eq!(report.violations, 0);
+//! ```
+
+use crate::baselines::{CmyCoord, CmySite, HyzCoord, HyzSite, NaiveCoord, NaiveSite};
+use crate::deterministic::{DetCoord, DetSite};
+use crate::frequencies::{FreqCoord, FreqSite};
+use crate::frequencies_rand::{RFreqCoord, RFreqSite};
+use crate::randomized::{RandCoord, RandSite};
+use crate::single_site::{SsCoord, SsSite};
+use dsv_net::{
+    relative_error, relative_error_floored, CommStats, ConfigError, CoordinatorNode, ErrorProbe,
+    ItemUpdate, RunReport, SiteId, SiteNode, StarSim, Time, Update,
+};
+use dsv_sketch::{CountMinMap, CounterMap, CrPrecisMap, ExactCounts, FreqSketch, IdentityMap};
+use std::marker::PhantomData;
+
+// ---------------------------------------------------------------------------
+// The kind registry.
+// ---------------------------------------------------------------------------
+
+/// Which tracking problem an algorithm solves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Problem {
+    /// Track one distributed count `f(n)` (§3, §5.2).
+    Counting,
+    /// Track every item frequency within `ε·F1(n)` (§5.1 / Appendix H).
+    Frequencies,
+}
+
+impl Problem {
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Problem::Counting => "counting",
+            Problem::Frequencies => "item frequencies",
+        }
+    }
+}
+
+/// Static capability record for a [`TrackerKind`] — the registry entry the
+/// builder validates against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KindInfo {
+    /// Human-readable label (stable; used in tables and sweeps).
+    pub label: &'static str,
+    /// The problem this kind solves.
+    pub problem: Problem,
+    /// Whether the algorithm accepts deletions (negative deltas).
+    pub supports_deletions: bool,
+    /// Whether the algorithm is randomized (consumes the spec's seed).
+    pub randomized: bool,
+    /// Whether [`TrackerSpec::universe`] is required to build this kind.
+    pub needs_universe: bool,
+    /// Whether [`TrackerSpec::sample_const`] is accepted by this kind.
+    pub accepts_sample_const: bool,
+}
+
+/// Every tracking algorithm in this crate, as a buildable kind.
+///
+/// The first six solve the counting problem and build via
+/// [`TrackerSpec::build`]; the last four solve the item-frequency problem
+/// and build via [`TrackerSpec::build_item`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrackerKind {
+    /// §3.3 deterministic tracker: unconditional ε-guarantee,
+    /// `O((k/ε)·v)` messages.
+    Deterministic,
+    /// §3.4 randomized tracker: per-timestep 2/3 guarantee,
+    /// `O((k+√k/ε)·v)` expected messages.
+    Randomized,
+    /// §5.2 single-site tracker (requires `k = 1`; arbitrary deltas).
+    SingleSite,
+    /// Forward-everything baseline: exact, `n` messages.
+    Naive,
+    /// CMY-style deterministic monotone counter (insert-only streams).
+    CmyMonotone,
+    /// HYZ-style randomized monotone counter (insert-only streams).
+    HyzMonotone,
+    /// Appendix H exact per-item frequency tracker (`O(|U|)` space).
+    ExactFreq,
+    /// Appendix H Count-Min frequency tracker (per-item w.p. ≥ 8/9).
+    CountMinFreq,
+    /// Appendix H CR-precis frequency tracker (deterministic small space).
+    CrPrecisFreq,
+    /// The open-problem randomized frequency candidate (per-counter A±
+    /// sampling; see `frequencies_rand`).
+    RandFreq,
+}
+
+impl TrackerKind {
+    /// All ten kinds, counting first, for sweeps.
+    pub const ALL: [TrackerKind; 10] = [
+        TrackerKind::Deterministic,
+        TrackerKind::Randomized,
+        TrackerKind::SingleSite,
+        TrackerKind::Naive,
+        TrackerKind::CmyMonotone,
+        TrackerKind::HyzMonotone,
+        TrackerKind::ExactFreq,
+        TrackerKind::CountMinFreq,
+        TrackerKind::CrPrecisFreq,
+        TrackerKind::RandFreq,
+    ];
+
+    /// The six counting kinds ([`TrackerSpec::build`]).
+    pub const COUNTERS: [TrackerKind; 6] = [
+        TrackerKind::Deterministic,
+        TrackerKind::Randomized,
+        TrackerKind::SingleSite,
+        TrackerKind::Naive,
+        TrackerKind::CmyMonotone,
+        TrackerKind::HyzMonotone,
+    ];
+
+    /// The four item-frequency kinds ([`TrackerSpec::build_item`]).
+    pub const FREQUENCIES: [TrackerKind; 4] = [
+        TrackerKind::ExactFreq,
+        TrackerKind::CountMinFreq,
+        TrackerKind::CrPrecisFreq,
+        TrackerKind::RandFreq,
+    ];
+
+    /// The registry entry for this kind.
+    pub fn info(self) -> &'static KindInfo {
+        match self {
+            TrackerKind::Deterministic => &KindInfo {
+                label: "deterministic",
+                problem: Problem::Counting,
+                supports_deletions: true,
+                randomized: false,
+                needs_universe: false,
+                accepts_sample_const: false,
+            },
+            TrackerKind::Randomized => &KindInfo {
+                label: "randomized",
+                problem: Problem::Counting,
+                supports_deletions: true,
+                randomized: true,
+                needs_universe: false,
+                accepts_sample_const: true,
+            },
+            TrackerKind::SingleSite => &KindInfo {
+                label: "single-site",
+                problem: Problem::Counting,
+                supports_deletions: true,
+                randomized: false,
+                needs_universe: false,
+                accepts_sample_const: false,
+            },
+            TrackerKind::Naive => &KindInfo {
+                label: "naive",
+                problem: Problem::Counting,
+                supports_deletions: true,
+                randomized: false,
+                needs_universe: false,
+                accepts_sample_const: false,
+            },
+            TrackerKind::CmyMonotone => &KindInfo {
+                label: "cmy-monotone",
+                problem: Problem::Counting,
+                supports_deletions: false,
+                randomized: false,
+                needs_universe: false,
+                accepts_sample_const: false,
+            },
+            TrackerKind::HyzMonotone => &KindInfo {
+                label: "hyz-monotone",
+                problem: Problem::Counting,
+                supports_deletions: false,
+                randomized: true,
+                needs_universe: false,
+                accepts_sample_const: false,
+            },
+            TrackerKind::ExactFreq => &KindInfo {
+                label: "exact-freq",
+                problem: Problem::Frequencies,
+                supports_deletions: true,
+                randomized: false,
+                needs_universe: true,
+                accepts_sample_const: false,
+            },
+            TrackerKind::CountMinFreq => &KindInfo {
+                label: "countmin-freq",
+                problem: Problem::Frequencies,
+                supports_deletions: true,
+                randomized: true,
+                needs_universe: false,
+                accepts_sample_const: false,
+            },
+            TrackerKind::CrPrecisFreq => &KindInfo {
+                label: "crprecis-freq",
+                problem: Problem::Frequencies,
+                supports_deletions: true,
+                randomized: false,
+                needs_universe: true,
+                accepts_sample_const: false,
+            },
+            TrackerKind::RandFreq => &KindInfo {
+                label: "rand-freq",
+                problem: Problem::Frequencies,
+                supports_deletions: true,
+                randomized: true,
+                needs_universe: true,
+                accepts_sample_const: true,
+            },
+        }
+    }
+
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        self.info().label
+    }
+
+    /// The problem this kind solves.
+    pub fn problem(self) -> Problem {
+        self.info().problem
+    }
+
+    /// Whether the algorithm accepts deletions (negative deltas).
+    pub fn supports_deletions(self) -> bool {
+        self.info().supports_deletions
+    }
+
+    /// Whether the algorithm is randomized (consumes the spec's seed).
+    pub fn is_randomized(self) -> bool {
+        self.info().randomized
+    }
+}
+
+#[allow(deprecated)]
+impl From<crate::monitor::MonitorKind> for TrackerKind {
+    fn from(kind: crate::monitor::MonitorKind) -> Self {
+        use crate::monitor::MonitorKind;
+        match kind {
+            MonitorKind::Deterministic => TrackerKind::Deterministic,
+            MonitorKind::Randomized => TrackerKind::Randomized,
+            MonitorKind::SingleSite => TrackerKind::SingleSite,
+            MonitorKind::Naive => TrackerKind::Naive,
+            MonitorKind::CmyMonotone => TrackerKind::CmyMonotone,
+            MonitorKind::HyzMonotone => TrackerKind::HyzMonotone,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The object-safe trait and its blanket impl.
+// ---------------------------------------------------------------------------
+
+/// Compile-time kind tag for a concrete site/coordinator pair.
+///
+/// Registering a pair here is what makes its [`StarSim`] a [`Tracker`]:
+/// the blanket impl below covers every `StarSim<S, C>` that carries a
+/// `KnownKind`. Custom protocols opt in with one line.
+pub trait KnownKind {
+    /// The registry kind this protocol pair implements.
+    const KIND: TrackerKind;
+}
+
+/// An object-safe running tracker with a uniform interface.
+///
+/// `In` is the per-update input: `i64` (the delta) for the counting
+/// problem, `(u64, i64)` (item, ±1) for the frequency problem. The four
+/// methods are the whole contract shared by every algorithm in the paper:
+/// feed updates, read `f̂(n)`, audit, charge messages.
+///
+/// Every [`StarSim`] whose protocol pair implements [`KnownKind`] gets
+/// this trait via a blanket impl, so `Box<dyn Tracker>` (from
+/// [`TrackerSpec::build`]) and direct `StarSim` construction are the same
+/// code path — bit-identical estimates and [`CommStats`].
+pub trait Tracker<In = i64>: std::fmt::Debug {
+    /// Feed one update arriving at `site`; returns the coordinator's
+    /// estimate after the network quiesces.
+    fn step(&mut self, site: SiteId, input: In) -> i64;
+
+    /// Current coordinator estimate `f̂(n)` (the tracked count, or
+    /// `F̂1(n)` for frequency kinds).
+    fn estimate(&self) -> i64;
+
+    /// Communication ledger.
+    fn stats(&self) -> &CommStats;
+
+    /// The registry kind of this tracker.
+    fn kind(&self) -> TrackerKind;
+
+    /// Number of sites `k`.
+    fn k(&self) -> usize;
+}
+
+impl<S, C> Tracker<S::In> for StarSim<S, C>
+where
+    S: SiteNode,
+    C: CoordinatorNode<Up = S::Up, Down = S::Down>,
+    StarSim<S, C>: KnownKind + std::fmt::Debug,
+{
+    fn step(&mut self, site: SiteId, input: S::In) -> i64 {
+        StarSim::step(self, site, input)
+    }
+
+    fn estimate(&self) -> i64 {
+        StarSim::estimate(self)
+    }
+
+    fn stats(&self) -> &CommStats {
+        StarSim::stats(self)
+    }
+
+    fn kind(&self) -> TrackerKind {
+        <Self as KnownKind>::KIND
+    }
+
+    fn k(&self) -> usize {
+        StarSim::k(self)
+    }
+}
+
+impl<In, T: Tracker<In> + ?Sized> Tracker<In> for Box<T> {
+    fn step(&mut self, site: SiteId, input: In) -> i64 {
+        (**self).step(site, input)
+    }
+
+    fn estimate(&self) -> i64 {
+        (**self).estimate()
+    }
+
+    fn stats(&self) -> &CommStats {
+        (**self).stats()
+    }
+
+    fn kind(&self) -> TrackerKind {
+        (**self).kind()
+    }
+
+    fn k(&self) -> usize {
+        (**self).k()
+    }
+}
+
+/// The item-frequency extension of [`Tracker`]: per-item estimates and
+/// coordinator space, over `In = (u64, i64)` updates.
+pub trait ItemTracker: Tracker<(u64, i64)> {
+    /// Coordinator estimate of item `item`'s frequency.
+    fn estimate_item(&self, item: u64) -> i64;
+
+    /// Coordinator-side state in words (the "space" axis of Appendix H).
+    fn coord_space_words(&self) -> usize;
+}
+
+impl<M: CounterMap + std::fmt::Debug> ItemTracker for StarSim<FreqSite<M>, FreqCoord<M>>
+where
+    StarSim<FreqSite<M>, FreqCoord<M>>: KnownKind,
+{
+    fn estimate_item(&self, item: u64) -> i64 {
+        self.coordinator().estimate_item(item)
+    }
+
+    fn coord_space_words(&self) -> usize {
+        self.coordinator().space_words()
+    }
+}
+
+impl<M: CounterMap + std::fmt::Debug> ItemTracker for StarSim<RFreqSite<M>, RFreqCoord<M>>
+where
+    StarSim<RFreqSite<M>, RFreqCoord<M>>: KnownKind,
+{
+    fn estimate_item(&self, item: u64) -> i64 {
+        self.coordinator().estimate_item(item)
+    }
+
+    fn coord_space_words(&self) -> usize {
+        self.coordinator().space_words()
+    }
+}
+
+impl<T: ItemTracker + ?Sized> ItemTracker for Box<T> {
+    fn estimate_item(&self, item: u64) -> i64 {
+        (**self).estimate_item(item)
+    }
+
+    fn coord_space_words(&self) -> usize {
+        (**self).coord_space_words()
+    }
+}
+
+impl KnownKind for StarSim<DetSite, DetCoord> {
+    const KIND: TrackerKind = TrackerKind::Deterministic;
+}
+impl KnownKind for StarSim<RandSite, RandCoord> {
+    const KIND: TrackerKind = TrackerKind::Randomized;
+}
+impl KnownKind for StarSim<SsSite, SsCoord> {
+    const KIND: TrackerKind = TrackerKind::SingleSite;
+}
+impl KnownKind for StarSim<NaiveSite, NaiveCoord> {
+    const KIND: TrackerKind = TrackerKind::Naive;
+}
+impl KnownKind for StarSim<CmySite, CmyCoord> {
+    const KIND: TrackerKind = TrackerKind::CmyMonotone;
+}
+impl KnownKind for StarSim<HyzSite, HyzCoord> {
+    const KIND: TrackerKind = TrackerKind::HyzMonotone;
+}
+impl KnownKind for StarSim<FreqSite<IdentityMap>, FreqCoord<IdentityMap>> {
+    const KIND: TrackerKind = TrackerKind::ExactFreq;
+}
+impl KnownKind for StarSim<FreqSite<CountMinMap>, FreqCoord<CountMinMap>> {
+    const KIND: TrackerKind = TrackerKind::CountMinFreq;
+}
+impl KnownKind for StarSim<FreqSite<CrPrecisMap>, FreqCoord<CrPrecisMap>> {
+    const KIND: TrackerKind = TrackerKind::CrPrecisFreq;
+}
+impl KnownKind for StarSim<RFreqSite<IdentityMap>, RFreqCoord<IdentityMap>> {
+    const KIND: TrackerKind = TrackerKind::RandFreq;
+}
+impl KnownKind for StarSim<RFreqSite<CountMinMap>, RFreqCoord<CountMinMap>> {
+    const KIND: TrackerKind = TrackerKind::RandFreq;
+}
+
+// ---------------------------------------------------------------------------
+// Errors.
+// ---------------------------------------------------------------------------
+
+/// A [`TrackerSpec`] that cannot be built, as a typed error.
+///
+/// Replaces the former panics on `SingleSite` with `k ≠ 1` and on
+/// deletion streams fed into monotone kinds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BuildError {
+    /// `eps` must lie strictly inside `(0, 1)`.
+    InvalidEps {
+        /// The rejected value.
+        eps: f64,
+    },
+    /// A tracker needs at least one site.
+    ZeroSites,
+    /// The single-site tracker (§5.2) is defined only for `k = 1`.
+    SingleSiteRequiresK1 {
+        /// The rejected site count.
+        k: usize,
+    },
+    /// The spec declared a deletion stream but the kind is insert-only.
+    DeletionsUnsupported {
+        /// The insert-only kind.
+        kind: TrackerKind,
+    },
+    /// The kind solves a different problem than the build method called
+    /// (counting kind via `build_item`, frequency kind via `build`).
+    WrongProblem {
+        /// The mismatched kind.
+        kind: TrackerKind,
+        /// The problem the called build method constructs for.
+        expected: Problem,
+    },
+    /// The kind requires [`TrackerSpec::universe`] and none was given.
+    MissingUniverse {
+        /// The kind that needs a universe.
+        kind: TrackerKind,
+    },
+    /// The universe must contain at least one item.
+    EmptyUniverse,
+    /// The sampling constant must be finite and positive.
+    InvalidSampleConst {
+        /// The rejected value.
+        c: f64,
+    },
+    /// An option was set that this kind does not accept.
+    UnsupportedOption {
+        /// The kind that rejects the option.
+        kind: TrackerKind,
+        /// Name of the rejected option.
+        option: &'static str,
+    },
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, fm: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::InvalidEps { eps } => write!(fm, "eps must be in (0, 1), got {eps}"),
+            BuildError::ZeroSites => write!(fm, "need at least one site"),
+            BuildError::SingleSiteRequiresK1 { k } => {
+                write!(fm, "the single-site tracker requires k = 1, got k = {k}")
+            }
+            BuildError::DeletionsUnsupported { kind } => write!(
+                fm,
+                "{} is insert-only and cannot track a deletion stream",
+                kind.label()
+            ),
+            BuildError::WrongProblem { kind, expected } => write!(
+                fm,
+                "{} solves the {} problem, not {}",
+                kind.label(),
+                kind.problem().label(),
+                expected.label()
+            ),
+            BuildError::MissingUniverse { kind } => write!(
+                fm,
+                "{} requires an item universe (TrackerSpec::universe)",
+                kind.label()
+            ),
+            BuildError::EmptyUniverse => write!(fm, "item universe must be non-empty"),
+            BuildError::InvalidSampleConst { c } => {
+                write!(fm, "sampling constant must be finite and > 0, got {c}")
+            }
+            BuildError::UnsupportedOption { kind, option } => {
+                write!(fm, "{} does not accept the {option} option", kind.label())
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// A stream fed through [`Driver`] that the tracker cannot run, as a
+/// typed error (the former step-time panics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunError {
+    /// A deletion (negative delta) reached an insert-only kind.
+    DeletionUnsupported {
+        /// The insert-only kind.
+        kind: TrackerKind,
+        /// Timestep of the offending update.
+        time: Time,
+    },
+    /// An update named a site outside `0..k`.
+    SiteOutOfRange {
+        /// The offending site id.
+        site: SiteId,
+        /// The tracker's site count.
+        k: usize,
+        /// Timestep of the offending update.
+        time: Time,
+    },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, fm: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::DeletionUnsupported { kind, time } => write!(
+                fm,
+                "deletion at t = {time} but {} is insert-only",
+                kind.label()
+            ),
+            RunError::SiteOutOfRange { site, k, time } => {
+                write!(fm, "site {site} out of range (k = {k}) at t = {time}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+// ---------------------------------------------------------------------------
+// The builder.
+// ---------------------------------------------------------------------------
+
+/// Fallible builder for any [`TrackerKind`].
+///
+/// Every parameter has a documented default, every misconfiguration is a
+/// typed [`BuildError`], and the constructed tracker is bit-identical to
+/// direct `StarSim` construction with the same parameters (a design
+/// invariant covered by `tests/api_equivalence.rs`).
+///
+/// | Parameter | Default | Used by |
+/// |-----------|---------|---------|
+/// | [`k`](Self::k) | `1` | all kinds |
+/// | [`eps`](Self::eps) | `0.1` | all but `Naive` (which is exact) |
+/// | [`seed`](Self::seed) | `0` | randomized kinds, Count-Min hashes |
+/// | [`universe`](Self::universe) | unset | `ExactFreq`, `CrPrecisFreq`, `RandFreq` (required), `CountMinFreq` (ignored) |
+/// | [`sample_const`](Self::sample_const) | algorithm default | `Randomized` (3), `RandFreq` (9) |
+/// | [`deletions`](Self::deletions) | `false` | capability check against monotone kinds |
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrackerSpec {
+    kind: TrackerKind,
+    k: usize,
+    eps: f64,
+    seed: u64,
+    universe: Option<usize>,
+    sample_const: Option<f64>,
+    deletions: bool,
+}
+
+impl TrackerSpec {
+    /// Start a spec for `kind` with the documented defaults.
+    pub fn new(kind: TrackerKind) -> Self {
+        TrackerSpec {
+            kind,
+            k: 1,
+            eps: 0.1,
+            seed: 0,
+            universe: None,
+            sample_const: None,
+            deletions: false,
+        }
+    }
+
+    /// The kind this spec builds.
+    pub fn kind(&self) -> TrackerKind {
+        self.kind
+    }
+
+    /// Number of sites `k` (default 1).
+    pub fn k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Relative-error target `ε` (default 0.1).
+    pub fn eps(mut self, eps: f64) -> Self {
+        self.eps = eps;
+        self
+    }
+
+    /// RNG seed for randomized kinds and sketch hashes (default 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Item-universe size for the frequency kinds that need one.
+    pub fn universe(mut self, universe: usize) -> Self {
+        self.universe = Some(universe);
+        self
+    }
+
+    /// Override the sampling constant `c` in `p = min{1, c/(ε·2^r·√k)}`
+    /// (the E14 ablation knob; `Randomized` and `RandFreq` only).
+    pub fn sample_const(mut self, c: f64) -> Self {
+        self.sample_const = Some(c);
+        self
+    }
+
+    /// Declare whether the stream contains deletions (negative deltas).
+    /// Building an insert-only kind with `deletions(true)` returns
+    /// [`BuildError::DeletionsUnsupported`] instead of panicking later at
+    /// step time.
+    pub fn deletions(mut self, enabled: bool) -> Self {
+        self.deletions = enabled;
+        self
+    }
+
+    /// Shared parameter validation for both build paths.
+    fn validate(&self, expected: Problem) -> Result<(), BuildError> {
+        if self.kind.problem() != expected {
+            return Err(BuildError::WrongProblem {
+                kind: self.kind,
+                expected,
+            });
+        }
+        if !(self.eps > 0.0 && self.eps < 1.0) {
+            return Err(BuildError::InvalidEps { eps: self.eps });
+        }
+        if self.k == 0 {
+            return Err(BuildError::ZeroSites);
+        }
+        if self.deletions && !self.kind.supports_deletions() {
+            return Err(BuildError::DeletionsUnsupported { kind: self.kind });
+        }
+        if let Some(c) = self.sample_const {
+            if !self.kind.info().accepts_sample_const {
+                return Err(BuildError::UnsupportedOption {
+                    kind: self.kind,
+                    option: "sample_const",
+                });
+            }
+            if !(c.is_finite() && c > 0.0) {
+                return Err(BuildError::InvalidSampleConst { c });
+            }
+        }
+        if self.universe.is_some() && self.kind.problem() == Problem::Counting {
+            return Err(BuildError::UnsupportedOption {
+                kind: self.kind,
+                option: "universe",
+            });
+        }
+        if self.kind.info().needs_universe {
+            match self.universe {
+                None => return Err(BuildError::MissingUniverse { kind: self.kind }),
+                Some(0) => return Err(BuildError::EmptyUniverse),
+                Some(_) => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Build a counting tracker (`In = i64`).
+    ///
+    /// Covers the six [`TrackerKind::COUNTERS`]; frequency kinds return
+    /// [`BuildError::WrongProblem`] (use [`build_item`](Self::build_item)).
+    pub fn build(&self) -> Result<Box<dyn Tracker>, BuildError> {
+        self.validate(Problem::Counting)?;
+        let (k, eps, seed) = (self.k, self.eps, self.seed);
+        Ok(match self.kind {
+            TrackerKind::Deterministic => {
+                Box::new(crate::deterministic::DeterministicTracker::sim(k, eps))
+            }
+            TrackerKind::Randomized => match self.sample_const {
+                None => Box::new(crate::randomized::RandomizedTracker::sim(k, eps, seed)),
+                Some(c) => Box::new(crate::randomized::RandomizedTracker::sim_with_constant(
+                    c, k, eps, seed,
+                )),
+            },
+            TrackerKind::SingleSite => {
+                if k != 1 {
+                    return Err(BuildError::SingleSiteRequiresK1 { k });
+                }
+                Box::new(crate::single_site::SingleSiteTracker::sim(eps))
+            }
+            TrackerKind::Naive => Box::new(crate::baselines::NaiveTracker::sim(k)),
+            TrackerKind::CmyMonotone => Box::new(crate::baselines::CmyCounter::sim(k, eps)),
+            TrackerKind::HyzMonotone => Box::new(crate::baselines::HyzCounter::sim(k, eps, seed)),
+            _ => unreachable!("validate() rejected non-counting kinds"),
+        })
+    }
+
+    /// Build an item-frequency tracker (`In = (u64, i64)`).
+    ///
+    /// Covers the four [`TrackerKind::FREQUENCIES`]; counting kinds return
+    /// [`BuildError::WrongProblem`] (use [`build`](Self::build)).
+    pub fn build_item(&self) -> Result<Box<dyn ItemTracker>, BuildError> {
+        self.validate(Problem::Frequencies)?;
+        let (k, eps, seed) = (self.k, self.eps, self.seed);
+        Ok(match self.kind {
+            TrackerKind::ExactFreq => {
+                let universe = self.universe.expect("validated");
+                Box::new(crate::frequencies::ExactFreqTracker::sim(k, eps, universe))
+            }
+            TrackerKind::CountMinFreq => {
+                Box::new(crate::frequencies::CountMinFreqTracker::sim(k, eps, seed))
+            }
+            TrackerKind::CrPrecisFreq => {
+                let universe = self.universe.expect("validated");
+                Box::new(crate::frequencies::CrPrecisFreqTracker::sim(
+                    k,
+                    eps,
+                    universe as u64,
+                ))
+            }
+            TrackerKind::RandFreq => {
+                let universe = self.universe.expect("validated");
+                let c = self
+                    .sample_const
+                    .unwrap_or(crate::frequencies_rand::DEFAULT_SAMPLE_CONST);
+                Box::new(crate::frequencies_rand::RandFreqTracker::sim_exact_with(
+                    k, eps, universe, seed, c,
+                ))
+            }
+            _ => unreachable!("validate() rejected non-frequency kinds"),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The unified driver.
+// ---------------------------------------------------------------------------
+
+/// Anything the [`Driver`] can feed to a tracker: a timed, sited record
+/// carrying the tracker input and its scalar contribution to the tracked
+/// count (`f` for counting streams, `F1` for item streams).
+pub trait StreamRecord {
+    /// The tracker input type this record feeds.
+    type In;
+
+    /// Timestep at which the update arrives (1-based).
+    fn time(&self) -> Time;
+
+    /// Site that observes the update.
+    fn site(&self) -> SiteId;
+
+    /// The tracker input.
+    fn input(&self) -> Self::In;
+
+    /// Ground-truth increment of the audited scalar.
+    fn delta(&self) -> i64;
+}
+
+impl StreamRecord for Update {
+    type In = i64;
+
+    fn time(&self) -> Time {
+        self.time
+    }
+
+    fn site(&self) -> SiteId {
+        self.site
+    }
+
+    fn input(&self) -> i64 {
+        self.delta
+    }
+
+    fn delta(&self) -> i64 {
+        self.delta
+    }
+}
+
+impl StreamRecord for ItemUpdate {
+    type In = (u64, i64);
+
+    fn time(&self) -> Time {
+        self.time
+    }
+
+    fn site(&self) -> SiteId {
+        self.site
+    }
+
+    fn input(&self) -> (u64, i64) {
+        (self.item, self.delta)
+    }
+
+    fn delta(&self) -> i64 {
+        self.delta
+    }
+}
+
+/// Outcome of auditing an [`ItemTracker`] over an item stream: the shared
+/// scalar accounting (on `F1`) plus the per-item audit.
+#[derive(Debug, Clone)]
+pub struct ItemRunReport {
+    /// The unified scalar report: `n`, final/max `F1` error, `F1`
+    /// violations, probes, and communication — identical accounting to a
+    /// counting run.
+    pub run: RunReport,
+    /// Number of per-item audits performed.
+    pub audits: u64,
+    /// Audited (item, time) pairs whose error exceeded `ε·F1(t)`.
+    pub item_violations: u64,
+    /// Largest audited `|f̂_ℓ − f_ℓ| / F1` ratio.
+    pub max_err_over_f1: f64,
+    /// Coordinator space in words.
+    pub coord_space_words: usize,
+}
+
+impl ItemRunReport {
+    /// Fraction of audited item queries that violated the bound.
+    pub fn item_violation_rate(&self) -> f64 {
+        if self.audits == 0 {
+            0.0
+        } else {
+            self.item_violations as f64 / self.audits as f64
+        }
+    }
+}
+
+/// The unified runner: drives any [`Tracker`] over any stream and audits
+/// the paper's guarantee after **every** timestep.
+///
+/// `Driver<i64>` (the default) replaces `dsv_net::TrackerRunner` for the
+/// counting problem; [`ItemDriver`] (= `Driver<(u64, i64)>`) replaces
+/// `frequencies::FreqRunner` for the item-frequency problem — one
+/// [`RunReport`], one probe-sampling mechanism, one violation accounting
+/// for both.
+///
+/// **Audit floor.** By default the audit divides by `|f(t)|` exactly, with
+/// the `f = 0 ⇒ f̂ = 0` convention of [`relative_error`] — the strictest
+/// reading of the guarantee, and what every experiment in this workspace
+/// uses. [`with_floor`](Self::with_floor) switches to the paper's
+/// `q`-floor (`|f − f̂| / max(|f|, q)`, cf. the variability definition in
+/// §2), which forgives absolute error below `ε·q` while the tracked value
+/// is tiny.
+pub struct Driver<In = i64> {
+    eps: f64,
+    floor: f64,
+    sample_every: u64,
+    item_audit_every: u64,
+    _input: PhantomData<fn(In) -> In>,
+}
+
+impl<In> Clone for Driver<In> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<In> Copy for Driver<In> {}
+
+impl<In> std::fmt::Debug for Driver<In> {
+    fn fmt(&self, fm: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        fm.debug_struct("Driver")
+            .field("eps", &self.eps)
+            .field("floor", &self.floor)
+            .field("sample_every", &self.sample_every)
+            .field("item_audit_every", &self.item_audit_every)
+            .finish()
+    }
+}
+
+/// [`Driver`] over item streams — drives [`ItemTracker`]s via
+/// [`run_items`](Driver::run_items).
+pub type ItemDriver = Driver<(u64, i64)>;
+
+impl<In> Driver<In> {
+    /// A driver auditing against relative error `eps ∈ (0, 1)`.
+    pub fn new(eps: f64) -> Result<Self, ConfigError> {
+        if !(eps > 0.0 && eps < 1.0) {
+            return Err(ConfigError::EpsOutOfRange { eps });
+        }
+        Ok(Driver {
+            eps,
+            floor: 0.0,
+            sample_every: 0,
+            item_audit_every: 0,
+            _input: PhantomData,
+        })
+    }
+
+    /// Also record a trajectory probe every `every` timesteps (0 = never).
+    pub fn with_sampling(mut self, every: u64) -> Self {
+        self.sample_every = every;
+        self
+    }
+
+    /// Audit with the paper's `q`-floor: relative error becomes
+    /// `|f − f̂| / max(|f|, q)`. Requires `q > 0` and finite; the default
+    /// (no floor) keeps [`relative_error`]'s exact-zero convention.
+    pub fn with_floor(mut self, q: f64) -> Result<Self, ConfigError> {
+        if !(q.is_finite() && q > 0.0) {
+            return Err(ConfigError::FloorNotPositive { q });
+        }
+        self.floor = q;
+        Ok(self)
+    }
+
+    /// For [`run_items`](Self::run_items): audit every item seen so far
+    /// every `every` timesteps (0 = never; the scalar `F1` audit always
+    /// runs). No effect on counting runs.
+    pub fn with_item_audit(mut self, every: u64) -> Self {
+        self.item_audit_every = every;
+        self
+    }
+
+    /// The audited ε.
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    /// The audit floor `q` (0 = disabled).
+    pub fn floor(&self) -> f64 {
+        self.floor
+    }
+
+    /// Relative error under this driver's floor setting.
+    fn audit_err(&self, f: i64, fhat: i64) -> f64 {
+        if self.floor > 0.0 {
+            relative_error_floored(f, fhat, self.floor)
+        } else {
+            relative_error(f, fhat)
+        }
+    }
+
+    /// Run `tracker` over `updates`, checking the guarantee after every
+    /// step; `hook` observes each record after its audit (used by the
+    /// item path to layer the per-item audit on the same loop).
+    ///
+    /// This is the **authoritative** audit loop; the low-level
+    /// `dsv_net::TrackerRunner::run` mirrors it for `In = i64` and must be
+    /// kept bit-identical (see the note there).
+    fn run_with<T, R, F>(
+        &self,
+        tracker: &mut T,
+        updates: &[R],
+        mut hook: F,
+    ) -> Result<RunReport, RunError>
+    where
+        T: Tracker<In> + ?Sized,
+        R: StreamRecord<In = In>,
+        F: FnMut(&R, i64, &mut T),
+    {
+        let kind = tracker.kind();
+        let k = tracker.k();
+        let deletions_ok = kind.supports_deletions();
+        let mut f = 0i64;
+        let mut max_rel_err = 0.0f64;
+        let mut violations = 0u64;
+        let mut estimate_changes = 0u64;
+        let mut last_estimate = tracker.estimate();
+        let mut probes = Vec::new();
+
+        for u in updates {
+            if u.site() >= k {
+                return Err(RunError::SiteOutOfRange {
+                    site: u.site(),
+                    k,
+                    time: u.time(),
+                });
+            }
+            let delta = u.delta();
+            if delta < 0 && !deletions_ok {
+                return Err(RunError::DeletionUnsupported {
+                    kind,
+                    time: u.time(),
+                });
+            }
+            f += delta;
+            let fhat = tracker.step(u.site(), u.input());
+            if fhat != last_estimate {
+                estimate_changes += 1;
+                last_estimate = fhat;
+            }
+            let err = self.audit_err(f, fhat);
+            if err > max_rel_err {
+                max_rel_err = err;
+            }
+            // Tiny slack so floating-point round-off of an exact bound is
+            // not counted as a violation (same convention as TrackerRunner).
+            if err > self.eps * (1.0 + 1e-12) {
+                violations += 1;
+            }
+            if self.sample_every > 0 && u.time() % self.sample_every == 0 {
+                probes.push(ErrorProbe {
+                    time: u.time(),
+                    f,
+                    fhat,
+                    rel_err: err,
+                });
+            }
+            hook(u, f, tracker);
+        }
+
+        Ok(RunReport {
+            n: updates.len() as u64,
+            final_f: f,
+            final_estimate: tracker.estimate(),
+            max_rel_err,
+            violations,
+            estimate_changes,
+            stats: tracker.stats().clone(),
+            probes,
+        })
+    }
+
+    /// Run `tracker` over `updates`, auditing `|f − f̂| ≤ ε·|f|` after
+    /// every timestep. Misconfigured streams (deletions into insert-only
+    /// kinds, out-of-range sites) return a typed [`RunError`] instead of
+    /// panicking.
+    pub fn run<T, R>(&self, tracker: &mut T, updates: &[R]) -> Result<RunReport, RunError>
+    where
+        T: Tracker<In> + ?Sized,
+        R: StreamRecord<In = In>,
+    {
+        self.run_with(tracker, updates, |_, _, _| {})
+    }
+}
+
+impl ItemDriver {
+    /// Run an [`ItemTracker`] over an item stream: the scalar `F1` audit
+    /// runs at every step (same accounting as a counting run); every
+    /// [`with_item_audit`](Driver::with_item_audit) steps, every item seen
+    /// so far (plus item 0 as an absent-item probe) is audited against
+    /// exact ground truth within `ε·F1(t)`.
+    pub fn run_items<T>(
+        &self,
+        tracker: &mut T,
+        updates: &[ItemUpdate],
+    ) -> Result<ItemRunReport, RunError>
+    where
+        T: ItemTracker + ?Sized,
+    {
+        let mut truth = ExactCounts::new();
+        let mut seen: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+        seen.insert(0);
+        let mut audits = 0u64;
+        let mut item_violations = 0u64;
+        let mut max_ratio = 0.0f64;
+
+        let run = self.run_with(tracker, updates, |u, f1, t| {
+            truth.update(u.item, u.delta);
+            seen.insert(u.item);
+            if self.item_audit_every > 0 && u.time % self.item_audit_every == 0 {
+                let budget = self.eps * f1 as f64;
+                for &item in &seen {
+                    let est = t.estimate_item(item);
+                    let err = (est - truth.estimate(item)).unsigned_abs() as f64;
+                    audits += 1;
+                    if err > budget * (1.0 + 1e-12) {
+                        item_violations += 1;
+                    }
+                    if f1 > 0 {
+                        max_ratio = max_ratio.max(err / f1 as f64);
+                    }
+                }
+            }
+        })?;
+
+        let coord_space_words = tracker.coord_space_words();
+        Ok(ItemRunReport {
+            run,
+            audits,
+            item_violations,
+            max_err_over_f1: max_ratio,
+            coord_space_words,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsv_gen::{DeltaGen, ItemStreamGen, MonotoneGen, RoundRobin, WalkGen};
+
+    fn counter_spec(kind: TrackerKind, k: usize) -> TrackerSpec {
+        TrackerSpec::new(kind).k(k).eps(0.2).seed(7)
+    }
+
+    #[test]
+    fn registry_covers_all_kinds_with_unique_labels() {
+        assert_eq!(
+            TrackerKind::COUNTERS.len() + TrackerKind::FREQUENCIES.len(),
+            TrackerKind::ALL.len()
+        );
+        let mut labels: Vec<&str> = TrackerKind::ALL.iter().map(|k| k.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), TrackerKind::ALL.len());
+        for kind in TrackerKind::COUNTERS {
+            assert_eq!(kind.problem(), Problem::Counting);
+        }
+        for kind in TrackerKind::FREQUENCIES {
+            assert_eq!(kind.problem(), Problem::Frequencies);
+        }
+    }
+
+    #[test]
+    fn spec_builds_every_counter_kind_and_tracks() {
+        let deltas = MonotoneGen::ones().deltas(3_000);
+        for kind in TrackerKind::COUNTERS {
+            let k = if kind == TrackerKind::SingleSite {
+                1
+            } else {
+                4
+            };
+            let mut tracker = counter_spec(kind, k).build().unwrap();
+            assert_eq!(tracker.kind(), kind);
+            assert_eq!(tracker.k(), k);
+            let mut f = 0i64;
+            for (i, &d) in deltas.iter().enumerate() {
+                f += d;
+                tracker.step(i % k, d);
+            }
+            let err = relative_error(f, tracker.estimate());
+            assert!(err <= 0.2, "{}: err {err}", kind.label());
+            assert!(tracker.stats().total_messages() > 0);
+        }
+    }
+
+    #[test]
+    fn spec_builds_every_frequency_kind_and_tracks_f1() {
+        let updates = ItemStreamGen::new(5, 64, 1.1, 0.2, 1).updates(4_000, RoundRobin::new(3));
+        for kind in TrackerKind::FREQUENCIES {
+            let mut tracker = TrackerSpec::new(kind)
+                .k(3)
+                .eps(0.2)
+                .seed(11)
+                .universe(64)
+                .build_item()
+                .unwrap();
+            assert_eq!(tracker.kind(), kind);
+            let report = ItemDriver::new(0.2)
+                .unwrap()
+                .with_item_audit(500)
+                .run_items(&mut tracker, &updates)
+                .unwrap();
+            assert_eq!(report.run.violations, 0, "{}: F1 broke ε", kind.label());
+            assert!(report.audits > 0);
+            assert!(report.coord_space_words > 0);
+        }
+    }
+
+    #[test]
+    fn single_site_with_k_not_1_is_a_typed_error() {
+        let err = counter_spec(TrackerKind::SingleSite, 4)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, BuildError::SingleSiteRequiresK1 { k: 4 });
+        assert!(err.to_string().contains("k = 1"));
+        assert!(counter_spec(TrackerKind::SingleSite, 1).build().is_ok());
+    }
+
+    #[test]
+    fn declared_deletions_into_monotone_kinds_fail_at_build_time() {
+        for kind in [TrackerKind::CmyMonotone, TrackerKind::HyzMonotone] {
+            let err = counter_spec(kind, 2).deletions(true).build().unwrap_err();
+            assert_eq!(err, BuildError::DeletionsUnsupported { kind });
+        }
+        // Deletion-capable kinds accept the flag.
+        assert!(counter_spec(TrackerKind::Deterministic, 2)
+            .deletions(true)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn wrong_problem_and_missing_universe_are_typed_errors() {
+        let err = TrackerSpec::new(TrackerKind::ExactFreq)
+            .universe(10)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, BuildError::WrongProblem { .. }));
+        let err = TrackerSpec::new(TrackerKind::Deterministic)
+            .build_item()
+            .unwrap_err();
+        assert!(matches!(err, BuildError::WrongProblem { .. }));
+        for kind in [
+            TrackerKind::ExactFreq,
+            TrackerKind::CrPrecisFreq,
+            TrackerKind::RandFreq,
+        ] {
+            let err = TrackerSpec::new(kind).build_item().unwrap_err();
+            assert_eq!(err, BuildError::MissingUniverse { kind });
+        }
+        // Count-Min hashes the universe away; no universe needed.
+        assert!(TrackerSpec::new(TrackerKind::CountMinFreq)
+            .build_item()
+            .is_ok());
+        let err = TrackerSpec::new(TrackerKind::ExactFreq)
+            .universe(0)
+            .build_item()
+            .unwrap_err();
+        assert_eq!(err, BuildError::EmptyUniverse);
+    }
+
+    #[test]
+    fn parameter_bounds_are_typed_errors() {
+        for eps in [0.0, 1.0, -0.5, f64::NAN] {
+            let err = TrackerSpec::new(TrackerKind::Deterministic)
+                .eps(eps)
+                .build()
+                .unwrap_err();
+            assert!(matches!(err, BuildError::InvalidEps { .. }), "eps {eps}");
+        }
+        let err = TrackerSpec::new(TrackerKind::Deterministic)
+            .k(0)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, BuildError::ZeroSites);
+        let err = TrackerSpec::new(TrackerKind::Randomized)
+            .sample_const(-1.0)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, BuildError::InvalidSampleConst { c: -1.0 });
+        let err = TrackerSpec::new(TrackerKind::Deterministic)
+            .sample_const(3.0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, BuildError::UnsupportedOption { .. }));
+        let err = TrackerSpec::new(TrackerKind::Naive)
+            .universe(10)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, BuildError::UnsupportedOption { .. }));
+    }
+
+    #[test]
+    fn driver_matches_tracker_runner_accounting() {
+        // The unified driver must reproduce TrackerRunner's report exactly
+        // on the same tracker and stream.
+        let updates = WalkGen::fair(5).updates(4_000, RoundRobin::new(3));
+        let mut a = crate::deterministic::DeterministicTracker::sim(3, 0.1);
+        let old = dsv_net::TrackerRunner::new(0.1)
+            .with_sampling(500)
+            .run(&mut a, &updates);
+        let mut b = counter_spec(TrackerKind::Deterministic, 3)
+            .eps(0.1)
+            .build()
+            .unwrap();
+        let new = Driver::new(0.1)
+            .unwrap()
+            .with_sampling(500)
+            .run(&mut b, &updates)
+            .unwrap();
+        assert_eq!(new.n, old.n);
+        assert_eq!(new.final_f, old.final_f);
+        assert_eq!(new.final_estimate, old.final_estimate);
+        assert_eq!(new.max_rel_err, old.max_rel_err);
+        assert_eq!(new.violations, old.violations);
+        assert_eq!(new.estimate_changes, old.estimate_changes);
+        assert_eq!(new.stats, old.stats);
+        assert_eq!(new.probes, old.probes);
+    }
+
+    #[test]
+    fn driver_returns_run_errors_instead_of_panicking() {
+        let mut cmy = counter_spec(TrackerKind::CmyMonotone, 2).build().unwrap();
+        let updates = vec![Update::new(1, 0, 1), Update::new(2, 1, -1)];
+        let err = Driver::new(0.2)
+            .unwrap()
+            .run(&mut cmy, &updates)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            RunError::DeletionUnsupported {
+                kind: TrackerKind::CmyMonotone,
+                time: 2
+            }
+        );
+
+        let mut det = counter_spec(TrackerKind::Deterministic, 2).build().unwrap();
+        let err = Driver::new(0.2)
+            .unwrap()
+            .run(&mut det, &[Update::new(1, 5, 1)])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            RunError::SiteOutOfRange {
+                site: 5,
+                k: 2,
+                time: 1
+            }
+        );
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn floor_forgives_small_value_wobble() {
+        // A deaf tracker stuck at 0 while f hovers in ±2: infinitely wrong
+        // under the exact convention, within ε under a q = 100 floor.
+        let updates: Vec<Update> = (1..=100)
+            .map(|t| Update::new(t, 0, if t % 2 == 0 { 1 } else { -1 }))
+            .collect();
+        let strict = Driver::<i64>::new(0.1).unwrap();
+        let floored = Driver::<i64>::new(0.1).unwrap().with_floor(100.0).unwrap();
+
+        let mut a = counter_spec(TrackerKind::Naive, 1).build().unwrap();
+        let r = strict.run(&mut a, &updates).unwrap();
+        assert_eq!(r.violations, 0); // naive is exact either way
+
+        // Hand-rolled stuck estimates via the floored audit function.
+        assert!(strict.audit_err(0, 1).is_infinite());
+        assert_eq!(floored.audit_err(0, 1), 0.01);
+        assert_eq!(floored.audit_err(-1, 0), 0.01);
+        assert!(floored.audit_err(1_000, 0) > 0.9); // floor is inactive at scale
+
+        // Config validation.
+        assert!(Driver::<i64>::new(0.1).unwrap().with_floor(0.0).is_err());
+        assert!(Driver::<i64>::new(0.1)
+            .unwrap()
+            .with_floor(f64::NAN)
+            .is_err());
+        assert!(Driver::<i64>::new(1.5).is_err());
+    }
+
+    #[test]
+    fn item_driver_matches_freq_runner_accounting() {
+        let updates = ItemStreamGen::new(9, 128, 1.1, 0.3, 1).updates(6_000, RoundRobin::new(4));
+        let mut a = crate::frequencies::ExactFreqTracker::sim(4, 0.2, 128);
+        #[allow(deprecated)]
+        let old = crate::frequencies::FreqRunner::new(0.2, 500).run(&mut a, &updates);
+        let mut b = TrackerSpec::new(TrackerKind::ExactFreq)
+            .k(4)
+            .eps(0.2)
+            .universe(128)
+            .build_item()
+            .unwrap();
+        let new = ItemDriver::new(0.2)
+            .unwrap()
+            .with_item_audit(500)
+            .run_items(&mut b, &updates)
+            .unwrap();
+        assert_eq!(new.run.n, old.n);
+        assert_eq!(new.run.final_f, old.final_f1);
+        assert_eq!(new.run.violations, old.f1_violations);
+        assert_eq!(new.audits, old.audits);
+        assert_eq!(new.item_violations, old.item_violations);
+        assert_eq!(new.max_err_over_f1, old.max_err_over_f1);
+        assert_eq!(new.run.stats, old.stats);
+        assert_eq!(new.coord_space_words, old.coord_space_words);
+        assert_eq!(new.item_violation_rate(), old.item_violation_rate());
+    }
+
+    #[test]
+    fn monitor_kind_converts_to_tracker_kind() {
+        #[allow(deprecated)]
+        {
+            use crate::monitor::MonitorKind;
+            for kind in MonitorKind::ALL {
+                let t: TrackerKind = kind.into();
+                assert_eq!(t.label(), kind.label());
+                assert_eq!(t.supports_deletions(), kind.supports_deletions());
+            }
+        }
+    }
+
+    #[test]
+    fn custom_protocols_can_register_a_kind() {
+        // A user-defined exact protocol registered as Naive: the blanket
+        // impl turns its StarSim into a Tracker with no other code.
+        use dsv_net::{CoordOutbox, Outbox};
+        #[derive(Debug)]
+        struct FwdSite;
+        #[derive(Debug)]
+        struct SumCoord {
+            sum: i64,
+        }
+        impl SiteNode for FwdSite {
+            type In = i64;
+            type Up = i64;
+            type Down = ();
+            fn on_update(&mut self, _t: Time, d: i64, out: &mut Outbox<i64>) {
+                out.send(d);
+            }
+            fn on_down(&mut self, _t: Time, _m: &(), _r: bool, _o: &mut Outbox<i64>) {}
+        }
+        impl CoordinatorNode for SumCoord {
+            type Up = i64;
+            type Down = ();
+            fn on_up(&mut self, _t: Time, _s: SiteId, m: i64, _o: &mut CoordOutbox<()>) {
+                self.sum += m;
+            }
+            fn estimate(&self) -> i64 {
+                self.sum
+            }
+        }
+        impl KnownKind for StarSim<FwdSite, SumCoord> {
+            const KIND: TrackerKind = TrackerKind::Naive;
+        }
+        let mut sim = StarSim::with_k(2, |_| FwdSite, SumCoord { sum: 0 });
+        let updates: Vec<Update> = (1..=50).map(|t| Update::new(t, 0, 1)).collect();
+        let report = Driver::new(0.5).unwrap().run(&mut sim, &updates).unwrap();
+        assert_eq!(report.final_estimate, 50);
+        assert_eq!(report.violations, 0);
+    }
+}

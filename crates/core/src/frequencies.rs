@@ -405,12 +405,18 @@ impl FreqRunReport {
 
 /// Drives an item stream through a frequency tracker, auditing every
 /// `audit_every` steps against exact ground truth.
+#[deprecated(
+    since = "0.2.0",
+    note = "use dsv_core::api::ItemDriver::run_items — same accounting, typed errors, \
+            one runner for counting and item streams"
+)]
 #[derive(Debug, Clone, Copy)]
 pub struct FreqRunner {
     eps: f64,
     audit_every: u64,
 }
 
+#[allow(deprecated)]
 impl FreqRunner {
     /// Audit against error `eps` every `audit_every` timesteps.
     pub fn new(eps: f64, audit_every: u64) -> Self {
@@ -472,6 +478,7 @@ impl FreqRunner {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // exercises the FreqRunner shim until its removal
 mod tests {
     use super::*;
     use dsv_gen::{ItemStreamGen, RoundRobin};

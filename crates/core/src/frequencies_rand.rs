@@ -310,6 +310,19 @@ impl<M: CounterMap> RFreqCoord<M> {
         self.breakdown
     }
 
+    /// Coordinator-side space in words: block-start bases, per-site drift
+    /// estimates (A⁺ and A⁻), combined estimates, reduction setup, and
+    /// per-site F1 drifts.
+    pub fn space_words(&self) -> usize {
+        self.base.len()
+            + self.dhat_plus.len()
+            + self.dhat_minus.len()
+            + self.drift.len()
+            + self.combined.len()
+            + self.map.setup_words()
+            + self.f1_dhat.len()
+    }
+
     fn apply_sample(&mut self, site: usize, idx: u32, d: u64, plus: bool) {
         let c = idx as usize;
         let est = if self.r == 0 {
@@ -445,6 +458,7 @@ impl RandFreqTracker {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // compares against the FreqRunner shim until its removal
 mod tests {
     use super::*;
     use crate::frequencies::{ExactFreqTracker, FreqRunner};

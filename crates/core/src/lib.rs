@@ -8,6 +8,7 @@
 //!
 //! | Module | Paper section | Contents |
 //! |--------|---------------|----------|
+//! | [`api`] | — (engineering) | unified front door: `Tracker` trait, `TrackerSpec` builder, `Driver` runner |
 //! | [`variability`] | §2 | `v(n)` meter, Thm 2.1/2.2/2.4 bounds |
 //! | [`blocks`] | §3.1 | constant-variability time partitioning |
 //! | [`deterministic`] | §3.3 | `O((k/ε)·v)`-message deterministic tracker |
@@ -25,6 +26,7 @@
 
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod baselines;
 pub mod blocks;
 pub mod deterministic;
@@ -38,13 +40,18 @@ pub mod single_site;
 pub mod tracing;
 pub mod variability;
 
+pub use api::{
+    BuildError, Driver, ItemDriver, ItemRunReport, ItemTracker, KindInfo, KnownKind, Problem,
+    RunError, StreamRecord, Tracker, TrackerKind, TrackerSpec,
+};
 pub use blocks::{BlockConfig, BlockCoordinator, BlockInfo, BlockSite};
 pub use deterministic::DeterministicTracker;
-pub use frequencies::{
-    CountMinFreqTracker, CrPrecisFreqTracker, ExactFreqTracker, FreqRunReport, FreqRunner,
-};
+#[allow(deprecated)]
+pub use frequencies::FreqRunner;
+pub use frequencies::{CountMinFreqTracker, CrPrecisFreqTracker, ExactFreqTracker, FreqRunReport};
 pub use frequencies_rand::RandFreqTracker;
 pub use lower_bound::{DetFlipFamily, FlipSequence, RandSwitchFamily};
+#[allow(deprecated)]
 pub use monitor::{Monitor, MonitorKind};
 pub use randomized::RandomizedTracker;
 pub use single_site::SingleSiteTracker;

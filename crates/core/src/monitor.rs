@@ -1,10 +1,14 @@
-//! A unified front door over all counter trackers.
+//! **Deprecated** front door over the counter trackers.
 //!
-//! Downstream users usually want "give me a tracker with guarantee X" and
-//! a single `step`/`estimate`/`stats` interface, without naming concrete
-//! site/coordinator types. [`Monitor`] wraps every counting algorithm in
-//! this crate behind one enum, and [`MonitorKind`] names them for sweeps
-//! (the E13 crossover harness and the examples use this).
+//! [`Monitor`]/[`MonitorKind`] predate the [`crate::api`] layer: a
+//! hand-rolled six-arm enum with match dispatch, counters only, and a
+//! panic on `SingleSite` with `k ≠ 1`. The replacement is
+//! [`crate::api::TrackerSpec`] (a fallible builder over all ten kinds,
+//! frequency trackers included) producing `Box<dyn `[`crate::api::Tracker`]`>`;
+//! see the workspace `MIGRATION.md`. This shim is kept for one release and
+//! then removed.
+
+#![allow(deprecated)]
 
 use crate::baselines::{CmyCoord, CmySite, HyzCoord, HyzSite, NaiveCoord, NaiveSite};
 use crate::deterministic::{DetCoord, DetSite};
@@ -13,6 +17,10 @@ use crate::single_site::{SsCoord, SsSite};
 use dsv_net::{CommStats, SiteId, StarSim};
 
 /// The counting algorithms available behind [`Monitor`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use dsv_core::api::TrackerKind, which also names the frequency trackers"
+)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MonitorKind {
     /// §3.3 deterministic tracker: unconditional ε-guarantee,
@@ -61,6 +69,10 @@ impl MonitorKind {
 }
 
 /// A running tracker of any [`MonitorKind`] with a uniform interface.
+#[deprecated(
+    since = "0.2.0",
+    note = "use dsv_core::api::TrackerSpec to build a Box<dyn Tracker> instead"
+)]
 #[derive(Debug)]
 pub enum Monitor {
     /// §3.3 deterministic tracker.

@@ -34,7 +34,9 @@ pub mod stats;
 
 pub use message::{MsgKind, MsgRecord, WireSize};
 pub use protocol::{CoordOutbox, CoordinatorNode, DownMsg, Outbox, SiteNode};
-pub use runner::{relative_error, ErrorProbe, RunReport, TrackerRunner};
+pub use runner::{
+    relative_error, relative_error_floored, ConfigError, ErrorProbe, RunReport, TrackerRunner,
+};
 pub use sim::StarSim;
 pub use stats::CommStats;
 

@@ -9,11 +9,55 @@
 //! * randomized algorithms: the same event must hold with probability ≥ 2/3
 //!   at each fixed `n`, so the runner reports the *fraction* of violated
 //!   timesteps instead of failing.
+//!
+//! By default the audit uses [`relative_error`]'s exact-zero convention
+//! (no `q`-floor); [`relative_error_floored`] implements the paper's
+//! `max(|f|, q)` denominator for callers that want it. `TrackerRunner` is
+//! the low-level, `In = i64` engine for concrete simulators; the unified,
+//! object-safe front door over *all* trackers (counting and item-frequency
+//! alike, with the floor as a config knob) is `dsv-core`'s `api::Driver`.
 
 use crate::protocol::{CoordinatorNode, SiteNode};
 use crate::sim::StarSim;
 use crate::stats::CommStats;
 use crate::{Time, Update};
+
+/// A runner/driver configuration that cannot be used.
+///
+/// Returned by the checked constructors ([`TrackerRunner::try_new`] and the
+/// higher-level driver in `dsv-core`) instead of panicking, so callers that
+/// assemble configurations from user input get a typed, displayable error.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConfigError {
+    /// The audited relative error must lie strictly inside `(0, 1)`.
+    EpsOutOfRange {
+        /// The rejected value.
+        eps: f64,
+    },
+    /// The `q`-floor for small-value auditing must be finite and positive.
+    FloorNotPositive {
+        /// The rejected value.
+        q: f64,
+    },
+    /// A star network needs at least one site.
+    ZeroSites,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, fm: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::EpsOutOfRange { eps } => {
+                write!(fm, "eps must be in (0, 1), got {eps}")
+            }
+            ConfigError::FloorNotPositive { q } => {
+                write!(fm, "the q-floor must be finite and > 0, got {q}")
+            }
+            ConfigError::ZeroSites => write!(fm, "need at least one site"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Relative error of an estimate, with the `f = 0` convention: zero error
 /// iff the estimate is also zero, otherwise infinite.
@@ -27,6 +71,18 @@ pub fn relative_error(f: i64, fhat: i64) -> f64 {
     } else {
         (f - fhat).unsigned_abs() as f64 / f.unsigned_abs() as f64
     }
+}
+
+/// Relative error with the paper's `q`-floor: `|f − f̂| / max(|f|, q)`.
+///
+/// The variability definition (§2) floors every denominator at a constant
+/// `q ≥ 1` so that steps taken while `|f|` is tiny are not charged an
+/// unbounded amount; the same floor makes sense when *auditing* a tracker
+/// near zero, where [`relative_error`]'s exact-zero convention is stricter
+/// than the paper requires. With `q > 0` the result is always finite.
+pub fn relative_error_floored(f: i64, fhat: i64, q: f64) -> f64 {
+    debug_assert!(q > 0.0, "use relative_error for the exact q = 0 convention");
+    (f - fhat).unsigned_abs() as f64 / (f.unsigned_abs() as f64).max(q)
 }
 
 /// A sampled point of the tracked trajectory.
@@ -84,12 +140,22 @@ pub struct TrackerRunner {
 
 impl TrackerRunner {
     /// Create a runner that audits against relative error `eps`.
+    ///
+    /// Panics if `eps` is outside `(0, 1)`; use [`TrackerRunner::try_new`]
+    /// for a typed error instead.
     pub fn new(eps: f64) -> Self {
-        assert!(eps > 0.0 && eps < 1.0, "eps must be in (0,1)");
-        TrackerRunner {
+        Self::try_new(eps).expect("eps must be in (0,1)")
+    }
+
+    /// Checked constructor: `eps` must lie strictly inside `(0, 1)`.
+    pub fn try_new(eps: f64) -> Result<Self, ConfigError> {
+        if !(eps > 0.0 && eps < 1.0) {
+            return Err(ConfigError::EpsOutOfRange { eps });
+        }
+        Ok(TrackerRunner {
             eps,
             sample_every: 0,
-        }
+        })
     }
 
     /// Also record a trajectory sample every `every` timesteps (0 = never).
@@ -104,6 +170,14 @@ impl TrackerRunner {
     }
 
     /// Run `sim` over `updates`, checking the guarantee after every step.
+    ///
+    /// NOTE: `dsv-core::api::Driver::run_with` is the **authoritative**
+    /// copy of this audit loop (violation accounting, the `1e-12` slack,
+    /// probe sampling, estimate-change counting). This method must stay a
+    /// bit-identical mirror of it for `In = i64` — guarded by the
+    /// `driver_matches_tracker_runner_accounting` test in `dsv-core` and
+    /// `tests/api_equivalence.rs` in the facade. Change the Driver first,
+    /// then port the change here.
     pub fn run<S, C>(&self, sim: &mut StarSim<S, C>, updates: &[Update]) -> RunReport
     where
         S: SiteNode<In = i64>,
@@ -168,6 +242,26 @@ mod tests {
         assert!((relative_error(10, 9) - 0.1).abs() < 1e-12);
         assert!((relative_error(-10, -9) - 0.1).abs() < 1e-12);
         assert!((relative_error(-10, -11) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn floored_relative_error_is_finite_near_zero() {
+        // Below the floor the denominator is q, not |f|.
+        assert_eq!(relative_error_floored(0, 3, 10.0), 0.3);
+        assert_eq!(relative_error_floored(2, 4, 10.0), 0.2);
+        // Above the floor it coincides with the plain relative error.
+        assert!((relative_error_floored(100, 90, 10.0) - relative_error(100, 90)).abs() < 1e-12);
+        assert!((relative_error_floored(-100, -90, 10.0) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn runner_config_errors_are_typed() {
+        assert!(TrackerRunner::try_new(0.5).is_ok());
+        for eps in [0.0, 1.0, -0.1, 1.5, f64::NAN] {
+            let err = TrackerRunner::try_new(eps).unwrap_err();
+            assert!(matches!(err, ConfigError::EpsOutOfRange { .. }));
+            assert!(!err.to_string().is_empty());
+        }
     }
 
     /// Exact forwarding protocol for runner auditing.

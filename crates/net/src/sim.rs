@@ -42,9 +42,19 @@ where
     C: CoordinatorNode<Up = S::Up, Down = S::Down>,
 {
     /// Build a simulator from pre-constructed site and coordinator states.
+    ///
+    /// Panics on an empty site vector; use [`StarSim::try_new`] for a
+    /// typed error instead.
     pub fn new(sites: Vec<S>, coord: C) -> Self {
-        assert!(!sites.is_empty(), "need at least one site");
-        StarSim {
+        Self::try_new(sites, coord).expect("need at least one site")
+    }
+
+    /// Checked constructor: requires at least one site.
+    pub fn try_new(sites: Vec<S>, coord: C) -> Result<Self, crate::runner::ConfigError> {
+        if sites.is_empty() {
+            return Err(crate::runner::ConfigError::ZeroSites);
+        }
+        Ok(StarSim {
             sites,
             coord,
             stats: CommStats::new(),
@@ -53,7 +63,7 @@ where
             max_rounds: DEFAULT_MAX_ROUNDS,
             pending_up: Vec::new(),
             next_up: Vec::new(),
-        }
+        })
     }
 
     /// Build a simulator with `k` identical sites produced by `make_site`.

@@ -10,7 +10,7 @@
 //! linear, so each site can run one and the coordinator combines them.
 
 use crate::hash::HashFamily;
-use crate::FreqSketch;
+use crate::{FreqSketch, SketchError};
 
 /// Count-Min sketch with `i64` counters (supports deletions).
 #[derive(Debug, Clone)]
@@ -23,24 +23,50 @@ pub struct CountMin {
 
 impl CountMin {
     /// Create a `rows × width` sketch seeded deterministically.
+    ///
+    /// Panics on a degenerate shape; use [`CountMin::try_new`] for a typed
+    /// error instead.
     pub fn new(rows: usize, width: u64, seed: u64) -> Self {
-        assert!(rows >= 1 && width >= 1);
-        CountMin {
+        Self::try_new(rows, width, seed).expect("rows and width must be >= 1")
+    }
+
+    /// Checked constructor: requires `rows ≥ 1` and `width ≥ 1`.
+    pub fn try_new(rows: usize, width: u64, seed: u64) -> Result<Self, SketchError> {
+        if rows == 0 {
+            return Err(SketchError::ZeroRows);
+        }
+        if width == 0 {
+            return Err(SketchError::ZeroWidth);
+        }
+        Ok(CountMin {
             hashes: HashFamily::new(rows, width, seed),
             rows,
             width,
             table: vec![0i64; rows * width as usize],
-        }
+        })
     }
 
     /// Shape for guarantee "error ≤ eps_frac·F1 w.p. ≥ 1 − delta":
     /// `width = ⌈e/eps_frac⌉`, `rows = ⌈ln(1/delta)⌉`.
+    ///
+    /// Panics on out-of-range parameters; use
+    /// [`CountMin::try_for_guarantee`] for a typed error instead.
     pub fn for_guarantee(eps_frac: f64, delta: f64, seed: u64) -> Self {
-        assert!(eps_frac > 0.0 && eps_frac < 1.0);
-        assert!(delta > 0.0 && delta < 1.0);
+        Self::try_for_guarantee(eps_frac, delta, seed).expect("eps_frac and delta must be in (0,1)")
+    }
+
+    /// Checked [`CountMin::for_guarantee`]: `eps_frac` and `delta` must lie
+    /// strictly inside `(0, 1)`.
+    pub fn try_for_guarantee(eps_frac: f64, delta: f64, seed: u64) -> Result<Self, SketchError> {
+        if !(eps_frac > 0.0 && eps_frac < 1.0) {
+            return Err(SketchError::EpsOutOfRange { eps: eps_frac });
+        }
+        if !(delta > 0.0 && delta < 1.0) {
+            return Err(SketchError::DeltaOutOfRange { delta });
+        }
         let width = (std::f64::consts::E / eps_frac).ceil() as u64;
         let rows = (1.0 / delta).ln().ceil().max(1.0) as usize;
-        Self::new(rows, width, seed)
+        Self::try_new(rows, width, seed)
     }
 
     /// The Appendix H shape: `27/ε` counters per row so that the per-item

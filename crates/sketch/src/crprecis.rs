@@ -17,7 +17,7 @@
 //! is what the distributed tracker needs; we implement both estimators.
 
 use crate::primes::primes_from;
-use crate::FreqSketch;
+use crate::{FreqSketch, SketchError};
 
 /// CR-precis sketch with `i64` counters (linear; supports deletions).
 #[derive(Debug, Clone)]
@@ -32,8 +32,22 @@ pub struct CrPrecis {
 impl CrPrecis {
     /// `rows` rows with prime moduli starting at the first prime ≥
     /// `min_width`.
+    ///
+    /// Panics on a degenerate shape; use [`CrPrecis::try_new`] for a typed
+    /// error instead.
     pub fn new(rows: usize, min_width: u64) -> Self {
-        assert!(rows >= 1 && min_width >= 2);
+        Self::try_new(rows, min_width).expect("need rows >= 1 and min_width >= 2")
+    }
+
+    /// Checked constructor: requires `rows ≥ 1` and `min_width ≥ 2` (there
+    /// is no prime below 2 to index a row with).
+    pub fn try_new(rows: usize, min_width: u64) -> Result<Self, SketchError> {
+        if rows == 0 {
+            return Err(SketchError::ZeroRows);
+        }
+        if min_width < 2 {
+            return Err(SketchError::ZeroWidth);
+        }
         let moduli = primes_from(min_width, rows);
         let mut offsets = Vec::with_capacity(rows);
         let mut total = 0usize;
@@ -41,11 +55,11 @@ impl CrPrecis {
             offsets.push(total);
             total += p as usize;
         }
-        CrPrecis {
+        Ok(CrPrecis {
             moduli,
             offsets,
             table: vec![0i64; total],
-        }
+        })
     }
 
     /// Shape guaranteeing `|f̂_ℓ − f_ℓ| ≤ eps_frac · F1` deterministically

@@ -37,6 +37,49 @@ pub use hash::{HashFamily, PairwiseHash};
 pub use primes::{is_prime, primes_from};
 pub use reduce::{CountMinMap, CounterMap, CrPrecisMap, IdentityMap};
 
+/// A sketch shape or guarantee parameter that cannot be built.
+///
+/// Returned by the `try_*` constructors ([`CountMin::try_new`],
+/// [`CrPrecis::try_new`], …) instead of panicking, so configuration
+/// assembled from user input surfaces as a typed, displayable error.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SketchError {
+    /// A sketch needs at least one row.
+    ZeroRows,
+    /// Row width (or the minimum prime modulus) is too small to index.
+    ZeroWidth,
+    /// An error fraction outside `(0, 1)`.
+    EpsOutOfRange {
+        /// The rejected value.
+        eps: f64,
+    },
+    /// A failure probability outside `(0, 1)`.
+    DeltaOutOfRange {
+        /// The rejected value.
+        delta: f64,
+    },
+    /// The item universe must contain at least one item.
+    EmptyUniverse,
+}
+
+impl std::fmt::Display for SketchError {
+    fn fmt(&self, fm: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SketchError::ZeroRows => write!(fm, "sketch needs at least one row"),
+            SketchError::ZeroWidth => write!(fm, "sketch row width is too small"),
+            SketchError::EpsOutOfRange { eps } => {
+                write!(fm, "error fraction must be in (0, 1), got {eps}")
+            }
+            SketchError::DeltaOutOfRange { delta } => {
+                write!(fm, "failure probability must be in (0, 1), got {delta}")
+            }
+            SketchError::EmptyUniverse => write!(fm, "item universe must be non-empty"),
+        }
+    }
+}
+
+impl std::error::Error for SketchError {}
+
 /// Common interface of the frequency summaries used by Appendix H.
 pub trait FreqSketch {
     /// Apply `delta` copies of `item` (negative = deletions).

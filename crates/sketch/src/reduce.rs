@@ -49,9 +49,19 @@ pub struct IdentityMap {
 
 impl IdentityMap {
     /// Over a universe of `universe` items.
+    ///
+    /// Panics on an empty universe; use [`IdentityMap::try_new`] for a
+    /// typed error instead.
     pub fn new(universe: usize) -> Self {
-        assert!(universe >= 1);
-        IdentityMap { universe }
+        Self::try_new(universe).expect("universe must be non-empty")
+    }
+
+    /// Checked constructor: the universe must contain at least one item.
+    pub fn try_new(universe: usize) -> Result<Self, crate::SketchError> {
+        if universe == 0 {
+            return Err(crate::SketchError::EmptyUniverse);
+        }
+        Ok(IdentityMap { universe })
     }
 }
 

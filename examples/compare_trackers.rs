@@ -4,11 +4,13 @@
 //! cargo run --release --example compare_trackers
 //! ```
 //!
-//! Uses the [`Monitor`] facade to run all counting algorithms uniformly
-//! and prints accuracy/communication for each workload class — a compact
-//! view of the paper's landscape: the monotone specialists win on inserts
-//! only, the naive tracker pays Θ(n) everywhere, and the variability
-//! trackers interpolate.
+//! Uses the unified `TrackerSpec`/`Driver` API to run all counting
+//! algorithms uniformly and prints accuracy/communication for each
+//! workload class — a compact view of the paper's landscape: the monotone
+//! specialists win on inserts only, the naive tracker pays Θ(n)
+//! everywhere, and the variability trackers interpolate. Kinds that
+//! cannot run a workload are skipped with the builder's own typed error
+//! as the reason.
 
 use dsv::prelude::*;
 
@@ -35,40 +37,45 @@ fn main() {
     );
     println!("{}", "-".repeat(68));
 
+    let driver = Driver::new(eps).expect("valid eps");
     for (wname, deltas) in &workloads {
         let v = Variability::of_stream(deltas.iter().copied());
-        let monotone = deltas.iter().all(|&d| d >= 0);
-        for kind in MonitorKind::ALL {
-            // Skip kinds that can't run this workload.
-            if kind == MonitorKind::SingleSite {
-                continue; // needs k = 1; covered by e11
-            }
-            if !kind.supports_deletions() && !monotone {
-                continue;
-            }
-            let mut mon = Monitor::new(kind, k, eps, 77);
-            let mut f = 0i64;
-            let mut max_err = 0.0f64;
-            for (i, &d) in deltas.iter().enumerate() {
-                f += d;
-                let est = mon.step(i % k, d);
-                if f != 0 {
-                    max_err = max_err.max((f - est).abs() as f64 / f.abs() as f64);
-                } else if est != 0 {
-                    max_err = f64::INFINITY;
+        let has_deletions = deltas.iter().any(|&d| d < 0);
+        let updates = assign_updates(deltas, RoundRobin::new(k));
+        let mut skipped: Vec<String> = Vec::new();
+        for kind in TrackerKind::COUNTERS {
+            // The builder rejects kinds that can't run this workload
+            // (SingleSite needs k = 1, monotone specialists reject
+            // deletion streams) with a typed error instead of a panic.
+            let spec = TrackerSpec::new(kind)
+                .k(k)
+                .eps(eps)
+                .seed(77)
+                .deletions(has_deletions);
+            let mut tracker = match spec.build() {
+                Ok(t) => t,
+                Err(e) => {
+                    skipped.push(format!("{}: {e}", kind.label()));
+                    continue;
                 }
-            }
-            let msgs = mon.stats().total_messages();
+            };
+            let report = driver
+                .run(&mut tracker, &updates)
+                .expect("capabilities were checked at build time");
+            let msgs = report.stats.total_messages();
             println!(
                 "{:<18} {:<15} {:>10} {:>9.2}% {:>9.4}",
                 wname,
                 kind.label(),
                 msgs,
                 100.0 * msgs as f64 / n as f64,
-                max_err
+                report.max_rel_err
             );
         }
         println!("{:<18} (variability v = {v:.1})", "");
+        for reason in &skipped {
+            println!("{:<18} skipped {reason}", "");
+        }
         println!();
     }
 

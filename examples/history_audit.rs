@@ -25,15 +25,21 @@ fn main() {
     // A table that mostly grows, with deletion bursts (β-nearly-monotone).
     let updates = NearlyMonotoneGen::new(11, 2.0, 0.40).updates(n, RoundRobin::new(k));
 
-    // Track + record.
-    let mut sim = DeterministicTracker::sim(k, eps);
+    // Track + record. The recorder taps the estimate stream, so we drive
+    // the tracker by hand here rather than through the Driver.
+    let mut tracker = TrackerSpec::new(TrackerKind::Deterministic)
+        .k(k)
+        .eps(eps)
+        .deletions(true)
+        .build()
+        .expect("valid spec");
     let mut recorder = TracingRecorder::new();
     let mut truth = Vec::with_capacity(n as usize);
     let mut f = 0i64;
     for u in &updates {
         f += u.delta;
         truth.push(f);
-        let est = sim.step(u.site, u.delta);
+        let est = tracker.step(u.site, u.delta);
         recorder.observe(u.time, est);
     }
     let summary = recorder.finish();
@@ -52,7 +58,7 @@ fn main() {
     println!(
         "          (communication during the run: {} messages — the summary\n\
          \t   is the Appendix D transcript replay, so it can never be larger)",
-        sim.stats().total_messages()
+        tracker.stats().total_messages()
     );
 
     // Audit: spot-check historical queries across the whole run.

@@ -11,7 +11,9 @@
 //! than it shrinks, so its F1-variability is low and tracking is cheap.
 //!
 //! We compare the exact per-item variant (coordinator holds |U| counters)
-//! with the Count-Min and CR-precis sketched variants of Appendix H.
+//! with the Count-Min and CR-precis sketched variants of Appendix H, all
+//! built through the same `TrackerSpec` and driven by the same
+//! `ItemDriver` as the counting examples.
 
 use dsv::prelude::*;
 
@@ -28,33 +30,56 @@ fn main() {
     println!("variant          msgs      coord space   audited err   violations");
     println!("------------------------------------------------------------------");
 
-    let runner = FreqRunner::new(eps, 4_000);
+    let driver = ItemDriver::new(eps)
+        .expect("valid eps")
+        .with_item_audit(4_000);
+    let build = |kind: TrackerKind| {
+        TrackerSpec::new(kind)
+            .k(k)
+            .eps(eps)
+            .seed(42)
+            .universe(universe)
+            .build_item()
+            .expect("valid spec")
+    };
 
-    let mut exact = ExactFreqTracker::sim(k, eps, universe);
-    let re = runner.run(&mut exact, &updates);
+    let mut exact = build(TrackerKind::ExactFreq);
+    let re = driver
+        .run_items(&mut exact, &updates)
+        .expect("item streams fit every frequency kind");
     println!(
         "exact per-item  {:>7}   {:>8} words   max {:.4}·F1   {}",
-        re.stats.total_messages(),
+        re.run.stats.total_messages(),
         re.coord_space_words,
         re.max_err_over_f1,
         re.item_violations
     );
 
-    let mut cm = CountMinFreqTracker::sim(k, eps, 42);
-    let rc = runner.run(&mut cm, &updates);
+    // Count-Min hashes SKUs into O(1/ε) counters; no universe needed.
+    let mut cm = TrackerSpec::new(TrackerKind::CountMinFreq)
+        .k(k)
+        .eps(eps)
+        .seed(42)
+        .build_item()
+        .expect("valid spec");
+    let rc = driver
+        .run_items(&mut cm, &updates)
+        .expect("item streams fit every frequency kind");
     println!(
         "Count-Min       {:>7}   {:>8} words   max {:.4}·F1   {}",
-        rc.stats.total_messages(),
+        rc.run.stats.total_messages(),
         rc.coord_space_words,
         rc.max_err_over_f1,
         rc.item_violations
     );
 
-    let mut cr = CrPrecisFreqTracker::sim(k, eps, universe as u64);
-    let rr = runner.run(&mut cr, &updates);
+    let mut cr = build(TrackerKind::CrPrecisFreq);
+    let rr = driver
+        .run_items(&mut cr, &updates)
+        .expect("item streams fit every frequency kind");
     println!(
         "CR-precis       {:>7}   {:>8} words   max {:.4}·F1   {}",
-        rr.stats.total_messages(),
+        rr.run.stats.total_messages(),
         rr.coord_space_words,
         rr.max_err_over_f1,
         rr.item_violations
@@ -62,9 +87,8 @@ fn main() {
 
     // Headquarters-side query: top sellers right now, from the sketch.
     println!("\ntop SKUs by coordinator estimate (Count-Min variant):");
-    let coord = cm.coordinator();
     let mut top: Vec<(u64, i64)> = (0..universe as u64)
-        .map(|sku| (sku, coord.estimate_item(sku)))
+        .map(|sku| (sku, cm.estimate_item(sku)))
         .collect();
     top.sort_by_key(|&(_, est)| std::cmp::Reverse(est));
     for (sku, est) in top.iter().take(5) {
@@ -72,8 +96,8 @@ fn main() {
     }
     println!(
         "\nestimated total inventory F1 ≈ {} (true {})",
-        coord.estimated_f1(),
-        re.final_f1
+        cm.estimate(),
+        re.run.final_f
     );
 
     assert_eq!(re.item_violations, 0, "exact variant is deterministic");

@@ -61,17 +61,26 @@ fn main() {
     println!("workload:  {days} days x 3 phases x {steps_per_phase} events = {n} flow events at {k} routers");
     println!("variability: v(n) = {v:.1}  (vs n = {n}: the stream is 'slowly varying')\n");
 
-    // Deterministic tracker (unconditional guarantee).
-    let mut det = DeterministicTracker::sim(k, eps);
-    let det_report = TrackerRunner::new(eps).run(&mut det, &updates);
-
-    // Randomized tracker (2/3 guarantee per timestep, fewer messages).
-    let mut rnd = RandomizedTracker::sim(k, eps, 9);
-    let rnd_report = TrackerRunner::new(eps).run(&mut rnd, &updates);
-
-    // Naive baseline: every event forwarded to the monitor.
-    let mut naive = NaiveTracker::sim(k);
-    let naive_report = TrackerRunner::new(eps).run(&mut naive, &updates);
+    // All three monitors through the one spec/driver front door: the
+    // deterministic tracker (unconditional guarantee), the randomized one
+    // (2/3 per timestep, fewer messages), and the naive forward-everything
+    // baseline. Flow-close events are deletions, so declare them.
+    let driver = Driver::new(eps).expect("valid eps");
+    let run = |kind: TrackerKind, seed: u64| {
+        let mut tracker = TrackerSpec::new(kind)
+            .k(k)
+            .eps(eps)
+            .seed(seed)
+            .deletions(true)
+            .build()
+            .expect("all three kinds accept deletion streams");
+        driver
+            .run(&mut tracker, &updates)
+            .expect("capabilities were checked at build time")
+    };
+    let det_report = run(TrackerKind::Deterministic, 0);
+    let rnd_report = run(TrackerKind::Randomized, 9);
+    let naive_report = run(TrackerKind::Naive, 0);
 
     println!("tracker        messages    % of naive   violations   max err");
     println!("-----------------------------------------------------------------");

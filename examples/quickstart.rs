@@ -27,10 +27,20 @@ fn main() {
     // The stream parameter that governs everything.
     let v = Variability::of_stream(updates.iter().map(|u| u.delta));
 
-    // Track with the deterministic algorithm (§3.3); the runner audits the
+    // Build a tracker with the deterministic guarantee (§3.3) through the
+    // unified spec — misconfiguration would be a typed BuildError, not a
+    // panic — and drive it with the auditing runner, which checks the
     // ε-guarantee after every timestep.
-    let mut sim = DeterministicTracker::sim(k, eps);
-    let report = TrackerRunner::new(eps).run(&mut sim, &updates);
+    let mut tracker = TrackerSpec::new(TrackerKind::Deterministic)
+        .k(k)
+        .eps(eps)
+        .deletions(true) // the stream shrinks as well as grows
+        .build()
+        .expect("valid spec");
+    let driver = Driver::new(eps).expect("valid eps");
+    let report = driver
+        .run(&mut tracker, &updates)
+        .expect("deterministic tracker accepts deletion streams");
 
     println!("stream:        nearly-monotone ±1 updates, n = {n}, k = {k} sites");
     println!(
@@ -64,8 +74,15 @@ fn main() {
     // For contrast: a maximally-variable stream on the same machinery.
     let churn = AdversarialGen::hover(1).updates(20_000, RoundRobin::new(k));
     let v_churn = Variability::of_stream(churn.iter().map(|u| u.delta));
-    let mut sim2 = DeterministicTracker::sim(k, eps);
-    let churn_report = TrackerRunner::new(eps).run(&mut sim2, &churn);
+    let mut tracker2 = TrackerSpec::new(TrackerKind::Deterministic)
+        .k(k)
+        .eps(eps)
+        .deletions(true)
+        .build()
+        .expect("valid spec");
+    let churn_report = driver
+        .run(&mut tracker2, &churn)
+        .expect("same capability as above");
     println!();
     println!(
         "contrast:      a hover-at-1 adversary has v = {:.0} ≈ n; tracking it\n\

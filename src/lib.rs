@@ -4,7 +4,8 @@
 //! *"Variability in Data Streams"* (PODS 2016 / arXiv:1502.07027).
 //!
 //! See the workspace `README.md` for an overview, `DESIGN.md` for the system
-//! inventory, and `EXPERIMENTS.md` for the per-theorem reproduction results.
+//! inventory, `EXPERIMENTS.md` for the per-theorem reproduction results, and
+//! `MIGRATION.md` for moving off the deprecated `Monitor` enum.
 //!
 //! ## Quickstart
 //!
@@ -15,10 +16,22 @@
 //! let k = 8;
 //! let updates = WalkGen::fair(42).updates(10_000, RoundRobin::new(k));
 //!
-//! // Track it at the coordinator with the deterministic algorithm (§3.3).
+//! // Build a tracker with the deterministic guarantee (§3.3). Any of the
+//! // ten TrackerKinds builds through the same spec; misconfiguration is a
+//! // typed BuildError, not a panic.
 //! let eps = 0.1;
-//! let mut sim = DeterministicTracker::sim(k, eps);
-//! let report = TrackerRunner::new(eps).run(&mut sim, &updates);
+//! let mut tracker = TrackerSpec::new(TrackerKind::Deterministic)
+//!     .k(k)
+//!     .eps(eps)
+//!     .deletions(true) // walks go down as well as up
+//!     .build()
+//!     .expect("valid spec");
+//!
+//! // Drive the stream and audit |f − f̂| ≤ ε·|f| after every timestep.
+//! let report = Driver::new(eps)
+//!     .expect("valid eps")
+//!     .run(&mut tracker, &updates)
+//!     .expect("walk streams fit a deletion-capable tracker");
 //!
 //! // The deterministic guarantee holds at every timestep...
 //! assert_eq!(report.violations, 0);
@@ -36,14 +49,21 @@ pub use dsv_sketch as sketch;
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
+    pub use dsv_core::api::{
+        BuildError, Driver, ItemDriver, ItemRunReport, ItemTracker, KindInfo, KnownKind, Problem,
+        RunError, StreamRecord, Tracker, TrackerKind, TrackerSpec,
+    };
     pub use dsv_core::baselines::{CmyCounter, HyzCounter, NaiveTracker, PeriodicSync};
     pub use dsv_core::blocks::{BlockConfig, BlockCoordinator, BlockSite};
     pub use dsv_core::deterministic::DeterministicTracker;
     pub use dsv_core::expand::expand_update;
+    #[allow(deprecated)]
+    pub use dsv_core::frequencies::FreqRunner;
     pub use dsv_core::frequencies::{
-        CountMinFreqTracker, CrPrecisFreqTracker, ExactFreqTracker, FreqRunReport, FreqRunner,
+        CountMinFreqTracker, CrPrecisFreqTracker, ExactFreqTracker, FreqRunReport,
     };
     pub use dsv_core::frequencies_rand::RandFreqTracker;
+    #[allow(deprecated)]
     pub use dsv_core::monitor::{Monitor, MonitorKind};
     pub use dsv_core::randomized::RandomizedTracker;
     pub use dsv_core::single_site::SingleSiteTracker;
@@ -55,6 +75,7 @@ pub mod prelude {
         SiteAssign, WalkGen,
     };
     pub use dsv_net::{
-        CommStats, ErrorProbe, ItemUpdate, RunReport, StarSim, TrackerRunner, Update,
+        relative_error, relative_error_floored, CommStats, ConfigError, ErrorProbe, ItemUpdate,
+        RunReport, StarSim, TrackerRunner, Update,
     };
 }

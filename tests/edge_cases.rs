@@ -1,19 +1,33 @@
 //! Edge-case and robustness tests: short streams, degenerate parameters,
-//! zero deltas, extreme radii, and facade behavior.
+//! zero deltas, extreme radii, and front-door (builder/driver) behavior.
 
 use dsv::prelude::*;
 
+fn det(k: usize, eps: f64) -> Box<dyn Tracker> {
+    TrackerSpec::new(TrackerKind::Deterministic)
+        .k(k)
+        .eps(eps)
+        .deletions(true)
+        .build()
+        .unwrap()
+}
+
 #[test]
 fn empty_and_tiny_streams() {
-    let mut sim = DeterministicTracker::sim(4, 0.1);
-    let report = TrackerRunner::new(0.1).run(&mut sim, &[]);
+    let empty: &[Update] = &[];
+    let report = Driver::new(0.1)
+        .unwrap()
+        .run(&mut det(4, 0.1), empty)
+        .unwrap();
     assert_eq!(report.n, 0);
     assert_eq!(report.violations, 0);
     assert_eq!(report.stats.total_messages(), 0);
 
     // One update.
-    let mut sim = DeterministicTracker::sim(4, 0.1);
-    let report = TrackerRunner::new(0.1).run(&mut sim, &[Update::new(1, 2, 1)]);
+    let report = Driver::new(0.1)
+        .unwrap()
+        .run(&mut det(4, 0.1), &[Update::new(1, 2, 1)])
+        .unwrap();
     assert_eq!(report.final_estimate, 1);
     assert_eq!(report.violations, 0);
 }
@@ -26,8 +40,10 @@ fn stream_shorter_than_k() {
     let updates: Vec<Update> = (1..=5)
         .map(|t| Update::new(t, (t as usize) % k, -1))
         .collect();
-    let mut sim = DeterministicTracker::sim(k, 0.2);
-    let report = TrackerRunner::new(0.2).run(&mut sim, &updates);
+    let report = Driver::new(0.2)
+        .unwrap()
+        .run(&mut det(k, 0.2), &updates)
+        .unwrap();
     assert_eq!(report.max_rel_err, 0.0);
     assert_eq!(report.final_estimate, -5);
 }
@@ -35,13 +51,20 @@ fn stream_shorter_than_k() {
 #[test]
 fn all_zero_deltas_are_harmless() {
     let updates: Vec<Update> = (1..=200).map(|t| Update::new(t, 0, 0)).collect();
-    let mut det = DeterministicTracker::sim(2, 0.1);
-    let report = TrackerRunner::new(0.1).run(&mut det, &updates);
+    let report = Driver::new(0.1)
+        .unwrap()
+        .run(&mut det(2, 0.1), &updates)
+        .unwrap();
     assert_eq!(report.final_estimate, 0);
     assert_eq!(report.violations, 0);
 
-    let mut rnd = RandomizedTracker::sim(2, 0.1, 3);
-    let report = TrackerRunner::new(0.1).run(&mut rnd, &updates);
+    let mut rnd = TrackerSpec::new(TrackerKind::Randomized)
+        .k(2)
+        .eps(0.1)
+        .seed(3)
+        .build()
+        .unwrap();
+    let report = Driver::new(0.1).unwrap().run(&mut rnd, &updates).unwrap();
     assert_eq!(report.final_estimate, 0);
     assert_eq!(report.violations, 0);
 }
@@ -51,8 +74,10 @@ fn negative_territory_tracking() {
     // f goes deeply negative; |f| drives the radii symmetrically.
     let deltas = vec![-1i64; 30_000];
     let updates = assign_updates(&deltas, RoundRobin::new(4));
-    let mut sim = DeterministicTracker::sim(4, 0.1);
-    let report = TrackerRunner::new(0.1).run(&mut sim, &updates);
+    let report = Driver::new(0.1)
+        .unwrap()
+        .run(&mut det(4, 0.1), &updates)
+        .unwrap();
     assert_eq!(report.violations, 0);
     assert_eq!(report.final_f, -30_000);
     // Cost must be logarithmic, mirroring the positive monotone case.
@@ -66,8 +91,10 @@ fn sign_flip_mid_stream() {
     let mut deltas = vec![1i64; 2_000];
     deltas.extend(std::iter::repeat_n(-1i64, 4_000));
     let updates = assign_updates(&deltas, RoundRobin::new(2));
-    let mut sim = DeterministicTracker::sim(2, 0.1);
-    let report = TrackerRunner::new(0.1).run(&mut sim, &updates);
+    let report = Driver::new(0.1)
+        .unwrap()
+        .run(&mut det(2, 0.1), &updates)
+        .unwrap();
     assert_eq!(report.violations, 0, "max err {}", report.max_rel_err);
     assert_eq!(report.final_f, -2_000);
 }
@@ -76,8 +103,10 @@ fn sign_flip_mid_stream() {
 fn extreme_epsilon_values() {
     let updates = WalkGen::fair(9).updates(5_000, RoundRobin::new(2));
     for eps in [0.9, 0.001] {
-        let mut sim = DeterministicTracker::sim(2, eps);
-        let report = TrackerRunner::new(eps).run(&mut sim, &updates);
+        let report = Driver::new(eps)
+            .unwrap()
+            .run(&mut det(2, eps), &updates)
+            .unwrap();
         assert_eq!(report.violations, 0, "eps = {eps}");
     }
 }
@@ -86,6 +115,68 @@ fn extreme_epsilon_values() {
 #[should_panic]
 fn eps_must_be_in_unit_interval() {
     DeterministicTracker::sim(2, 1.5);
+}
+
+#[test]
+fn misconfiguration_is_typed_not_panicking() {
+    // SingleSite with k != 1: a BuildError, not a panic.
+    let err = TrackerSpec::new(TrackerKind::SingleSite)
+        .k(4)
+        .build()
+        .unwrap_err();
+    assert_eq!(err, BuildError::SingleSiteRequiresK1 { k: 4 });
+
+    // eps out of range through the builder: a BuildError, not a panic.
+    let err = TrackerSpec::new(TrackerKind::Deterministic)
+        .eps(1.5)
+        .build()
+        .unwrap_err();
+    assert!(matches!(err, BuildError::InvalidEps { .. }));
+
+    // Deletions into a monotone kind through the driver: a RunError.
+    let mut cmy = TrackerSpec::new(TrackerKind::CmyMonotone)
+        .k(2)
+        .eps(0.1)
+        .build()
+        .unwrap();
+    let err = Driver::new(0.1)
+        .unwrap()
+        .run(&mut cmy, &[Update::new(1, 0, 1), Update::new(2, 1, -1)])
+        .unwrap_err();
+    assert_eq!(
+        err,
+        RunError::DeletionUnsupported {
+            kind: TrackerKind::CmyMonotone,
+            time: 2
+        }
+    );
+
+    // Out-of-range site through the driver: a RunError.
+    let err = Driver::new(0.1)
+        .unwrap()
+        .run(&mut det(2, 0.1), &[Update::new(1, 9, 1)])
+        .unwrap_err();
+    assert_eq!(
+        err,
+        RunError::SiteOutOfRange {
+            site: 9,
+            k: 2,
+            time: 1
+        }
+    );
+
+    // Driver config errors are typed too.
+    assert!(matches!(
+        Driver::<i64>::new(0.0).unwrap_err(),
+        ConfigError::EpsOutOfRange { .. }
+    ));
+    assert!(matches!(
+        Driver::<i64>::new(0.1)
+            .unwrap()
+            .with_floor(-1.0)
+            .unwrap_err(),
+        ConfigError::FloorNotPositive { .. }
+    ));
 }
 
 #[test]
@@ -101,19 +192,24 @@ fn very_large_values_do_not_overflow_radius_math() {
 }
 
 #[test]
-fn monitor_facade_runs_every_kind_end_to_end() {
+fn spec_front_door_runs_every_counter_kind_end_to_end() {
     let deltas = MonotoneGen::ones().deltas(2_000);
-    for kind in MonitorKind::ALL {
-        let k = if kind == MonitorKind::SingleSite {
+    for kind in TrackerKind::COUNTERS {
+        let k = if kind == TrackerKind::SingleSite {
             1
         } else {
             3
         };
-        let mut mon = Monitor::new(kind, k, 0.25, 11);
+        let mut tracker = TrackerSpec::new(kind)
+            .k(k)
+            .eps(0.25)
+            .seed(11)
+            .build()
+            .unwrap();
         for (i, &d) in deltas.iter().enumerate() {
-            mon.step(i % k, d);
+            tracker.step(i % k, d);
         }
-        let est = mon.estimate();
+        let est = tracker.estimate();
         assert!(
             (2_000 - est).unsigned_abs() as f64 <= 0.25 * 2_000.0,
             "{}: estimate {est}",
@@ -130,8 +226,15 @@ fn single_site_huge_jumps() {
         Update::new(2, 0, -999_999_999_999),
         Update::new(3, 0, -1),
     ];
-    let mut sim = SingleSiteTracker::sim(0.01);
-    let report = TrackerRunner::new(0.01).run(&mut sim, &updates);
+    let mut tracker = TrackerSpec::new(TrackerKind::SingleSite)
+        .eps(0.01)
+        .deletions(true)
+        .build()
+        .unwrap();
+    let report = Driver::new(0.01)
+        .unwrap()
+        .run(&mut tracker, &updates)
+        .unwrap();
     assert_eq!(report.violations, 0);
     assert_eq!(report.final_f, 0);
     assert_eq!(report.final_estimate, 0);
@@ -142,10 +245,19 @@ fn frequency_tracker_single_item_universe() {
     let updates: Vec<ItemUpdate> = (1..=500)
         .map(|t| ItemUpdate::new(t, (t as usize) % 2, 0, if t % 3 == 0 { -1 } else { 1 }))
         .collect();
-    let mut sim = ExactFreqTracker::sim(2, 0.2, 1);
-    let report = FreqRunner::new(0.2, 50).run(&mut sim, &updates);
+    let mut tracker = TrackerSpec::new(TrackerKind::ExactFreq)
+        .k(2)
+        .eps(0.2)
+        .universe(1)
+        .build_item()
+        .unwrap();
+    let report = ItemDriver::new(0.2)
+        .unwrap()
+        .with_item_audit(50)
+        .run_items(&mut tracker, &updates)
+        .unwrap();
     assert_eq!(report.item_violations, 0);
-    assert!(report.final_f1 > 0);
+    assert!(report.run.final_f > 0);
 }
 
 #[test]

@@ -1,7 +1,23 @@
 //! Cross-crate integration tests: every tracker × every workload class,
-//! auditing the paper's guarantees end-to-end through the public API.
+//! auditing the paper's guarantees end-to-end through the public API
+//! (the `TrackerSpec` builder + `Driver` runner front door).
 
 use dsv::prelude::*;
+
+/// Spec-built tracker driven over `updates` with auditing at `eps`.
+fn drive(kind: TrackerKind, k: usize, eps: f64, seed: u64, updates: &[Update]) -> RunReport {
+    let mut tracker = TrackerSpec::new(kind)
+        .k(k)
+        .eps(eps)
+        .seed(seed)
+        .deletions(kind.supports_deletions())
+        .build()
+        .unwrap();
+    Driver::new(eps)
+        .unwrap()
+        .run(&mut tracker, updates)
+        .unwrap()
+}
 
 fn workload_suite(n: u64, k: usize) -> Vec<(&'static str, Vec<Update>)> {
     vec![
@@ -42,8 +58,7 @@ fn deterministic_tracker_full_matrix() {
         for eps in [0.25f64, 0.1] {
             for (name, updates) in workload_suite(20_000, k) {
                 let v = Variability::of_stream(updates.iter().map(|u| u.delta));
-                let mut sim = DeterministicTracker::sim(k, eps);
-                let report = TrackerRunner::new(eps).run(&mut sim, &updates);
+                let report = drive(TrackerKind::Deterministic, k, eps, 0, &updates);
                 assert_eq!(
                     report.violations, 0,
                     "{name} k={k} eps={eps}: max err {}",
@@ -69,8 +84,7 @@ fn randomized_tracker_full_matrix() {
             let mut total_viol = 0u64;
             let mut total_msgs = 0u64;
             for seed in 0..trials {
-                let mut sim = RandomizedTracker::sim(k, eps, 31 + seed);
-                let report = TrackerRunner::new(eps).run(&mut sim, &updates);
+                let report = drive(TrackerKind::Randomized, k, eps, 31 + seed, &updates);
                 total_viol += report.violations;
                 total_msgs += report.stats.total_messages();
             }
@@ -102,8 +116,7 @@ fn single_site_tracker_arbitrary_aggregates() {
         for (name, deltas) in &streams {
             let v = Variability::of_stream(deltas.iter().copied());
             let updates = assign_updates(deltas, SingleSite::solo());
-            let mut sim = SingleSiteTracker::sim(eps);
-            let report = TrackerRunner::new(eps).run(&mut sim, &updates);
+            let report = drive(TrackerKind::SingleSite, 1, eps, 0, &updates);
             assert_eq!(report.violations, 0, "{name} eps={eps}");
             assert!(
                 (report.stats.total_messages() as f64) <= SingleSiteTracker::message_bound(eps, v),
@@ -123,8 +136,7 @@ fn expanded_large_updates_preserve_guarantee() {
     let expanded = dsv::core::expand::expand_stream(&deltas);
     assert!(expanded.len() > deltas.len());
     let updates = assign_updates(&expanded, RoundRobin::new(k));
-    let mut sim = DeterministicTracker::sim(k, eps);
-    let report = TrackerRunner::new(eps).run(&mut sim, &updates);
+    let report = drive(TrackerKind::Deterministic, k, eps, 0, &updates);
     assert_eq!(report.violations, 0);
     assert_eq!(report.final_f, deltas.iter().sum::<i64>());
 }
@@ -156,14 +168,10 @@ fn monotone_specialization_within_constant_of_cmy() {
     let eps = 0.1;
     let n = 50_000;
     let updates = MonotoneGen::ones().updates(n, RoundRobin::new(k));
-    let mut det = DeterministicTracker::sim(k, eps);
-    let det_msgs = TrackerRunner::new(eps)
-        .run(&mut det, &updates)
+    let det_msgs = drive(TrackerKind::Deterministic, k, eps, 0, &updates)
         .stats
         .total_messages();
-    let mut cmy = CmyCounter::sim(k, eps);
-    let cmy_msgs = TrackerRunner::new(eps)
-        .run(&mut cmy, &updates)
+    let cmy_msgs = drive(TrackerKind::CmyMonotone, k, eps, 0, &updates)
         .stats
         .total_messages();
     // "reduce to the monotone case": same log n shape, constant factor.
@@ -177,8 +185,7 @@ fn monotone_specialization_within_constant_of_cmy() {
 fn naive_and_periodic_baselines_behave() {
     let k = 4;
     let updates = WalkGen::fair(3).updates(10_000, RoundRobin::new(k));
-    let mut naive = NaiveTracker::sim(k);
-    let naive_report = TrackerRunner::new(0.1).run(&mut naive, &updates);
+    let naive_report = drive(TrackerKind::Naive, k, 0.1, 0, &updates);
     assert_eq!(naive_report.max_rel_err, 0.0);
     assert_eq!(naive_report.stats.total_messages(), 10_000);
 
@@ -199,8 +206,7 @@ fn message_cost_is_monotone_in_variability_across_hover_levels() {
     let mut prev_msgs = u64::MAX;
     for level in [1i64, 10, 100, 1_000] {
         let updates = AdversarialGen::hover(level).updates(n, RoundRobin::new(k));
-        let mut sim = DeterministicTracker::sim(k, eps);
-        let report = TrackerRunner::new(eps).run(&mut sim, &updates);
+        let report = drive(TrackerKind::Deterministic, k, eps, 0, &updates);
         assert_eq!(report.violations, 0);
         assert!(
             report.stats.total_messages() <= prev_msgs,

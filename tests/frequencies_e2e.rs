@@ -4,6 +4,30 @@
 use dsv::prelude::*;
 use dsv::sketch::{CountMin, CrPrecis, ExactCounts, FreqSketch};
 
+/// Spec-built frequency tracker audited over `updates`.
+fn drive_items(
+    kind: TrackerKind,
+    k: usize,
+    eps: f64,
+    universe: usize,
+    seed: u64,
+    audit_every: u64,
+    updates: &[ItemUpdate],
+) -> ItemRunReport {
+    let mut tracker = TrackerSpec::new(kind)
+        .k(k)
+        .eps(eps)
+        .seed(seed)
+        .universe(universe)
+        .build_item()
+        .unwrap();
+    ItemDriver::new(eps)
+        .unwrap()
+        .with_item_audit(audit_every)
+        .run_items(&mut tracker, updates)
+        .unwrap()
+}
+
 fn stream(n: u64, k: usize, universe: usize, delete_prob: f64, seed: u64) -> Vec<ItemUpdate> {
     ItemStreamGen::new(seed, universe, 1.1, delete_prob, 1).updates(n, RoundRobin::new(k))
 }
@@ -13,11 +37,10 @@ fn exact_variant_deterministic_guarantee() {
     for (k, eps) in [(2usize, 0.3f64), (4, 0.15), (8, 0.1)] {
         let universe = 400;
         let updates = stream(12_000, k, universe, 0.35, 71);
-        let mut sim = ExactFreqTracker::sim(k, eps, universe);
-        let report = FreqRunner::new(eps, 600).run(&mut sim, &updates);
+        let report = drive_items(TrackerKind::ExactFreq, k, eps, universe, 0, 600, &updates);
         assert!(report.audits > 0);
         assert_eq!(report.item_violations, 0, "k={k} eps={eps}");
-        assert_eq!(report.f1_violations, 0, "k={k} eps={eps}");
+        assert_eq!(report.run.violations, 0, "k={k} eps={eps}");
     }
 }
 
@@ -25,8 +48,15 @@ fn exact_variant_deterministic_guarantee() {
 fn crprecis_variant_deterministic_guarantee() {
     let (k, eps, universe) = (4usize, 0.25f64, 600u64);
     let updates = stream(12_000, k, universe as usize, 0.3, 73);
-    let mut sim = CrPrecisFreqTracker::sim(k, eps, universe);
-    let report = FreqRunner::new(eps, 600).run(&mut sim, &updates);
+    let report = drive_items(
+        TrackerKind::CrPrecisFreq,
+        k,
+        eps,
+        universe as usize,
+        0,
+        600,
+        &updates,
+    );
     assert!(report.audits > 0);
     assert_eq!(report.item_violations, 0);
 }
@@ -35,8 +65,15 @@ fn crprecis_variant_deterministic_guarantee() {
 fn countmin_variant_probabilistic_guarantee() {
     let (k, eps, universe) = (4usize, 0.2f64, 3_000usize);
     let updates = stream(15_000, k, universe, 0.35, 79);
-    let mut sim = CountMinFreqTracker::sim(k, eps, 5);
-    let report = FreqRunner::new(eps, 1_000).run(&mut sim, &updates);
+    let report = drive_items(
+        TrackerKind::CountMinFreq,
+        k,
+        eps,
+        universe,
+        5,
+        1_000,
+        &updates,
+    );
     assert!(report.audits > 0);
     assert!(
         report.item_violation_rate() < 1.0 / 9.0,

@@ -40,9 +40,38 @@ proptest! {
             }).collect()
         };
         let updates = to_updates(&deltas, &sites);
-        let mut sim = DeterministicTracker::sim(k, eps);
-        let report = TrackerRunner::new(eps).run(&mut sim, &updates);
+        let mut tracker = TrackerSpec::new(TrackerKind::Deterministic)
+            .k(k)
+            .eps(eps)
+            .deletions(true)
+            .build()
+            .unwrap();
+        let report = Driver::new(eps).unwrap().run(&mut tracker, &updates).unwrap();
         prop_assert_eq!(report.violations, 0);
+    }
+
+    /// The spec-built boxed tracker is bit-identical to direct StarSim
+    /// construction on ANY stream and assignment (builder transparency).
+    #[test]
+    fn spec_path_is_bit_identical_for_any_stream(
+        deltas in pm1_stream(400),
+        k in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let sites: Vec<usize> = (0..deltas.len()).map(|i| i % k).collect();
+        let updates = to_updates(&deltas, &sites);
+        let mut built = TrackerSpec::new(TrackerKind::Randomized)
+            .k(k)
+            .eps(0.2)
+            .seed(seed)
+            .deletions(true)
+            .build()
+            .unwrap();
+        let mut direct = RandomizedTracker::sim(k, 0.2, seed);
+        for u in &updates {
+            prop_assert_eq!(built.step(u.site, u.delta), direct.step(u.site, u.delta));
+        }
+        prop_assert_eq!(built.stats(), direct.stats());
     }
 
     /// Message cost never exceeds the paper bound, for any ±1 stream.
@@ -55,8 +84,13 @@ proptest! {
         let sites: Vec<usize> = (0..deltas.len()).map(|i| i % k).collect();
         let updates = to_updates(&deltas, &sites);
         let v = Variability::of_stream(deltas.iter().copied());
-        let mut sim = DeterministicTracker::sim(k, eps);
-        let report = TrackerRunner::new(eps).run(&mut sim, &updates);
+        let mut tracker = TrackerSpec::new(TrackerKind::Deterministic)
+            .k(k)
+            .eps(eps)
+            .deletions(true)
+            .build()
+            .unwrap();
+        let report = Driver::new(eps).unwrap().run(&mut tracker, &updates).unwrap();
         prop_assert!(
             (report.stats.total_messages() as f64)
                 <= DeterministicTracker::message_bound(k, eps, v)
@@ -72,8 +106,12 @@ proptest! {
     ) {
         let v = Variability::of_stream(deltas.iter().copied());
         let updates = assign_updates(&deltas, SingleSite::solo());
-        let mut sim = SingleSiteTracker::sim(eps);
-        let report = TrackerRunner::new(eps).run(&mut sim, &updates);
+        let mut tracker = TrackerSpec::new(TrackerKind::SingleSite)
+            .eps(eps)
+            .deletions(true)
+            .build()
+            .unwrap();
+        let report = Driver::new(eps).unwrap().run(&mut tracker, &updates).unwrap();
         prop_assert_eq!(report.violations, 0);
         prop_assert!(
             (report.stats.total_messages() as f64)
