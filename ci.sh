@@ -1,11 +1,34 @@
 #!/usr/bin/env bash
 # Full local CI gate for the dsv workspace. Runs everything the tier-1
-# verify runs, plus formatting, the full workspace test matrix, bench/
-# example compilation, and rustdoc. Fails fast on the first broken step.
+# verify runs, plus formatting, lints, the full workspace test matrix,
+# bench/example compilation, bench smoke runs with a JSON schema gate,
+# and rustdoc. Fails fast on the first broken step.
+#
+# This script is the single source of truth for the gate; the GitHub
+# workflow (.github/workflows/ci.yml) just checks out, installs a
+# toolchain, and runs it.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 step() { printf '\n=== %s ===\n' "$*"; }
+
+# Resolve a dsv-bench bench binary through cargo itself (stale-proof:
+# `ls -t target/.../name-*` picks outdated hashes after renames or
+# toolchain bumps; the JSON compiler messages name the fresh artifact).
+# Never fails (so `set -e` can't kill the script before the caller's
+# not-found diagnostic): a broken target yields an empty string and the
+# compile error is replayed on stderr.
+bench_bin() {
+    if ! out=$(cargo bench --no-run --message-format=json -p dsv-bench --bench "$1" 2>/tmp/bench_bin.err); then
+        cat /tmp/bench_bin.err >&2
+        return 0
+    fi
+    printf '%s' "$out" \
+        | grep "\"name\":\"$1\"" \
+        | sed -n 's/.*"executable":"\([^"]*\)".*/\1/p' \
+        | tail -1 \
+        || true
+}
 
 step "cargo fmt --check"
 cargo fmt --all --check
@@ -13,32 +36,49 @@ cargo fmt --all --check
 step "cargo build --release"
 cargo build --release
 
+step "cargo clippy --workspace --all-targets (-D warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
 step "cargo test --workspace -q (superset of the tier-1 'cargo test -q')"
 cargo test --workspace -q
 
 step "cargo build --release --examples"
 cargo build --release --examples
 
-step "run all 5 examples (API regressions in non-test binaries fail here)"
-for ex in quickstart compare_trackers network_monitor history_audit inventory_audit; do
+step "run all 6 examples (API regressions in non-test binaries fail here)"
+for ex in quickstart compare_trackers network_monitor history_audit inventory_audit sharded_monitor; do
     printf -- '-- example %s\n' "$ex"
     cargo run -q --release --example "$ex" > /dev/null
 done
 
-step "cargo bench --no-run --workspace (compile all 17 bench targets)"
+step "cargo bench --no-run --workspace (compile all 18 bench targets)"
 cargo bench --no-run --workspace
 
 step "1s smoke run of one e* bench binary"
 # The e* binaries are full experiments; a 1-second slice is enough to
 # catch panics on their startup path. timeout exit 124 (alarm fired
 # while the bench was still happily running) counts as success.
-bench_bin=$(ls -t target/release/deps/e11_single_site-* 2>/dev/null | grep -v '\.d$' | head -1)
-[ -n "$bench_bin" ] || { echo "e11 bench binary not found"; exit 1; }
+e11_bin=$(bench_bin e11_single_site)
+[ -n "$e11_bin" ] || { echo "e11 bench binary not found"; exit 1; }
 rc=0
-timeout 1s "$bench_bin" > /dev/null 2>&1 || rc=$?
+timeout 1s "$e11_bin" > /dev/null 2>&1 || rc=$?
 if [ "$rc" -ne 0 ] && [ "$rc" -ne 124 ]; then
     echo "bench smoke run failed with exit code $rc"
     exit 1
+fi
+
+step "e16 throughput smoke + BENCH json schema gate"
+# Full e16 sweep in --smoke mode (400k updates) writing machine-readable
+# results, then the schema gate: non-empty stream/row tables, finite
+# positive throughput numbers. The committed BENCH_e16.json (full 10M
+# run) is validated too, so the tracked perf trajectory stays parseable.
+e16_bin=$(bench_bin e16_throughput)
+[ -n "$e16_bin" ] || { echo "e16 bench binary not found"; exit 1; }
+mkdir -p target/ci
+"$e16_bin" --smoke --out target/ci/BENCH_e16.json > /dev/null
+cargo run -q --release -p dsv-bench --bin bench_schema -- target/ci/BENCH_e16.json
+if [ -f BENCH_e16.json ]; then
+    cargo run -q --release -p dsv-bench --bin bench_schema -- BENCH_e16.json
 fi
 
 step "cargo doc --no-deps --workspace (warning-free)"

@@ -1,0 +1,45 @@
+//! CI gate over machine-readable benchmark artifacts.
+//!
+//! ```sh
+//! cargo run --release -p dsv-bench --bin bench_schema -- BENCH_e16.json
+//! ```
+//!
+//! Parses each argument as JSON and checks it against the E16 schema
+//! (`dsv_bench::validate_e16`): non-empty stream/row tables, finite
+//! positive throughput numbers. Exits non-zero on the first failure, so a
+//! bench that crashed mid-run, emitted NaNs, or silently produced an
+//! empty sweep fails the pipeline instead of polluting the trajectory.
+
+use dsv_bench::{validate_e16, Json};
+use std::process::ExitCode;
+
+fn check(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: cannot read: {e}"))?;
+    if text.trim().is_empty() {
+        return Err(format!("{path}: file is empty"));
+    }
+    let doc = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    validate_e16(&doc).map_err(|e| format!("{path}: schema violation: {e}"))?;
+    let n = doc.get("n").and_then(Json::as_f64).unwrap_or(0.0);
+    let streams = doc.get("streams").and_then(Json::as_array).unwrap_or(&[]);
+    println!(
+        "{path}: ok — {} stream(s), n = {n}, schema e16_throughput",
+        streams.len()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: bench_schema <BENCH_e16.json> [more.json ...]");
+        return ExitCode::FAILURE;
+    }
+    for path in &args {
+        if let Err(e) = check(path) {
+            eprintln!("bench_schema: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,600 @@
+//! Minimal JSON support for machine-readable benchmark artifacts.
+//!
+//! The throughput experiments emit `BENCH_*.json` files that CI validates
+//! and the repo tracks over time (the perf trajectory). The container
+//! builds offline, so instead of `serde_json` this module implements the
+//! small JSON subset those artifacts need: a value tree ([`Json`]), a
+//! pretty writer that refuses non-finite numbers, a strict
+//! recursive-descent parser, and the E16 schema validator CI runs
+//! ([`validate_e16`]).
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A finite number (the writer asserts finiteness).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// A number value; panics on NaN/infinite input (JSON cannot carry
+    /// them, and a benchmark emitting one is a bug worth failing loudly).
+    pub fn num(v: f64) -> Json {
+        assert!(v.is_finite(), "JSON numbers must be finite, got {v}");
+        Json::Num(v)
+    }
+
+    /// A string value.
+    pub fn str(v: impl Into<String>) -> Json {
+        Json::Str(v.into())
+    }
+
+    /// An object from `(key, value)` pairs.
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The bool, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Parse a JSON document (strict: one value, nothing trailing).
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after the document"));
+        }
+        Ok(value)
+    }
+
+    fn write_indented(&self, out: &mut fmt::Formatter<'_>, depth: usize) -> fmt::Result {
+        const INDENT: &str = "  ";
+        match self {
+            Json::Null => write!(out, "null"),
+            Json::Bool(b) => write!(out, "{b}"),
+            Json::Num(v) => {
+                assert!(v.is_finite(), "JSON numbers must be finite, got {v}");
+                if *v == v.trunc() && v.abs() < 1e15 {
+                    write!(out, "{}", *v as i64)
+                } else {
+                    write!(out, "{v}")
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    return write!(out, "[]");
+                }
+                writeln!(out, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    write!(out, "{}", INDENT.repeat(depth + 1))?;
+                    item.write_indented(out, depth + 1)?;
+                    writeln!(out, "{}", if i + 1 < items.len() { "," } else { "" })?;
+                }
+                write!(out, "{}]", INDENT.repeat(depth))
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    return write!(out, "{{}}");
+                }
+                writeln!(out, "{{")?;
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    write!(out, "{}", INDENT.repeat(depth + 1))?;
+                    write_escaped(out, k)?;
+                    write!(out, ": ")?;
+                    v.write_indented(out, depth + 1)?;
+                    writeln!(out, "{}", if i + 1 < pairs.len() { "," } else { "" })?;
+                }
+                write!(out, "{}}}", INDENT.repeat(depth))
+            }
+        }
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.write_indented(out, 0)
+    }
+}
+
+fn write_escaped(out: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    write!(out, "\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => write!(out, "\\\"")?,
+            '\\' => write!(out, "\\\\")?,
+            '\n' => write!(out, "\\n")?,
+            '\r' => write!(out, "\\r")?,
+            '\t' => write!(out, "\\t")?,
+            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32)?,
+            c => write!(out, "{c}")?,
+        }
+    }
+    write!(out, "\"")
+}
+
+/// A malformed JSON document, with the byte offset of the problem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset where parsing failed.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            out,
+            "invalid JSON at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> JsonError {
+        JsonError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{}'", byte as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(self.err(format!("unexpected character '{}'", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        let v: f64 = text
+            .parse()
+            .map_err(|_| self.err(format!("bad number '{text}'")))?;
+        if !v.is_finite() {
+            return Err(self.err(format!("non-finite number '{text}'")));
+        }
+        Ok(Json::Num(v))
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            if self.pos + 4 >= self.bytes.len() {
+                                return Err(self.err("truncated \\u escape"));
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("bad \\u code point"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Copy one UTF-8 character verbatim.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = rest.chars().next().expect("peeked non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The E16 schema gate.
+// ---------------------------------------------------------------------------
+
+/// Validate a `BENCH_e16.json` document: the schema CI enforces so perf
+/// regressions stay visible in the benchmark trajectory.
+///
+/// Required shape:
+///
+/// ```json
+/// {
+///   "experiment": "e16_throughput",
+///   "smoke": bool, "n": > 0, "kind": str, "k": > 0, "eps": (0,1),
+///   "streams": [ non-empty, each:
+///     { "stream": str, "baseline_updates_per_sec": finite > 0,
+///       "rows": [ non-empty, each:
+///         { "mode": "routed" | "parted", "shards" ≥ 1, "batch" ≥ 1,
+///           "updates_per_sec" finite > 0, "speedup" finite > 0,
+///           "boundary_violations" ≥ 0, "messages" ≥ 0 } ] } ]
+/// }
+/// ```
+pub fn validate_e16(doc: &Json) -> Result<(), String> {
+    let field = |j: &Json, key: &str| -> Result<Json, String> {
+        j.get(key).cloned().ok_or(format!("missing field '{key}'"))
+    };
+    let pos_num = |j: &Json, key: &str| -> Result<f64, String> {
+        let v = field(j, key)?
+            .as_f64()
+            .ok_or(format!("field '{key}' must be a number"))?;
+        if !(v.is_finite() && v > 0.0) {
+            return Err(format!("field '{key}' must be finite and > 0, got {v}"));
+        }
+        Ok(v)
+    };
+    let count = |j: &Json, key: &str| -> Result<f64, String> {
+        let v = field(j, key)?
+            .as_f64()
+            .ok_or(format!("field '{key}' must be a number"))?;
+        if !(v.is_finite() && v >= 0.0) {
+            return Err(format!("field '{key}' must be finite and >= 0, got {v}"));
+        }
+        Ok(v)
+    };
+
+    if field(doc, "experiment")?.as_str() != Some("e16_throughput") {
+        return Err("field 'experiment' must be \"e16_throughput\"".into());
+    }
+    field(doc, "smoke")?
+        .as_bool()
+        .ok_or("field 'smoke' must be a bool")?;
+    pos_num(doc, "n")?;
+    field(doc, "kind")?
+        .as_str()
+        .ok_or("field 'kind' must be a string")?;
+    pos_num(doc, "k")?;
+    let eps = pos_num(doc, "eps")?;
+    if eps >= 1.0 {
+        return Err(format!("field 'eps' must be < 1, got {eps}"));
+    }
+
+    let streams_field = field(doc, "streams")?;
+    let streams = streams_field
+        .as_array()
+        .ok_or("field 'streams' must be an array")?;
+    if streams.is_empty() {
+        return Err("'streams' must be non-empty".into());
+    }
+    for (i, stream) in streams.iter().enumerate() {
+        let ctx = |e: String| format!("streams[{i}]: {e}");
+        field(stream, "stream")
+            .map_err(ctx)?
+            .as_str()
+            .ok_or_else(|| ctx("field 'stream' must be a string".into()))?;
+        pos_num(stream, "baseline_updates_per_sec").map_err(ctx)?;
+        let rows_field = field(stream, "rows").map_err(ctx)?;
+        let rows = rows_field
+            .as_array()
+            .ok_or_else(|| ctx("field 'rows' must be an array".into()))?;
+        if rows.is_empty() {
+            return Err(ctx("'rows' must be non-empty".into()));
+        }
+        for (j, row) in rows.iter().enumerate() {
+            let ctx = |e: String| format!("streams[{i}].rows[{j}]: {e}");
+            let mode = field(row, "mode")
+                .map_err(ctx)?
+                .as_str()
+                .map(str::to_owned)
+                .ok_or_else(|| ctx("field 'mode' must be a string".into()))?;
+            if mode != "routed" && mode != "parted" {
+                return Err(ctx(format!(
+                    "field 'mode' must be \"routed\" or \"parted\", got \"{mode}\""
+                )));
+            }
+            pos_num(row, "shards").map_err(ctx)?;
+            pos_num(row, "batch").map_err(ctx)?;
+            pos_num(row, "updates_per_sec").map_err(ctx)?;
+            pos_num(row, "speedup").map_err(ctx)?;
+            count(row, "boundary_violations").map_err(ctx)?;
+            count(row, "messages").map_err(ctx)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_through_writer_and_parser() {
+        let doc = Json::obj(vec![
+            ("name", Json::str("e16 \"quoted\"\nline")),
+            ("count", Json::num(42.0)),
+            ("rate", Json::num(1.5e6)),
+            ("neg", Json::num(-0.25)),
+            ("flag", Json::Bool(true)),
+            ("nothing", Json::Null),
+            (
+                "rows",
+                Json::Arr(vec![Json::num(1.0), Json::str("x"), Json::Arr(vec![])]),
+            ),
+            ("empty", Json::obj(vec![])),
+        ]);
+        let text = doc.to_string();
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(back, doc);
+        assert_eq!(back.get("count").unwrap().as_f64(), Some(42.0));
+        assert_eq!(
+            back.get("name").unwrap().as_str().unwrap(),
+            "e16 \"quoted\"\nline"
+        );
+    }
+
+    #[test]
+    fn integers_print_without_decimal_point() {
+        assert_eq!(Json::num(42.0).to_string(), "42");
+        assert_eq!(Json::num(-7.0).to_string(), "-7");
+        assert_eq!(Json::num(0.5).to_string(), "0.5");
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_numbers_are_rejected_at_construction() {
+        let _ = Json::num(f64::NAN);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\" 1}",
+            "tru",
+            "1 2",
+            "\"unterminated",
+            "{\"a\": NaN}",
+            "[01x]",
+            "{\"a\":}",
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_nesting() {
+        let doc = Json::parse(r#"{"a": [1, -2.5e3, "xA\n"], "b": {"c": null}}"#).unwrap();
+        let arr = doc.get("a").unwrap().as_array().unwrap();
+        assert_eq!(arr[1].as_f64(), Some(-2500.0));
+        assert_eq!(arr[2].as_str(), Some("xA\n"));
+        assert_eq!(doc.get("b").unwrap().get("c"), Some(&Json::Null));
+    }
+
+    fn valid_doc() -> Json {
+        Json::obj(vec![
+            ("experiment", Json::str("e16_throughput")),
+            ("smoke", Json::Bool(true)),
+            ("n", Json::num(400_000.0)),
+            ("kind", Json::str("deterministic")),
+            ("k", Json::num(8.0)),
+            ("eps", Json::num(0.1)),
+            (
+                "streams",
+                Json::Arr(vec![Json::obj(vec![
+                    ("stream", Json::str("monotone")),
+                    ("baseline_updates_per_sec", Json::num(5.0e6)),
+                    (
+                        "rows",
+                        Json::Arr(vec![Json::obj(vec![
+                            ("mode", Json::str("parted")),
+                            ("shards", Json::num(8.0)),
+                            ("batch", Json::num(65_536.0)),
+                            ("updates_per_sec", Json::num(4.1e7)),
+                            ("speedup", Json::num(8.2)),
+                            ("boundary_violations", Json::num(0.0)),
+                            ("messages", Json::num(1234.0)),
+                        ])]),
+                    ),
+                ])]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn e16_schema_accepts_the_emitted_shape() {
+        assert_eq!(validate_e16(&valid_doc()), Ok(()));
+    }
+
+    #[test]
+    fn e16_schema_rejects_missing_and_degenerate_fields() {
+        let mut doc = valid_doc();
+        if let Json::Obj(pairs) = &mut doc {
+            pairs.retain(|(k, _)| k != "streams");
+        }
+        assert!(validate_e16(&doc).unwrap_err().contains("streams"));
+
+        let mut doc = valid_doc();
+        if let Json::Obj(pairs) = &mut doc {
+            for (k, v) in pairs.iter_mut() {
+                if k == "streams" {
+                    *v = Json::Arr(vec![]);
+                }
+            }
+        }
+        assert!(validate_e16(&doc).unwrap_err().contains("non-empty"));
+
+        // A zero throughput (the "bench crashed instantly" signature).
+        let text = valid_doc()
+            .to_string()
+            .replace("\"updates_per_sec\": 41000000", "\"updates_per_sec\": 0");
+        let doc = Json::parse(&text).unwrap();
+        assert!(validate_e16(&doc).unwrap_err().contains("updates_per_sec"));
+    }
+}

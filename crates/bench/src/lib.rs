@@ -1,17 +1,21 @@
 //! # dsv-bench — experiment harness
 //!
-//! One bench target per evaluation claim of the paper (see `DESIGN.md` §4
-//! for the experiment index E1–E13 and `EXPERIMENTS.md` for recorded
-//! results). Each target is a plain `harness = false` binary that prints
-//! an aligned table, so `cargo bench --workspace` regenerates every
-//! "table/figure" of the reproduction. Two additional criterion targets
+//! One bench target per evaluation claim of the paper, plus the `e16`
+//! engine-throughput gate (see `EXPERIMENTS.md` for the index and
+//! recorded results). Each target is a plain `harness = false` binary
+//! that prints an aligned table, so `cargo bench --workspace`
+//! regenerates every "table/figure" of the reproduction; `e16` also
+//! emits machine-readable `BENCH_e16.json` validated by the
+//! `bench_schema` bin ([`json`]). Two additional criterion targets
 //! (`micro_sketch`, `micro_tracker`) measure hot-path throughput.
 
 #![warn(missing_docs)]
 
+pub mod json;
 pub mod stats;
 pub mod table;
 
+pub use json::{validate_e16, Json, JsonError};
 pub use stats::Summary;
 pub use table::Table;
 

@@ -307,18 +307,50 @@ pub trait KnownKind {
 /// An object-safe running tracker with a uniform interface.
 ///
 /// `In` is the per-update input: `i64` (the delta) for the counting
-/// problem, `(u64, i64)` (item, ±1) for the frequency problem. The four
+/// problem, `(u64, i64)` (item, ±1) for the frequency problem. The
 /// methods are the whole contract shared by every algorithm in the paper:
-/// feed updates, read `f̂(n)`, audit, charge messages.
+/// feed updates (one at a time or in batches), read `f̂(n)`, audit,
+/// charge messages.
 ///
 /// Every [`StarSim`] whose protocol pair implements [`KnownKind`] gets
 /// this trait via a blanket impl, so `Box<dyn Tracker>` (from
 /// [`TrackerSpec::build`]) and direct `StarSim` construction are the same
 /// code path — bit-identical estimates and [`CommStats`].
-pub trait Tracker<In = i64>: std::fmt::Debug {
+pub trait Tracker<In: Copy = i64>: std::fmt::Debug {
     /// Feed one update arriving at `site`; returns the coordinator's
     /// estimate after the network quiesces.
     fn step(&mut self, site: SiteId, input: In) -> i64;
+
+    /// Feed a batch of updates — `(site, input)` pairs in arrival order —
+    /// and return the coordinator's estimate after the whole batch.
+    ///
+    /// Must be bit-identical to calling [`step`](Self::step) once per
+    /// element (protocol state, estimates, and [`CommStats`] alike); the
+    /// default does exactly that. The [`StarSim`] blanket impl overrides
+    /// it with [`StarSim::step_batch`], which amortizes the per-update
+    /// simulator overhead and routes same-site runs through the hot
+    /// kinds' `absorb_quiet` fast paths — this is the ingestion path the
+    /// batched sharded engine (`dsv-engine`) drives.
+    fn update_batch(&mut self, batch: &[(SiteId, In)]) -> i64 {
+        let mut est = self.estimate();
+        for &(site, input) in batch {
+            est = self.step(site, input);
+        }
+        est
+    }
+
+    /// Feed a run of updates that all arrive at `site`, in order — the
+    /// zero-copy special case of [`update_batch`](Self::update_batch) a
+    /// site-affine sharded engine produces. Same bit-identity contract;
+    /// the [`StarSim`] blanket impl overrides it with
+    /// [`StarSim::step_run`].
+    fn update_run(&mut self, site: SiteId, inputs: &[In]) -> i64 {
+        let mut est = self.estimate();
+        for &input in inputs {
+            est = self.step(site, input);
+        }
+        est
+    }
 
     /// Current coordinator estimate `f̂(n)` (the tracked count, or
     /// `F̂1(n)` for frequency kinds).
@@ -344,6 +376,14 @@ where
         StarSim::step(self, site, input)
     }
 
+    fn update_batch(&mut self, batch: &[(SiteId, S::In)]) -> i64 {
+        StarSim::step_batch(self, batch)
+    }
+
+    fn update_run(&mut self, site: SiteId, inputs: &[S::In]) -> i64 {
+        StarSim::step_run(self, site, inputs)
+    }
+
     fn estimate(&self) -> i64 {
         StarSim::estimate(self)
     }
@@ -361,9 +401,17 @@ where
     }
 }
 
-impl<In, T: Tracker<In> + ?Sized> Tracker<In> for Box<T> {
+impl<In: Copy, T: Tracker<In> + ?Sized> Tracker<In> for Box<T> {
     fn step(&mut self, site: SiteId, input: In) -> i64 {
         (**self).step(site, input)
+    }
+
+    fn update_batch(&mut self, batch: &[(SiteId, In)]) -> i64 {
+        (**self).update_batch(batch)
+    }
+
+    fn update_run(&mut self, site: SiteId, inputs: &[In]) -> i64 {
+        (**self).update_run(site, inputs)
     }
 
     fn estimate(&self) -> i64 {
@@ -685,6 +733,18 @@ impl TrackerSpec {
         self
     }
 
+    /// Derive the spec for shard replica `shard` of a sharded engine:
+    /// shard 0 is this spec unchanged (so a single-shard engine is
+    /// bit-identical to the sequential path), and every other shard gets a
+    /// deterministically decorrelated seed so randomized replicas don't
+    /// sample in lockstep.
+    pub fn shard(mut self, shard: usize) -> Self {
+        if shard > 0 {
+            self.seed ^= (shard as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+        self
+    }
+
     /// Shared parameter validation for both build paths.
     fn validate(&self, expected: Problem) -> Result<(), BuildError> {
         if self.kind.problem() != expected {
@@ -733,7 +793,9 @@ impl TrackerSpec {
     ///
     /// Covers the six [`TrackerKind::COUNTERS`]; frequency kinds return
     /// [`BuildError::WrongProblem`] (use [`build_item`](Self::build_item)).
-    pub fn build(&self) -> Result<Box<dyn Tracker>, BuildError> {
+    /// The box is `Send` so built trackers can be driven from worker
+    /// threads (the sharded engine's execution model).
+    pub fn build(&self) -> Result<Box<dyn Tracker + Send>, BuildError> {
         self.validate(Problem::Counting)?;
         let (k, eps, seed) = (self.k, self.eps, self.seed);
         Ok(match self.kind {
@@ -762,8 +824,9 @@ impl TrackerSpec {
     /// Build an item-frequency tracker (`In = (u64, i64)`).
     ///
     /// Covers the four [`TrackerKind::FREQUENCIES`]; counting kinds return
-    /// [`BuildError::WrongProblem`] (use [`build`](Self::build)).
-    pub fn build_item(&self) -> Result<Box<dyn ItemTracker>, BuildError> {
+    /// [`BuildError::WrongProblem`] (use [`build`](Self::build)). The box
+    /// is `Send` for the same reason as in [`build`](Self::build).
+    pub fn build_item(&self) -> Result<Box<dyn ItemTracker + Send>, BuildError> {
         self.validate(Problem::Frequencies)?;
         let (k, eps, seed) = (self.k, self.eps, self.seed);
         Ok(match self.kind {
@@ -936,7 +999,7 @@ impl<In> std::fmt::Debug for Driver<In> {
 /// [`run_items`](Driver::run_items).
 pub type ItemDriver = Driver<(u64, i64)>;
 
-impl<In> Driver<In> {
+impl<In: Copy> Driver<In> {
     /// A driver auditing against relative error `eps ∈ (0, 1)`.
     pub fn new(eps: f64) -> Result<Self, ConfigError> {
         if !(eps > 0.0 && eps < 1.0) {

@@ -125,6 +125,36 @@ impl SiteNode for CmySite {
         }
     }
     fn on_down(&mut self, _t: Time, _m: &(), _req: bool, _out: &mut Outbox<u64>) {}
+
+    fn absorb_quiet(&mut self, _t0: Time, inputs: &[i64]) -> usize {
+        // The `(1+ε)·last` report threshold is constant between messages;
+        // convert it once into the largest count that stays quiet
+        // (u64→f64 is exact below 2^53, so the integer compare equals
+        // `on_update`'s float compare bit for bit), leaving one add and
+        // one compare per update in the loop.
+        let threshold = (1.0 + self.eps) * self.last as f64;
+        let trunc = threshold as u64;
+        let below_band = if (trunc as f64) < threshold {
+            trunc
+        } else {
+            trunc.saturating_sub(1)
+        };
+        // `n_i ≤ last` is also quiet regardless of the band.
+        let qmax = below_band.max(self.last);
+        let mut acc = self.n_i;
+        let mut n = 0;
+        for &delta in inputs {
+            assert!(delta >= 0, "CMY counter is insert-only (monotone streams)");
+            let next = acc + delta as u64;
+            if next > qmax {
+                break;
+            }
+            acc = next;
+            n += 1;
+        }
+        self.n_i = acc;
+        n
+    }
 }
 
 impl CoordinatorNode for CmyCoord {

@@ -104,6 +104,23 @@ impl BlockSite {
         }
     }
 
+    /// Number of further counted updates guaranteed **not** to fire the
+    /// count threshold — the headroom the batched fast path may absorb
+    /// before [`on_update`](Self::on_update) must run again.
+    pub fn until_fire(&self) -> u64 {
+        self.threshold - self.c - 1
+    }
+
+    /// Bulk fast path: count `n` updates summing to `sum`, none of which
+    /// fires (caller must stay within [`until_fire`](Self::until_fire)).
+    /// State change is bit-identical to `n` non-firing
+    /// [`on_update`](Self::on_update) calls.
+    pub fn absorb_run(&mut self, n: u64, sum: i64) {
+        debug_assert!(self.c + n < self.threshold, "absorb_run past headroom");
+        self.c += n;
+        self.f_i += sum;
+    }
+
     /// Answer a coordinator report request with `(c_i, f_i)`. Sending `c_i`
     /// resets it (it has now been "sent to the coordinator"); `f_i` resets
     /// only at the next block broadcast.

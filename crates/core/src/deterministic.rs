@@ -130,6 +130,52 @@ impl SiteNode for DetSite {
             }
         }
     }
+
+    fn absorb_quiet(&mut self, _t0: Time, inputs: &[i64]) -> usize {
+        // Both §3.3 thresholds are constant between messages (the radius
+        // and the block counter's target only change via `on_down`), so
+        // hoist them out of the inner loop: the partition counter has
+        // `until_fire` updates of headroom, and the drift band `ε·2^r` is
+        // converted once into the largest integer `|δ_i|` that stays
+        // quiet. The inner loop is one add and one integer compare per
+        // update — the batched engine's hot loop — and the absorbed state
+        // change is applied in O(1) afterwards.
+        let cap = (self.blocks.until_fire() as usize).min(inputs.len());
+        if cap == 0 {
+            return 0;
+        }
+        // quiet ⟺ (|δ| as f64) < ε·2^r (the exact `condition()` compare).
+        // u64→f64 conversion is exact below 2^53, so the float predicate
+        // equals the integer predicate |δ| ≤ qmax with qmax the largest
+        // integer strictly below the band. (Radii that push the band past
+        // 2^53 would need |f| > 9e15 — unreachable with i64 deltas.)
+        let qmax = if self.r == 0 {
+            0 // r = 0 blocks are exact: quiet only while δ_i returns to 0
+        } else {
+            let band = self.eps * (1u64 << self.r) as f64;
+            let trunc = band as u64;
+            if (trunc as f64) < band {
+                trunc
+            } else {
+                trunc.saturating_sub(1)
+            }
+        };
+        let start = self.delta;
+        let mut acc = start;
+        let mut n = 0;
+        while n < cap {
+            let next = acc + inputs[n];
+            if next.unsigned_abs() > qmax {
+                break;
+            }
+            acc = next;
+            n += 1;
+        }
+        self.blocks.absorb_run(n as u64, acc - start);
+        self.d += acc - start;
+        self.delta = acc;
+        n
+    }
 }
 
 /// Coordinator state of the deterministic tracker.

@@ -61,6 +61,24 @@ impl SiteNode for SsSite {
     }
 
     fn on_down(&mut self, _t: Time, _msg: &(), _is_request: bool, _out: &mut Outbox<SsUp>) {}
+
+    fn absorb_quiet(&mut self, _t0: Time, inputs: &[i64]) -> usize {
+        // The refresh rule depends only on site-local state, so the whole
+        // quiet prefix — every update after which `|f − f̂| ≤ ε·|f|` still
+        // holds — runs as a tight add-and-compare loop without touching
+        // the network machinery (same float comparison as `on_update`).
+        let mut n = 0;
+        for &delta in inputs {
+            let next = self.f + delta;
+            let err = (next - self.fhat).unsigned_abs() as f64;
+            if err > self.eps * next.unsigned_abs() as f64 {
+                break;
+            }
+            self.f = next;
+            n += 1;
+        }
+        n
+    }
 }
 
 /// The coordinator: stores the last received value.

@@ -1,0 +1,191 @@
+//! Engine configuration and errors.
+
+use crate::Partition;
+use dsv_core::api::{BuildError, RunError};
+use dsv_net::Time;
+
+/// Configuration of a [`crate::ShardedEngine`].
+///
+/// | Parameter | Default | Meaning |
+/// |-----------|---------|---------|
+/// | `shards`  | —       | Number of shard replicas `S` (worker threads for `S > 1`) |
+/// | `batch`   | —       | Updates per ingestion batch (reconciliation period) |
+/// | [`partition`](Self::partition) | [`Partition::SiteAffine`] | Stream → shard routing |
+/// | [`eps`](Self::eps) | `0.1` | Relative error audited at batch boundaries |
+/// | [`probe_every`](Self::probe_every) | `1` | Record an error probe every N boundaries (0 = never) |
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineConfig {
+    shards: usize,
+    batch: usize,
+    partition: Partition,
+    eps: f64,
+    probe_every: u64,
+}
+
+impl EngineConfig {
+    /// A configuration with `shards` replicas ingesting in batches of
+    /// `batch` updates, and the documented defaults otherwise.
+    pub fn new(shards: usize, batch: usize) -> Self {
+        EngineConfig {
+            shards,
+            batch,
+            partition: Partition::SiteAffine,
+            eps: 0.1,
+            probe_every: 1,
+        }
+    }
+
+    /// Stream → shard routing policy (default [`Partition::SiteAffine`]).
+    pub fn partition(mut self, partition: Partition) -> Self {
+        self.partition = partition;
+        self
+    }
+
+    /// Relative error audited at batch boundaries (default 0.1).
+    pub fn eps(mut self, eps: f64) -> Self {
+        self.eps = eps;
+        self
+    }
+
+    /// Record an [`dsv_net::ErrorProbe`] every `every` batch boundaries
+    /// (default 1 = every boundary; 0 = never — use for throughput runs).
+    pub fn probe_every(mut self, every: u64) -> Self {
+        self.probe_every = every;
+        self
+    }
+
+    /// Number of shard replicas `S`.
+    pub fn shards_count(&self) -> usize {
+        self.shards
+    }
+
+    /// Updates per ingestion batch.
+    pub fn batch_size(&self) -> usize {
+        self.batch
+    }
+
+    /// The routing policy.
+    pub fn partition_policy(&self) -> Partition {
+        self.partition
+    }
+
+    /// The audited ε.
+    pub fn eps_value(&self) -> f64 {
+        self.eps
+    }
+
+    /// The probe period (0 = never).
+    pub fn probe_period(&self) -> u64 {
+        self.probe_every
+    }
+
+    pub(crate) fn validate(&self) -> Result<(), EngineError> {
+        if self.shards == 0 {
+            return Err(EngineError::ZeroShards);
+        }
+        if self.batch == 0 {
+            return Err(EngineError::ZeroBatch);
+        }
+        if !(self.eps > 0.0 && self.eps < 1.0) {
+            return Err(EngineError::InvalidEps { eps: self.eps });
+        }
+        Ok(())
+    }
+}
+
+/// A sharded engine that cannot be built or run, as a typed error.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EngineError {
+    /// The engine needs at least one shard.
+    ZeroShards,
+    /// The ingestion batch must hold at least one update.
+    ZeroBatch,
+    /// The boundary-audit ε must lie strictly inside `(0, 1)`.
+    InvalidEps {
+        /// The rejected value.
+        eps: f64,
+    },
+    /// A shard replica could not be built.
+    Build(BuildError),
+    /// The stream cannot be run on the configured replicas (same
+    /// conditions the sequential `Driver` rejects).
+    Run(RunError),
+    /// [`Partition::ByItem`] routing was asked of a record without an
+    /// item key (a counter stream).
+    MissingItemKey {
+        /// Timestep of the offending record.
+        time: Time,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, fm: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::ZeroShards => write!(fm, "need at least one shard"),
+            EngineError::ZeroBatch => write!(fm, "batch size must be at least 1"),
+            EngineError::InvalidEps { eps } => {
+                write!(fm, "eps must be in (0, 1), got {eps}")
+            }
+            EngineError::Build(e) => write!(fm, "building a shard replica failed: {e}"),
+            EngineError::Run(e) => write!(fm, "stream rejected: {e}"),
+            EngineError::MissingItemKey { time } => write!(
+                fm,
+                "ByItem partitioning needs an item stream, but the record at t = {time} has no item key"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<BuildError> for EngineError {
+    fn from(e: BuildError) -> Self {
+        EngineError::Build(e)
+    }
+}
+
+impl From<RunError> for EngineError {
+    fn from(e: RunError) -> Self {
+        EngineError::Run(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_rejects_degenerate_configs() {
+        assert_eq!(
+            EngineConfig::new(0, 10).validate(),
+            Err(EngineError::ZeroShards)
+        );
+        assert_eq!(
+            EngineConfig::new(2, 0).validate(),
+            Err(EngineError::ZeroBatch)
+        );
+        for eps in [0.0, 1.0, -0.2, f64::NAN] {
+            assert!(matches!(
+                EngineConfig::new(2, 10).eps(eps).validate(),
+                Err(EngineError::InvalidEps { .. })
+            ));
+        }
+        assert!(EngineConfig::new(8, 65_536).eps(0.05).validate().is_ok());
+    }
+
+    #[test]
+    fn errors_display_and_convert() {
+        let e: EngineError = BuildError::ZeroSites.into();
+        assert!(matches!(e, EngineError::Build(_)));
+        let e: EngineError = RunError::SiteOutOfRange {
+            site: 9,
+            k: 2,
+            time: 3,
+        }
+        .into();
+        assert!(e.to_string().contains("site 9"));
+        assert!(!EngineError::MissingItemKey { time: 7 }
+            .to_string()
+            .is_empty());
+    }
+}

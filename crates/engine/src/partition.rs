@@ -1,0 +1,88 @@
+//! Stream → shard routing.
+
+use dsv_core::api::StreamRecord;
+use dsv_net::{ItemUpdate, Update};
+
+/// How the engine routes stream records to shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Partition {
+    /// `shard = site mod S`: preserves per-site update order and gives
+    /// each shard long same-site runs — the batched `absorb_quiet` fast
+    /// path's best case. The default for counter streams.
+    SiteAffine,
+    /// `shard = arrival index mod S`: balances load under skewed site
+    /// placement, at the cost of shorter same-site runs per shard.
+    RoundRobin,
+    /// `shard = hash(item) mod S`: item streams only. Every item is owned
+    /// by exactly one shard, so merged per-item estimates are sums of one
+    /// meaningful term and the sharded per-item guarantee is the replica
+    /// guarantee verbatim.
+    ByItem,
+}
+
+/// A stream record the engine can route: a [`StreamRecord`] plus an
+/// optional item key for [`Partition::ByItem`].
+pub trait ShardRecord: StreamRecord {
+    /// The record's item key, if it belongs to an item stream.
+    fn item_key(&self) -> Option<u64> {
+        None
+    }
+}
+
+impl ShardRecord for Update {}
+
+impl ShardRecord for ItemUpdate {
+    fn item_key(&self) -> Option<u64> {
+        Some(self.item)
+    }
+}
+
+/// Fibonacci hash of an item key (the same scatter `dsv-gen::HashAssign`
+/// uses for timesteps).
+pub(crate) fn hash_item(item: u64) -> u64 {
+    item.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32
+}
+
+/// The ground-truth increment a raw tracker input contributes to the
+/// audited scalar — `delta` itself for counter inputs, the signed count
+/// for item inputs. The parted ingestion path
+/// ([`crate::ShardedEngine::run_parted`]) receives bare inputs instead of
+/// timed records, and audits through this.
+pub trait InputDelta: Copy {
+    /// The signed contribution to `f` (respectively `F1`).
+    fn delta_of(self) -> i64;
+}
+
+impl InputDelta for i64 {
+    fn delta_of(self) -> i64 {
+        self
+    }
+}
+
+impl InputDelta for (u64, i64) {
+    fn delta_of(self) -> i64 {
+        self.1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn item_keys_are_present_exactly_for_item_streams() {
+        assert_eq!(Update::new(1, 0, 1).item_key(), None);
+        assert_eq!(ItemUpdate::new(1, 0, 42, 1).item_key(), Some(42));
+    }
+
+    #[test]
+    fn item_hash_scatters() {
+        let mut shards = [0u32; 4];
+        for item in 0..4_000u64 {
+            shards[(hash_item(item) % 4) as usize] += 1;
+        }
+        for &c in &shards {
+            assert!((600..=1400).contains(&c), "imbalanced: {shards:?}");
+        }
+    }
+}

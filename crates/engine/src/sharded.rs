@@ -1,0 +1,861 @@
+//! The batched, sharded runner.
+
+use crate::config::{EngineConfig, EngineError};
+use crate::merge::MergeCoordinator;
+use crate::partition::{hash_item, Partition, ShardRecord};
+use crate::report::EngineReport;
+use dsv_core::api::{ItemTracker, RunError, Tracker, TrackerKind, TrackerSpec};
+use dsv_net::{relative_error, CommStats, ErrorProbe, SiteId, Time};
+use std::marker::PhantomData;
+use std::sync::mpsc;
+use std::time::Instant;
+
+/// The counting-problem engine: shard replicas built by
+/// [`ShardedEngine::counters`] from any of the six counter kinds.
+pub type CounterEngine = ShardedEngine<Box<dyn Tracker + Send>>;
+
+/// The item-frequency engine: shard replicas built by
+/// [`ShardedEngine::items`] from any of the four frequency kinds.
+pub type ItemEngine = ShardedEngine<Box<dyn ItemTracker + Send>, (u64, i64)>;
+
+/// A unit of work shipped to a shard worker, carrying its buffer so
+/// allocations are recycled batch to batch.
+enum WorkBuf<In> {
+    /// Mixed-site sub-batch, in arrival order (general layout).
+    Batch(Vec<(SiteId, In)>),
+    /// All updates at one site (site-affine layout with at most one site
+    /// per shard) — drives the zero-copy `update_run` path.
+    Run(SiteId, Vec<In>),
+}
+
+/// Per-record validation shared by both routing layouts: rejects what
+/// the sequential `Driver` rejects, returning the record's ground-truth
+/// increment.
+#[inline]
+fn check_record<R, In>(
+    rec: &R,
+    k: usize,
+    kind: TrackerKind,
+    deletions_ok: bool,
+) -> Result<i64, EngineError>
+where
+    R: ShardRecord<In = In>,
+    In: Copy,
+{
+    if rec.site() >= k {
+        return Err(RunError::SiteOutOfRange {
+            site: rec.site(),
+            k,
+            time: rec.time(),
+        }
+        .into());
+    }
+    let delta = rec.delta();
+    if delta < 0 && !deletions_ok {
+        return Err(RunError::DeletionUnsupported {
+            kind,
+            time: rec.time(),
+        }
+        .into());
+    }
+    Ok(delta)
+}
+
+/// Route one batch into per-site run buffers (`shard == site`; valid
+/// whenever every shard owns at most one site). Returns the batch's
+/// ground-truth increment.
+fn fill_runs<R, In>(
+    batch: &[R],
+    k: usize,
+    kind: TrackerKind,
+    deletions_ok: bool,
+    bufs: &mut [Vec<In>],
+) -> Result<i64, EngineError>
+where
+    R: ShardRecord<In = In>,
+    In: Copy,
+{
+    let mut df = 0i64;
+    for rec in batch {
+        df += check_record(rec, k, kind, deletions_ok)?;
+        bufs[rec.site()].push(rec.input());
+    }
+    Ok(df)
+}
+
+/// Route one batch into per-shard mixed-site buffers (general layout).
+/// `lut` maps sites to shards for [`Partition::SiteAffine`] (computed
+/// once, so the hot loop carries no division); `rr` is the rotating
+/// cursor for [`Partition::RoundRobin`].
+#[allow(clippy::too_many_arguments)]
+fn fill_tuples<R, In>(
+    batch: &[R],
+    k: usize,
+    kind: TrackerKind,
+    deletions_ok: bool,
+    s_count: usize,
+    partition: Partition,
+    lut: &[u32],
+    rr: &mut usize,
+    bufs: &mut [Vec<(SiteId, In)>],
+) -> Result<i64, EngineError>
+where
+    R: ShardRecord<In = In>,
+    In: Copy,
+{
+    let mut df = 0i64;
+    for rec in batch {
+        let delta = check_record(rec, k, kind, deletions_ok)?;
+        let site = rec.site();
+        let shard = match partition {
+            Partition::SiteAffine => lut[site] as usize,
+            Partition::RoundRobin => {
+                let s = *rr;
+                *rr += 1;
+                if *rr == s_count {
+                    *rr = 0;
+                }
+                s
+            }
+            Partition::ByItem => match rec.item_key() {
+                Some(item) => (hash_item(item) % s_count as u64) as usize,
+                None => return Err(EngineError::MissingItemKey { time: rec.time() }),
+            },
+        };
+        df += delta;
+        bufs[shard].push((site, rec.input()));
+    }
+    Ok(df)
+}
+
+/// Run-local audit accumulator (per `run` call).
+struct RunAudit {
+    eps: f64,
+    probe_every: u64,
+    batches: u64,
+    violations: u64,
+    max_err: f64,
+    probes: Vec<ErrorProbe>,
+}
+
+impl RunAudit {
+    fn new(eps: f64, probe_every: u64) -> Self {
+        RunAudit {
+            eps,
+            probe_every,
+            batches: 0,
+            violations: 0,
+            max_err: 0.0,
+            probes: Vec::new(),
+        }
+    }
+
+    /// Audit one batch boundary: global truth `f` vs merged estimate.
+    fn boundary(&mut self, time: Time, f: i64, fhat: i64) {
+        self.batches += 1;
+        let err = relative_error(f, fhat);
+        if err > self.max_err {
+            self.max_err = err;
+        }
+        // Same float-slack convention as the sequential Driver.
+        if err > self.eps * (1.0 + 1e-12) {
+            self.violations += 1;
+        }
+        if self.probe_every > 0 && self.batches.is_multiple_of(self.probe_every) {
+            self.probes.push(ErrorProbe {
+                time,
+                f,
+                fhat,
+                rel_err: err,
+            });
+        }
+    }
+}
+
+/// A batched, sharded runner over `S` tracker replicas.
+///
+/// `T` is the replica type — usually `Box<dyn Tracker + Send>` (see
+/// [`CounterEngine`]) or `Box<dyn ItemTracker + Send>` ([`ItemEngine`]),
+/// but any `Send` tracker works. The engine is incremental:
+/// [`run`](Self::run) may be called repeatedly with successive stream
+/// segments, and shard state, the merged estimate, and both communication
+/// ledgers persist across calls.
+///
+/// See the crate docs for the execution model and the guarantee argument.
+#[derive(Debug)]
+pub struct ShardedEngine<T, In: Copy = i64> {
+    shards: Vec<T>,
+    cfg: EngineConfig,
+    coord: MergeCoordinator,
+    time: Time,
+    f: i64,
+    _in: PhantomData<fn(In) -> In>,
+}
+
+impl<T, In> ShardedEngine<T, In>
+where
+    T: Tracker<In> + Send,
+    In: Copy + Send,
+{
+    /// Build an engine whose shard replica `s` is produced by `make(s)`.
+    ///
+    /// All replicas must agree on kind and site count (they track shards
+    /// of one logical stream); [`TrackerSpec::shard`] is the intended way
+    /// to derive per-shard specs.
+    pub fn with_factory<E>(
+        cfg: EngineConfig,
+        mut make: impl FnMut(usize) -> Result<T, E>,
+    ) -> Result<Self, EngineError>
+    where
+        EngineError: From<E>,
+    {
+        cfg.validate()?;
+        let mut shards = Vec::with_capacity(cfg.shards_count());
+        for s in 0..cfg.shards_count() {
+            shards.push(make(s).map_err(EngineError::from)?);
+        }
+        let kind = shards[0].kind();
+        let k = shards[0].k();
+        assert!(
+            shards.iter().all(|t| t.kind() == kind && t.k() == k),
+            "shard replicas must agree on kind and site count"
+        );
+        Ok(ShardedEngine {
+            coord: MergeCoordinator::new(cfg.shards_count()),
+            shards,
+            cfg,
+            time: 0,
+            f: 0,
+            _in: PhantomData,
+        })
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// The replica kind.
+    pub fn kind(&self) -> TrackerKind {
+        self.shards[0].kind()
+    }
+
+    /// Updates consumed so far (across all `run` calls).
+    pub fn time(&self) -> Time {
+        self.time
+    }
+
+    /// The coordinator-side global estimate `f̂ = Σ_s f̂_s`.
+    pub fn estimate(&self) -> i64 {
+        self.coord.estimate()
+    }
+
+    /// Current per-shard local estimates (diagnostics).
+    pub fn shard_estimates(&self) -> Vec<i64> {
+        self.shards.iter().map(|t| t.estimate()).collect()
+    }
+
+    /// In-protocol traffic summed across all shard replicas.
+    pub fn tracker_stats(&self) -> CommStats {
+        let mut total = CommStats::new();
+        for t in &self.shards {
+            total.merge(t.stats());
+        }
+        total
+    }
+
+    /// Engine-level shard → coordinator reconciliation traffic.
+    pub fn merge_stats(&self) -> &CommStats {
+        self.coord.stats()
+    }
+
+    /// Ingest `stream` in batches, reconciling and auditing at every
+    /// batch boundary. With more than one shard, each batch's per-shard
+    /// sub-batches execute on persistent worker threads.
+    ///
+    /// Streams the sequential `Driver` rejects (out-of-range sites,
+    /// deletions into insert-only kinds) return the same typed errors
+    /// here, detected before the offending batch is dispatched.
+    pub fn run<R>(&mut self, stream: &[R]) -> Result<EngineReport, EngineError>
+    where
+        R: ShardRecord<In = In>,
+    {
+        let started = Instant::now();
+        let cfg = self.cfg;
+        let s_count = cfg.shards_count();
+        let kind = self.shards[0].kind();
+        let k = self.shards[0].k();
+        let deletions_ok = kind.supports_deletions();
+        let partition = cfg.partition_policy();
+
+        // Layout choice: when site-affine routing gives every shard at
+        // most one site (`shard == site`), per-site run buffers feed the
+        // zero-copy `update_run` path; otherwise mixed-site tuple buffers
+        // feed `update_batch`.
+        let use_runs = partition == Partition::SiteAffine && k <= s_count;
+        let mut run_bufs: Vec<Vec<In>> = if use_runs {
+            (0..k).map(|_| Vec::new()).collect()
+        } else {
+            Vec::new()
+        };
+        let mut tup_bufs: Vec<Vec<(SiteId, In)>> = if use_runs {
+            Vec::new()
+        } else {
+            (0..s_count).map(|_| Vec::new()).collect()
+        };
+        // Site → shard map for the affine tuple path (no division in the
+        // hot loop) and the rotating round-robin cursor, phase-continuous
+        // across `run` calls.
+        let lut: Vec<u32> = if !use_runs && partition == Partition::SiteAffine {
+            (0..k).map(|site| (site % s_count) as u32).collect()
+        } else {
+            Vec::new()
+        };
+        let mut rr = (self.time % s_count as u64) as usize;
+
+        let mut audit = RunAudit::new(cfg.eps_value(), cfg.probe_period());
+
+        // Split borrows so worker threads can own `&mut` replicas while
+        // the main thread plays coordinator.
+        let shards = &mut self.shards;
+        let coord = &mut self.coord;
+        let time = &mut self.time;
+        let f = &mut self.f;
+
+        if s_count == 1 {
+            // Single shard: batched, but inline — no thread machinery.
+            for batch in stream.chunks(cfg.batch_size()) {
+                let (df, est) = if use_runs {
+                    let df = fill_runs(batch, k, kind, deletions_ok, &mut run_bufs)?;
+                    let est = shards[0].update_run(0, &run_bufs[0]);
+                    run_bufs[0].clear();
+                    (df, est)
+                } else {
+                    let df = fill_tuples(
+                        batch,
+                        k,
+                        kind,
+                        deletions_ok,
+                        s_count,
+                        partition,
+                        &lut,
+                        &mut rr,
+                        &mut tup_bufs,
+                    )?;
+                    let est = shards[0].update_batch(&tup_bufs[0]);
+                    tup_bufs[0].clear();
+                    (df, est)
+                };
+                *time += batch.len() as Time;
+                *f += df;
+                coord.absorb(0, est);
+                audit.boundary(*time, *f, coord.estimate());
+            }
+        } else {
+            std::thread::scope(|scope| -> Result<(), EngineError> {
+                let (res_tx, res_rx) = mpsc::channel::<(usize, i64, WorkBuf<In>)>();
+                let mut work_txs = Vec::with_capacity(s_count);
+                for (sid, tracker) in shards.iter_mut().enumerate() {
+                    let (tx, rx) = mpsc::sync_channel::<WorkBuf<In>>(1);
+                    let res_tx = res_tx.clone();
+                    work_txs.push(tx);
+                    scope.spawn(move || {
+                        while let Ok(work) = rx.recv() {
+                            let est = match &work {
+                                WorkBuf::Batch(buf) => tracker.update_batch(buf),
+                                WorkBuf::Run(site, buf) => tracker.update_run(*site, buf),
+                            };
+                            if res_tx.send((sid, est, work)).is_err() {
+                                break;
+                            }
+                        }
+                    });
+                }
+                drop(res_tx);
+
+                for batch in stream.chunks(cfg.batch_size()) {
+                    let df = if use_runs {
+                        fill_runs(batch, k, kind, deletions_ok, &mut run_bufs)?
+                    } else {
+                        fill_tuples(
+                            batch,
+                            k,
+                            kind,
+                            deletions_ok,
+                            s_count,
+                            partition,
+                            &lut,
+                            &mut rr,
+                            &mut tup_bufs,
+                        )?
+                    };
+                    *time += batch.len() as Time;
+                    *f += df;
+                    let mut outstanding = 0;
+                    for (sid, work_tx) in work_txs.iter().enumerate() {
+                        let work = if use_runs {
+                            if sid >= k || run_bufs[sid].is_empty() {
+                                continue;
+                            }
+                            WorkBuf::Run(sid, std::mem::take(&mut run_bufs[sid]))
+                        } else {
+                            if tup_bufs[sid].is_empty() {
+                                continue;
+                            }
+                            WorkBuf::Batch(std::mem::take(&mut tup_bufs[sid]))
+                        };
+                        work_tx.send(work).expect("shard worker died");
+                        outstanding += 1;
+                    }
+                    for _ in 0..outstanding {
+                        let (sid, est, work) = res_rx.recv().expect("shard worker died");
+                        match work {
+                            // Recycle the allocation for the next batch.
+                            WorkBuf::Run(_, mut buf) => {
+                                buf.clear();
+                                run_bufs[sid] = buf;
+                            }
+                            WorkBuf::Batch(mut buf) => {
+                                buf.clear();
+                                tup_bufs[sid] = buf;
+                            }
+                        }
+                        coord.absorb(sid, est);
+                    }
+                    // Shards without updates this batch are covered by the
+                    // coordinator's cached last report, which is still
+                    // exact — the delta-reporting merge rule.
+                    audit.boundary(*time, *f, coord.estimate());
+                }
+                Ok(())
+            })?;
+        }
+
+        Ok(self.finish_report(stream.len() as u64, audit, started))
+    }
+
+    /// Ingest pre-parted per-site feeds — the shape a deployed system
+    /// has, where every site's stream arrives on its own queue and no
+    /// central router exists. Each element of `feeds` is `(site, inputs)`:
+    /// one site's contiguous input run in that site's arrival order
+    /// (several feeds may name the same site). Rounds of
+    /// [`EngineConfig::batch_size`] updates per feed execute across the
+    /// shard workers (`shard = site mod S`) through the zero-copy
+    /// [`Tracker::update_run`] path, and the engine reconciles and audits
+    /// at every round boundary exactly as [`run`](Self::run) does.
+    ///
+    /// Cross-site interleaving is not defined by a global clock here — it
+    /// never is on a distributed ingest path — so estimates can differ
+    /// from a particular sequential interleaving, while every per-shard
+    /// guarantee and the boundary audit are unchanged.
+    pub fn run_parted(&mut self, feeds: &[(SiteId, &[In])]) -> Result<EngineReport, EngineError>
+    where
+        In: crate::InputDelta + Sync,
+    {
+        let started = Instant::now();
+        let cfg = self.cfg;
+        let s_count = cfg.shards_count();
+        let kind = self.shards[0].kind();
+        let k = self.shards[0].k();
+        let deletions_ok = kind.supports_deletions();
+        let batch = cfg.batch_size();
+
+        // Validate before anything runs: sites in range, and insert-only
+        // kinds reject feeds containing deletions.
+        for &(site, inputs) in feeds {
+            if site >= k {
+                return Err(RunError::SiteOutOfRange {
+                    site,
+                    k,
+                    time: self.time,
+                }
+                .into());
+            }
+            if !deletions_ok {
+                if let Some(pos) = inputs.iter().position(|&x| x.delta_of() < 0) {
+                    return Err(RunError::DeletionUnsupported {
+                        kind,
+                        time: self.time + pos as Time + 1,
+                    }
+                    .into());
+                }
+            }
+        }
+
+        let total: usize = feeds.iter().map(|(_, inputs)| inputs.len()).sum();
+        let rounds = feeds
+            .iter()
+            .map(|(_, inputs)| inputs.len().div_ceil(batch))
+            .max()
+            .unwrap_or(0);
+        let mut audit = RunAudit::new(cfg.eps_value(), cfg.probe_period());
+
+        let shards = &mut self.shards;
+        let coord = &mut self.coord;
+        let time = &mut self.time;
+        let f = &mut self.f;
+
+        let chunk_of = |inputs: &'_ [In], round: usize| {
+            let lo = (round * batch).min(inputs.len());
+            let hi = ((round + 1) * batch).min(inputs.len());
+            (lo, hi)
+        };
+
+        if s_count == 1 {
+            for round in 0..rounds {
+                for &(site, inputs) in feeds {
+                    let (lo, hi) = chunk_of(inputs, round);
+                    if lo == hi {
+                        continue;
+                    }
+                    let chunk = &inputs[lo..hi];
+                    let sum: i64 = chunk.iter().map(|x| x.delta_of()).sum();
+                    let est = shards[0].update_run(site, chunk);
+                    *time += chunk.len() as Time;
+                    *f += sum;
+                    coord.absorb(0, est);
+                }
+                audit.boundary(*time, *f, coord.estimate());
+            }
+        } else {
+            std::thread::scope(|scope| {
+                // Work items are (feed, lo, hi) index triples; workers
+                // resolve them against the shared feed slices, so nothing
+                // is copied on this path.
+                let (res_tx, res_rx) = mpsc::channel::<(usize, i64, i64, usize)>();
+                let mut work_txs = Vec::with_capacity(s_count);
+                for (sid, tracker) in shards.iter_mut().enumerate() {
+                    let (tx, rx) = mpsc::sync_channel::<(usize, usize, usize)>(1);
+                    let res_tx = res_tx.clone();
+                    work_txs.push(tx);
+                    scope.spawn(move || {
+                        while let Ok((feed, lo, hi)) = rx.recv() {
+                            let (site, inputs) = feeds[feed];
+                            let chunk = &inputs[lo..hi];
+                            let sum: i64 = chunk.iter().map(|x| x.delta_of()).sum();
+                            let est = tracker.update_run(site, chunk);
+                            if res_tx.send((sid, est, sum, chunk.len())).is_err() {
+                                break;
+                            }
+                        }
+                    });
+                }
+                drop(res_tx);
+
+                let mut finals: Vec<Option<i64>> = vec![None; s_count];
+                for round in 0..rounds {
+                    let mut outstanding = 0;
+                    for (feed, &(site, inputs)) in feeds.iter().enumerate() {
+                        let (lo, hi) = chunk_of(inputs, round);
+                        if lo == hi {
+                            continue;
+                        }
+                        work_txs[site % s_count]
+                            .send((feed, lo, hi))
+                            .expect("shard worker died");
+                        outstanding += 1;
+                    }
+                    for _ in 0..outstanding {
+                        let (sid, est, sum, len) = res_rx.recv().expect("shard worker died");
+                        *f += sum;
+                        *time += len as Time;
+                        // Per-worker FIFO means the last estimate received
+                        // per shard is its end-of-round state; absorbing
+                        // only that keeps merge accounting once-per-shard.
+                        finals[sid] = Some(est);
+                    }
+                    for (sid, est) in finals.iter_mut().enumerate() {
+                        if let Some(e) = est.take() {
+                            coord.absorb(sid, e);
+                        }
+                    }
+                    audit.boundary(*time, *f, coord.estimate());
+                }
+            });
+        }
+
+        Ok(self.finish_report(total as u64, audit, started))
+    }
+
+    /// Assemble the report shared by both ingestion paths (all execution
+    /// borrows have ended by the time this runs).
+    fn finish_report(&self, n: u64, audit: RunAudit, started: Instant) -> EngineReport {
+        EngineReport {
+            n,
+            batches: audit.batches,
+            shards: self.cfg.shards_count(),
+            batch_size: self.cfg.batch_size(),
+            final_f: self.f,
+            final_estimate: self.coord.estimate(),
+            boundary_violations: audit.violations,
+            max_boundary_rel_err: audit.max_err,
+            tracker_stats: self.tracker_stats(),
+            merge_stats: self.coord.stats().clone(),
+            probes: audit.probes,
+            elapsed: started.elapsed(),
+        }
+    }
+}
+
+impl CounterEngine {
+    /// Build a counting engine: one replica of `spec` per shard, shard `s`
+    /// re-seeded via [`TrackerSpec::shard`] (shard 0 keeps the spec's seed,
+    /// so a single-shard engine is bit-identical to the sequential path).
+    pub fn counters(spec: TrackerSpec, cfg: EngineConfig) -> Result<Self, EngineError> {
+        Self::with_factory(cfg, |s| spec.shard(s).build())
+    }
+}
+
+impl ItemEngine {
+    /// Build an item-frequency engine; see [`ShardedEngine::counters`] for
+    /// the replica/seed convention. Pair with [`Partition::ByItem`] so
+    /// every item is owned by exactly one shard.
+    pub fn items(spec: TrackerSpec, cfg: EngineConfig) -> Result<Self, EngineError> {
+        Self::with_factory(cfg, |s| spec.shard(s).build_item())
+    }
+}
+
+impl<T> ShardedEngine<T, (u64, i64)>
+where
+    T: ItemTracker + Send,
+{
+    /// Merged per-item estimate `Σ_s f̂_ℓ^{(s)}`. Under
+    /// [`Partition::ByItem`] only the owning shard contributes; under the
+    /// other policies this is still within `ε·F1` because the per-shard
+    /// `F1` budgets sum to the global one.
+    pub fn estimate_item(&self, item: u64) -> i64 {
+        self.shards.iter().map(|t| t.estimate_item(item)).sum()
+    }
+
+    /// Total coordinator-side space across shard replicas, in words.
+    pub fn coord_space_words(&self) -> usize {
+        self.shards.iter().map(|t| t.coord_space_words()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsv_core::api::{Driver, TrackerSpec};
+    use dsv_gen::{DeltaGen, ItemStreamGen, MonotoneGen, RoundRobin, WalkGen};
+    use dsv_net::{ItemUpdate, Update};
+
+    fn det_spec(k: usize) -> TrackerSpec {
+        TrackerSpec::new(TrackerKind::Deterministic)
+            .k(k)
+            .eps(0.1)
+            .deletions(true)
+    }
+
+    #[test]
+    fn single_shard_is_bit_identical_to_sequential_driver() {
+        let updates = WalkGen::fair(3).updates(20_000, RoundRobin::new(4));
+        let mut sequential = det_spec(4).build().unwrap();
+        let report = Driver::new(0.1)
+            .unwrap()
+            .run(&mut sequential, &updates)
+            .unwrap();
+
+        for batch in [1usize, 7, 1024, 50_000] {
+            let mut engine =
+                ShardedEngine::counters(det_spec(4), EngineConfig::new(1, batch)).unwrap();
+            let er = engine.run(&updates).unwrap();
+            assert_eq!(er.final_estimate, report.final_estimate, "batch {batch}");
+            assert_eq!(er.final_f, report.final_f);
+            assert_eq!(engine.tracker_stats(), report.stats, "batch {batch}");
+            assert_eq!(er.boundary_violations, 0);
+        }
+    }
+
+    #[test]
+    fn sharded_monotone_stream_stays_within_eps_at_boundaries() {
+        let updates = MonotoneGen::ones().updates(50_000, RoundRobin::new(8));
+        for shards in [2usize, 4, 8] {
+            let mut engine =
+                ShardedEngine::counters(det_spec(8), EngineConfig::new(shards, 1_000)).unwrap();
+            let report = engine.run(&updates).unwrap();
+            assert_eq!(report.boundary_violations, 0, "S={shards}");
+            assert_eq!(report.final_f, 50_000);
+            assert_eq!(report.batches, 50);
+            let err = relative_error(report.final_f, report.final_estimate);
+            assert!(err <= 0.1, "S={shards}: err {err}");
+            // Merge traffic: at most one report per shard per boundary,
+            // and far fewer in practice on a monotone stream.
+            assert!(report.merge_stats.total_messages() <= (shards as u64) * report.batches);
+            assert!(report.probes.len() == report.batches as usize);
+        }
+    }
+
+    #[test]
+    fn engine_is_incremental_across_runs() {
+        let updates = MonotoneGen::ones().updates(10_000, RoundRobin::new(4));
+        let mut engine = ShardedEngine::counters(det_spec(4), EngineConfig::new(2, 500)).unwrap();
+        let first = engine.run(&updates[..4_000]).unwrap();
+        let second = engine.run(&updates[4_000..]).unwrap();
+        assert_eq!(first.n, 4_000);
+        assert_eq!(second.n, 6_000);
+        assert_eq!(second.final_f, 10_000);
+        assert_eq!(engine.time(), 10_000);
+        let err = relative_error(second.final_f, engine.estimate());
+        assert!(err <= 0.1);
+    }
+
+    #[test]
+    fn round_robin_partition_spreads_a_single_site_stream() {
+        // k = 1 single-site kind, sharded by arrival index: each shard
+        // tracks a subsequence exactly within ε, and the monotone partial
+        // sums merge within ε.
+        let spec = TrackerSpec::new(TrackerKind::SingleSite).k(1).eps(0.05);
+        let updates = MonotoneGen::ones().updates(30_000, dsv_gen::SingleSite::solo());
+        let mut engine = ShardedEngine::counters(
+            spec,
+            EngineConfig::new(4, 1_000)
+                .partition(Partition::RoundRobin)
+                .eps(0.05),
+        )
+        .unwrap();
+        let report = engine.run(&updates).unwrap();
+        assert_eq!(report.boundary_violations, 0);
+        let spread = engine.shard_estimates();
+        assert!(spread.iter().all(|&e| e > 0), "all shards fed: {spread:?}");
+    }
+
+    #[test]
+    fn item_engine_tracks_f1_and_items_under_by_item_partition() {
+        let updates = ItemStreamGen::new(7, 256, 1.1, 0.2, 1).updates(40_000, RoundRobin::new(4));
+        let spec = TrackerSpec::new(TrackerKind::ExactFreq)
+            .k(4)
+            .eps(0.1)
+            .universe(256);
+        let mut engine = ShardedEngine::items(
+            spec,
+            EngineConfig::new(4, 2_000).partition(Partition::ByItem),
+        )
+        .unwrap();
+        let report = engine.run(&updates).unwrap();
+        assert_eq!(report.boundary_violations, 0);
+        // Per-item audit against exact ground truth at the end.
+        let mut truth = dsv_sketch::ExactCounts::new();
+        let mut f1 = 0i64;
+        for u in &updates {
+            truth.update(u.item, u.delta);
+            f1 += u.delta;
+        }
+        assert_eq!(report.final_f, f1);
+        use dsv_sketch::FreqSketch;
+        let budget = 0.1 * f1 as f64;
+        for item in 0..256u64 {
+            let err = (engine.estimate_item(item) - truth.estimate(item)).unsigned_abs() as f64;
+            assert!(err <= budget * (1.0 + 1e-12), "item {item}: err {err}");
+        }
+        assert!(engine.coord_space_words() > 0);
+    }
+
+    #[test]
+    fn invalid_streams_are_typed_errors_not_panics() {
+        // Out-of-range site.
+        let mut engine = ShardedEngine::counters(det_spec(2), EngineConfig::new(2, 16)).unwrap();
+        let err = engine.run(&[Update::new(1, 9, 1)]).unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::Run(RunError::SiteOutOfRange { site: 9, k: 2, .. })
+        ));
+
+        // Deletion into an insert-only kind.
+        let cmy = TrackerSpec::new(TrackerKind::CmyMonotone).k(2).eps(0.1);
+        let mut engine = ShardedEngine::counters(cmy, EngineConfig::new(2, 16)).unwrap();
+        let err = engine
+            .run(&[Update::new(1, 0, 1), Update::new(2, 1, -1)])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::Run(RunError::DeletionUnsupported { .. })
+        ));
+
+        // ByItem partitioning of a counter stream.
+        let mut engine = ShardedEngine::counters(
+            det_spec(2),
+            EngineConfig::new(2, 16).partition(Partition::ByItem),
+        )
+        .unwrap();
+        let err = engine.run(&[Update::new(1, 0, 1)]).unwrap_err();
+        assert_eq!(err, EngineError::MissingItemKey { time: 1 });
+
+        // Item streams route fine by item.
+        let spec = TrackerSpec::new(TrackerKind::CountMinFreq).k(2).eps(0.2);
+        let mut engine = ShardedEngine::items(
+            spec,
+            EngineConfig::new(2, 16)
+                .partition(Partition::ByItem)
+                .eps(0.2),
+        )
+        .unwrap();
+        assert!(engine.run(&[ItemUpdate::new(1, 0, 5, 1)]).is_ok());
+    }
+
+    #[test]
+    fn parted_ingest_matches_routed_ingest_per_shard() {
+        // With S >= k each shard owns one site, so parted and routed
+        // ingestion feed every replica the same per-site sequence —
+        // identical shard estimates and protocol traffic.
+        let updates = WalkGen::fair(5).updates(32_000, RoundRobin::new(4));
+        let mut routed = ShardedEngine::counters(det_spec(4), EngineConfig::new(4, 8_000)).unwrap();
+        let routed_report = routed.run(&updates).unwrap();
+
+        let mut feeds: Vec<(usize, Vec<i64>)> = (0..4).map(|s| (s, Vec::new())).collect();
+        for u in &updates {
+            feeds[u.site].1.push(u.delta);
+        }
+        let feed_slices: Vec<(usize, &[i64])> =
+            feeds.iter().map(|(s, v)| (*s, v.as_slice())).collect();
+        let mut parted = ShardedEngine::counters(det_spec(4), EngineConfig::new(4, 2_000)).unwrap();
+        let parted_report = parted.run_parted(&feed_slices).unwrap();
+
+        assert_eq!(parted_report.n, routed_report.n);
+        assert_eq!(parted_report.final_f, routed_report.final_f);
+        assert_eq!(parted.shard_estimates(), routed.shard_estimates());
+        assert_eq!(parted.tracker_stats(), routed.tracker_stats());
+        assert_eq!(parted_report.final_estimate, routed_report.final_estimate);
+    }
+
+    #[test]
+    fn parted_ingest_audits_and_rejects_bad_feeds() {
+        let mut engine = ShardedEngine::counters(det_spec(2), EngineConfig::new(2, 100)).unwrap();
+        let ones = vec![1i64; 5_000];
+        let report = engine
+            .run_parted(&[(0, ones.as_slice()), (1, ones.as_slice())])
+            .unwrap();
+        assert_eq!(report.n, 10_000);
+        assert_eq!(report.final_f, 10_000);
+        assert_eq!(report.boundary_violations, 0);
+        assert_eq!(report.batches, 50);
+
+        let err = engine.run_parted(&[(7, ones.as_slice())]).unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::Run(RunError::SiteOutOfRange { site: 7, .. })
+        ));
+
+        let cmy = TrackerSpec::new(TrackerKind::CmyMonotone).k(1).eps(0.1);
+        let mut engine = ShardedEngine::counters(cmy, EngineConfig::new(1, 100)).unwrap();
+        let bad = vec![1i64, 1, -1];
+        let err = engine.run_parted(&[(0, bad.as_slice())]).unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::Run(RunError::DeletionUnsupported { .. })
+        ));
+        // Nothing ran: validation precedes execution.
+        assert_eq!(engine.time(), 0);
+    }
+
+    #[test]
+    fn probe_period_zero_disables_probes() {
+        let updates = MonotoneGen::ones().updates(5_000, RoundRobin::new(2));
+        let mut engine =
+            ShardedEngine::counters(det_spec(2), EngineConfig::new(2, 500).probe_every(0)).unwrap();
+        let report = engine.run(&updates).unwrap();
+        assert!(report.probes.is_empty());
+        assert_eq!(report.batches, 10);
+        assert!(report.updates_per_sec() > 0.0);
+    }
+}

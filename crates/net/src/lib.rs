@@ -29,6 +29,7 @@
 pub mod message;
 pub mod protocol;
 pub mod runner;
+pub mod shard;
 pub mod sim;
 pub mod stats;
 
@@ -37,6 +38,7 @@ pub use protocol::{CoordOutbox, CoordinatorNode, DownMsg, Outbox, SiteNode};
 pub use runner::{
     relative_error, relative_error_floored, ConfigError, ErrorProbe, RunReport, TrackerRunner,
 };
+pub use shard::ShardReport;
 pub use sim::StarSim;
 pub use stats::CommStats;
 

@@ -121,7 +121,8 @@ impl<M> CoordOutbox<M> {
 pub trait SiteNode {
     /// Stream update payload: `i64` for counting problems (the increment
     /// `f'(t)`), `(u64, i64)` for item-frequency problems (item, ±1).
-    type In;
+    /// `Copy` so batched ingestion can replay slices of inputs.
+    type In: Copy;
     /// Site → coordinator payload.
     type Up: WireSize;
     /// Coordinator → site payload.
@@ -134,6 +135,24 @@ pub trait SiteNode {
     /// message was sent with [`CoordOutbox::request`] addressing; replies
     /// emitted here are charged as [`crate::MsgKind::Reply`].
     fn on_down(&mut self, t: Time, msg: &Self::Down, is_request: bool, out: &mut Outbox<Self::Up>);
+
+    /// Bulk-ingestion fast path used by [`crate::sim::StarSim::step_batch`]:
+    /// absorb the longest prefix of `inputs` — consecutive stream updates
+    /// all arriving at **this** site at times `t0 + 1, t0 + 2, ...` — that
+    /// provably emits **no** message, and return its length.
+    ///
+    /// Overrides must be bit-identical to the per-update path: apply
+    /// exactly the state changes the equivalent [`on_update`](Self::on_update)
+    /// calls would have applied, stop *before* the first potentially
+    /// message-emitting update (the simulator replays it through the
+    /// ordinary per-update machinery), and consume no randomness for
+    /// un-absorbed inputs. Absorbed steps advance simulated time but skip
+    /// [`CoordinatorNode::on_step_end`]; protocols that rely on that hook
+    /// must not override this method. The default absorbs nothing, which
+    /// keeps every protocol on the exact per-update path.
+    fn absorb_quiet(&mut self, _t0: Time, _inputs: &[Self::In]) -> usize {
+        0
+    }
 }
 
 /// Coordinator half of a distributed tracking protocol.

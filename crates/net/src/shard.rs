@@ -1,0 +1,55 @@
+//! Shard-to-coordinator accounting for batched execution engines.
+//!
+//! The sharded engine (`dsv-engine`) partitions one update stream across
+//! `S` shard replicas and reconciles them into a coordinator-side global
+//! estimate at batch boundaries. That reconciliation is communication in
+//! exactly the paper's currency: a shard whose estimate changed during the
+//! batch sends its new estimate up, one word, charged as an ordinary
+//! [`crate::MsgKind::Up`] message; shards whose estimate did not change
+//! send nothing (the coordinator's cached copy is still exact). This
+//! module defines that wire message so engine-level traffic lands in the
+//! same [`crate::CommStats`] ledger as in-protocol traffic and the two can
+//! be compared or summed.
+
+use crate::message::WireSize;
+
+/// A shard's batch-boundary report: its current local estimate.
+///
+/// Sent shard → coordinator only when the estimate changed since the last
+/// report, so a stream whose shards are individually lazy (monotone
+/// counters, low-variability walks) stays cheap at the engine layer too.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardReport {
+    /// Which shard is reporting (addressing, like `SiteId` in the star
+    /// network — not charged as payload).
+    pub shard: usize,
+    /// The shard replica's current estimate of its partial stream.
+    pub estimate: i64,
+}
+
+impl WireSize for ShardReport {
+    fn words(&self) -> usize {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::CommStats;
+    use crate::MsgKind;
+
+    #[test]
+    fn shard_report_is_one_word_and_charges_as_up() {
+        let msg = ShardReport {
+            shard: 3,
+            estimate: -42,
+        };
+        assert_eq!(msg.words(), 1);
+        let mut stats = CommStats::new();
+        stats.charge(MsgKind::Up, msg.words());
+        assert_eq!(stats.total_messages(), 1);
+        assert_eq!(stats.total_words(), 1);
+        assert_eq!(stats.upward_messages(), 1);
+    }
+}

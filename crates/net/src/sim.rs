@@ -136,6 +136,68 @@ where
     /// to quiescence and returns the coordinator's estimate afterwards.
     pub fn step(&mut self, site: SiteId, input: S::In) -> i64 {
         assert!(site < self.sites.len(), "site {site} out of range");
+        self.step_core(site, input);
+        self.coord.estimate()
+    }
+
+    /// Feed a batch of stream updates — `(site, input)` pairs in arrival
+    /// order — and return the coordinator's estimate after the whole batch.
+    ///
+    /// Semantically identical to calling [`step`](Self::step) once per
+    /// element (bit-identical protocol state, [`CommStats`] ledger,
+    /// transcript, and simulated time), but amortizes the per-update
+    /// simulator overhead: the coordinator's estimate is read once at the
+    /// end, and runs of same-site updates are offered to the site's
+    /// [`SiteNode::absorb_quiet`] fast path, which lets hot protocols skip
+    /// the delivery machinery entirely for message-free stretches.
+    pub fn step_batch(&mut self, batch: &[(SiteId, S::In)]) -> i64 {
+        let mut run: Vec<S::In> = Vec::new();
+        let mut i = 0;
+        while i < batch.len() {
+            let site = batch[i].0;
+            assert!(site < self.sites.len(), "site {site} out of range");
+            let mut j = i + 1;
+            while j < batch.len() && batch[j].0 == site {
+                j += 1;
+            }
+            run.clear();
+            run.extend(batch[i..j].iter().map(|&(_, input)| input));
+            self.step_run(site, &run);
+            i = j;
+        }
+        self.coord.estimate()
+    }
+
+    /// Feed a run of stream updates that all arrive at `site`, in order,
+    /// and return the coordinator's estimate afterwards.
+    ///
+    /// The zero-copy core of [`step_batch`](Self::step_batch) (same
+    /// bit-identity guarantee), exposed so callers that already hold
+    /// contiguous per-site inputs — the site-affine sharded engine — can
+    /// skip the run-splitting pass entirely.
+    pub fn step_run(&mut self, site: SiteId, inputs: &[S::In]) -> i64 {
+        assert!(site < self.sites.len(), "site {site} out of range");
+        let mut done = 0;
+        while done < inputs.len() {
+            let absorbed = self.sites[site].absorb_quiet(self.time, &inputs[done..]);
+            debug_assert!(
+                absorbed <= inputs.len() - done,
+                "absorb_quiet overran its input"
+            );
+            self.time += absorbed as Time;
+            done += absorbed;
+            if done < inputs.len() {
+                self.step_core(site, inputs[done]);
+                done += 1;
+            }
+        }
+        self.coord.estimate()
+    }
+
+    /// The per-update protocol body shared by [`step`](Self::step) and
+    /// [`step_batch`](Self::step_batch): deliver the update and run the
+    /// network to quiescence, without reading the estimate.
+    fn step_core(&mut self, site: SiteId, input: S::In) {
         self.time += 1;
         let t = self.time;
 
@@ -213,7 +275,6 @@ where
         }
 
         self.coord.on_step_end(t);
-        self.coord.estimate()
     }
 }
 
@@ -330,6 +391,113 @@ mod tests {
     fn step_rejects_bad_site() {
         let mut sim = echo_sim(2);
         sim.step(5, 1);
+    }
+
+    #[test]
+    fn step_batch_is_bit_identical_to_per_update_steps() {
+        let batch: Vec<(SiteId, i64)> = (0..200u64)
+            .map(|t| ((t % 3) as usize, if t % 5 == 0 { -1 } else { 1 }))
+            .collect();
+        let mut a = echo_sim(3);
+        let mut last = 0;
+        for &(s, d) in &batch {
+            last = a.step(s, d);
+        }
+        let mut b = echo_sim(3);
+        b.enable_transcript();
+        let mut c = echo_sim(3);
+        c.enable_transcript();
+        for &(s, d) in &batch {
+            b.step(s, d);
+        }
+        let est = c.step_batch(&batch);
+        assert_eq!(est, last);
+        assert_eq!(c.estimate(), a.estimate());
+        assert_eq!(c.stats(), a.stats());
+        assert_eq!(c.time(), a.time());
+        assert_eq!(c.transcript(), b.transcript());
+        // An empty batch is a no-op returning the current estimate.
+        assert_eq!(c.step_batch(&[]), c.estimate());
+        assert_eq!(c.time(), a.time());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn step_batch_rejects_bad_site() {
+        let mut sim = echo_sim(2);
+        sim.step_batch(&[(0, 1), (7, 1)]);
+    }
+
+    /// A site with an `absorb_quiet` override: forwards its local sum on
+    /// every 4th local update, absorbing the silent ones in bulk. Verifies
+    /// that the fast path stays bit-identical to per-update execution.
+    struct SparseSite {
+        local: i64,
+        seen: u64,
+    }
+    impl SiteNode for SparseSite {
+        type In = i64;
+        type Up = i64;
+        type Down = ();
+        fn on_update(&mut self, _t: Time, delta: i64, out: &mut Outbox<i64>) {
+            self.local += delta;
+            self.seen += 1;
+            if self.seen.is_multiple_of(4) {
+                out.send(self.local);
+            }
+        }
+        fn on_down(&mut self, _t: Time, _m: &(), _r: bool, _o: &mut Outbox<i64>) {}
+        fn absorb_quiet(&mut self, _t0: Time, inputs: &[i64]) -> usize {
+            let quiet = (3 - self.seen % 4) as usize; // updates until the next send
+            let n = quiet.min(inputs.len());
+            for &d in &inputs[..n] {
+                self.local += d;
+                self.seen += 1;
+            }
+            n
+        }
+    }
+    struct LastCoord {
+        last: i64,
+        ups: u64,
+    }
+    impl CoordinatorNode for LastCoord {
+        type Up = i64;
+        type Down = ();
+        fn on_up(&mut self, _t: Time, _s: SiteId, m: i64, _o: &mut CoordOutbox<()>) {
+            self.last = m;
+            self.ups += 1;
+        }
+        fn estimate(&self) -> i64 {
+            self.last
+        }
+    }
+
+    #[test]
+    fn absorb_quiet_fast_path_matches_per_update_path() {
+        let make = || {
+            StarSim::with_k(
+                2,
+                |_| SparseSite { local: 0, seen: 0 },
+                LastCoord { last: 0, ups: 0 },
+            )
+        };
+        // Long same-site runs so the absorber actually gets exercised.
+        let batch: Vec<(SiteId, i64)> = (0..500u64)
+            .map(|t| ((t / 50 % 2) as usize, if t % 3 == 0 { -1 } else { 2 }))
+            .collect();
+        let mut a = make();
+        for &(s, d) in &batch {
+            a.step(s, d);
+        }
+        let mut b = make();
+        let est = b.step_batch(&batch);
+        assert_eq!(est, a.estimate());
+        assert_eq!(b.stats(), a.stats());
+        assert_eq!(b.time(), a.time());
+        assert_eq!(b.coordinator().ups, a.coordinator().ups);
+        // One message per 4 local updates: each site sees 250 → 62 sends.
+        assert_eq!(b.stats().total_messages(), 2 * (250 / 4));
     }
 
     /// A protocol that ping-pongs forever must be caught by the round cap.

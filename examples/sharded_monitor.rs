@@ -1,0 +1,110 @@
+//! Sharded monitoring: the same guarantee at engine throughput.
+//!
+//! ```sh
+//! cargo run --release --example sharded_monitor
+//! ```
+//!
+//! The `network_monitor` example tracks active flows one update at a time
+//! through the sequential `Driver` — the reference semantics, auditing
+//! after every step. This example runs the same deterministic tracker
+//! through `dsv-engine`'s batched, sharded runner: the stream is
+//! partitioned site-affinely across 4 shard replicas, each replica
+//! ingests in batches through the `absorb_quiet` fast path on its own
+//! worker thread, and a coordinator-side global estimate is reconciled
+//! (and audited) at every batch boundary, with the shard→coordinator
+//! reports charged to their own `CommStats` ledger.
+
+use dsv::prelude::*;
+
+/// A bursty diurnal pattern: mostly opens in the morning, churn at noon,
+/// mostly closes at night — positive drift, occasional deletions.
+fn diurnal(seed: u64, steps: u64) -> Vec<i64> {
+    let mut gen = WalkGen::biased(seed, 0.30);
+    let mut deltas = gen.deltas(steps); // ramp up
+    deltas.extend(WalkGen::fair(seed + 1).deltas(steps)); // churn
+    let mut down = WalkGen::biased(seed + 2, 0.25).deltas(steps);
+    for d in &mut down {
+        *d = -*d; // ramp down
+    }
+    // Keep the active-flow count positive through the decline.
+    let mut f = deltas.iter().sum::<i64>();
+    for d in &mut down {
+        if f + *d < 1 {
+            *d = 1;
+        }
+        f += *d;
+    }
+    deltas.extend(down);
+    deltas
+}
+
+fn main() {
+    let k = 8; // edge routers
+    let eps = 0.1;
+    let shards = 4;
+    let batch = 8_192;
+    let deltas = diurnal(42, 400_000);
+    let updates = assign_updates(&deltas, RoundRobin::new(k));
+    let spec = TrackerSpec::new(TrackerKind::Deterministic)
+        .k(k)
+        .eps(eps)
+        .deletions(true);
+
+    // Reference: the sequential Driver, audited at every timestep.
+    let mut sequential = spec.build().expect("valid spec");
+    let seq_report = Driver::new(eps)
+        .expect("valid eps")
+        .run(&mut sequential, &updates)
+        .expect("walks fit a deletion-capable tracker");
+
+    // The engine: same tracker kind, S = 4 shard replicas, batched.
+    let mut engine = ShardedEngine::counters(spec, EngineConfig::new(shards, batch).eps(eps))
+        .expect("valid engine config");
+    let report = engine.run(&updates).expect("same stream, same kinds");
+
+    // Deterministic output only (wall-clock throughput is e16's job):
+    // every quantity below reproduces byte-for-byte across runs.
+    println!(
+        "== sharded_monitor: {} flow events, k = {k} routers ==\n",
+        updates.len()
+    );
+    println!(
+        "sequential Driver : f = {:>7}, fhat = {:>7}, violations {:>3}, {:>8} msgs",
+        seq_report.final_f,
+        seq_report.final_estimate,
+        seq_report.violations,
+        seq_report.stats.total_messages(),
+    );
+    println!(
+        "engine (S={shards}, B={batch}): f = {:>7}, fhat = {:>7}, violations {:>3}, {:>8} msgs",
+        report.final_f,
+        report.final_estimate,
+        report.boundary_violations,
+        report.total_stats().total_messages(),
+    );
+    println!(
+        "engine merge layer: {} shard reports over {} boundaries ({} possible)",
+        report.merge_stats.total_messages(),
+        report.batches,
+        report.batches * shards as u64,
+    );
+
+    let err = relative_error(report.final_f, report.final_estimate);
+    println!(
+        "\nmerged estimate error vs exact count: {:.4} (eps = {eps})",
+        err
+    );
+    assert!(report.final_f == seq_report.final_f, "same ground truth");
+    assert!(
+        err <= eps,
+        "boundary guarantee holds on drift-dominated streams"
+    );
+
+    println!(
+        "\nreading: each shard replica keeps |fhat_s - f_s| <= eps*|f_s| over its\n\
+         partition, so the merged estimate is within eps*sum|f_s| — equal to\n\
+         eps*|f| while the partial counts agree in sign, as they do for flow\n\
+         counts. Delta reporting keeps the merge layer far below one message\n\
+         per shard per boundary on quiet stretches."
+    );
+}

@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub use dsv_core as core;
+pub use dsv_engine as engine;
 pub use dsv_gen as gen;
 pub use dsv_net as net;
 pub use dsv_sketch as sketch;
@@ -69,6 +70,10 @@ pub mod prelude {
     pub use dsv_core::single_site::SingleSiteTracker;
     pub use dsv_core::tracing::{HistorySummary, TracingRecorder};
     pub use dsv_core::variability::{Variability, VariabilityMeter};
+    pub use dsv_engine::{
+        CounterEngine, EngineConfig, EngineError, EngineReport, InputDelta, ItemEngine, Partition,
+        ShardRecord, ShardedEngine,
+    };
     pub use dsv_gen::{
         assign_updates, prefix_values, AdversarialGen, DeltaGen, FlipFamilyGen, HashAssign,
         ItemStreamGen, MonotoneGen, NearlyMonotoneGen, RandomAssign, RoundRobin, SingleSite,
@@ -76,6 +81,6 @@ pub mod prelude {
     };
     pub use dsv_net::{
         relative_error, relative_error_floored, CommStats, ConfigError, ErrorProbe, ItemUpdate,
-        RunReport, StarSim, TrackerRunner, Update,
+        RunReport, ShardReport, StarSim, TrackerRunner, Update,
     };
 }

@@ -1,0 +1,169 @@
+//! Property tests: the batched ingestion paths (`Tracker::update_batch`,
+//! `Tracker::update_run`) are bit-identical to the per-update `step`
+//! loop for **every** `TrackerKind`, on arbitrary streams, placements,
+//! and batch splits — including through the specialized `absorb_quiet`
+//! kernels of the hot kinds.
+
+use dsv::prelude::*;
+use proptest::prelude::*;
+
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+/// Random split of `n` into chunks of 1..=max (the batch boundaries).
+fn chunks(mut seed: u64, n: usize, max: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut left = n;
+    while left > 0 {
+        let c = (lcg(&mut seed) as usize % max + 1).min(left);
+        out.push(c);
+        left -= c;
+    }
+    out
+}
+
+fn random_sites(mut seed: u64, n: usize, k: usize) -> Vec<usize> {
+    (0..n).map(|_| lcg(&mut seed) as usize % k).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// `update_batch` over arbitrary chunkings equals the `step` loop for
+    /// all six counter kinds: same estimate, same message ledger.
+    #[test]
+    fn update_batch_matches_step_loop_for_all_counter_kinds(
+        deltas in prop::collection::vec(prop_oneof![Just(1i64), Just(-1i64), Just(2), Just(-3)], 1..600),
+        k in 1usize..5,
+        eps in 0.05f64..0.5,
+        seed in 0u64..10_000,
+    ) {
+        for kind in TrackerKind::COUNTERS {
+            let k_eff = if kind == TrackerKind::SingleSite { 1 } else { k };
+            let stream: Vec<i64> = if kind.supports_deletions() {
+                deltas.clone()
+            } else {
+                deltas.iter().map(|d| d.abs()).collect()
+            };
+            let sites = random_sites(seed ^ 0x5151, stream.len(), k_eff);
+            let batch: Vec<(usize, i64)> =
+                sites.into_iter().zip(stream.iter().copied()).collect();
+
+            let spec = TrackerSpec::new(kind).k(k_eff).eps(eps).seed(seed);
+            let mut a = spec.build().unwrap();
+            let mut last_a = a.estimate();
+            for &(s, d) in &batch {
+                last_a = a.step(s, d);
+            }
+
+            let mut b = spec.build().unwrap();
+            let mut last_b = b.estimate();
+            let mut at = 0;
+            for c in chunks(seed ^ 0xbeef, batch.len(), 64) {
+                last_b = b.update_batch(&batch[at..at + c]);
+                at += c;
+            }
+
+            prop_assert_eq!(last_b, last_a, "{} returned estimate", kind.label());
+            prop_assert_eq!(b.estimate(), a.estimate(), "{} estimate", kind.label());
+            prop_assert_eq!(b.stats(), a.stats(), "{} stats", kind.label());
+        }
+    }
+
+    /// `update_run` over per-site runs equals the `step` loop — the
+    /// zero-copy path the site-affine engine drives, which exercises the
+    /// `absorb_quiet` kernels with long runs.
+    #[test]
+    fn update_run_matches_step_loop_on_site_runs(
+        deltas in prop::collection::vec(prop_oneof![Just(1i64), Just(-1i64)], 1..600),
+        k in 1usize..5,
+        eps in 0.05f64..0.4,
+        seed in 0u64..10_000,
+    ) {
+        for kind in TrackerKind::COUNTERS {
+            let k_eff = if kind == TrackerKind::SingleSite { 1 } else { k };
+            let stream: Vec<i64> = if kind.supports_deletions() {
+                deltas.clone()
+            } else {
+                deltas.iter().map(|d| d.abs()).collect()
+            };
+            // Bursty placement: runs of 1..=40 updates per site.
+            let mut s = seed ^ 0x77;
+            let mut runs: Vec<(usize, Vec<i64>)> = Vec::new();
+            let mut at = 0;
+            while at < stream.len() {
+                let site = lcg(&mut s) as usize % k_eff;
+                let len = (lcg(&mut s) as usize % 40 + 1).min(stream.len() - at);
+                runs.push((site, stream[at..at + len].to_vec()));
+                at += len;
+            }
+
+            let spec = TrackerSpec::new(kind).k(k_eff).eps(eps).seed(seed);
+            let mut a = spec.build().unwrap();
+            for (site, inputs) in &runs {
+                for &d in inputs {
+                    a.step(*site, d);
+                }
+            }
+            let mut b = spec.build().unwrap();
+            for (site, inputs) in &runs {
+                b.update_run(*site, inputs);
+            }
+            prop_assert_eq!(b.estimate(), a.estimate(), "{} estimate", kind.label());
+            prop_assert_eq!(b.stats(), a.stats(), "{} stats", kind.label());
+        }
+    }
+
+    /// The batched path is bit-identical for all four frequency kinds,
+    /// including per-item estimates.
+    #[test]
+    fn update_batch_matches_step_loop_for_all_frequency_kinds(
+        ops in prop::collection::vec((0u64..24, any::<bool>()), 1..400),
+        k in 1usize..4,
+        eps in 0.1f64..0.5,
+        seed in 0u64..10_000,
+    ) {
+        // Deletions only of items currently present, so counts stay ≥ 0.
+        let mut counts = [0i64; 24];
+        let stream: Vec<(u64, i64)> = ops
+            .iter()
+            .map(|&(item, del)| {
+                let delta = if del && counts[item as usize] > 0 { -1 } else { 1 };
+                counts[item as usize] += delta;
+                (item, delta)
+            })
+            .collect();
+        let sites = random_sites(seed ^ 0x1234, stream.len(), k);
+        let batch: Vec<(usize, (u64, i64))> =
+            sites.into_iter().zip(stream.iter().copied()).collect();
+
+        for kind in TrackerKind::FREQUENCIES {
+            let spec = TrackerSpec::new(kind).k(k).eps(eps).seed(seed).universe(24);
+            let mut a = spec.build_item().unwrap();
+            for &(s, input) in &batch {
+                a.step(s, input);
+            }
+            let mut b = spec.build_item().unwrap();
+            let mut at = 0;
+            for c in chunks(seed ^ 0xfeed, batch.len(), 48) {
+                b.update_batch(&batch[at..at + c]);
+                at += c;
+            }
+            prop_assert_eq!(b.estimate(), a.estimate(), "{} F1", kind.label());
+            prop_assert_eq!(b.stats(), a.stats(), "{} stats", kind.label());
+            for item in 0..24u64 {
+                prop_assert_eq!(
+                    b.estimate_item(item),
+                    a.estimate_item(item),
+                    "{} item {}",
+                    kind.label(),
+                    item
+                );
+            }
+        }
+    }
+}

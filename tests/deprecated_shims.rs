@@ -1,0 +1,160 @@
+//! Coverage for the deprecated one-release shims: `Monitor`,
+//! `MonitorKind`, and `FreqRunner` ship until the next release (see
+//! `MIGRATION.md`) but were untested from the facade since PR 2. These
+//! tests pin the shims to their replacements — bit-identical behavior —
+//! so the eventual removal is a pure deletion.
+
+#![allow(deprecated)]
+
+use dsv::prelude::*;
+
+fn stream_for(kind: MonitorKind, n: u64, k: usize) -> Vec<Update> {
+    if kind.supports_deletions() {
+        WalkGen::fair(31).updates(n, RoundRobin::new(k))
+    } else {
+        MonotoneGen::jumps(4, 5).updates(n, RoundRobin::new(k))
+    }
+}
+
+#[test]
+fn monitor_is_bit_identical_to_spec_built_tracker() {
+    let eps = 0.1;
+    let seed = 77;
+    for kind in MonitorKind::ALL {
+        let k = if kind == MonitorKind::SingleSite {
+            1
+        } else {
+            4
+        };
+        let updates = stream_for(kind, 10_000, k);
+
+        let mut old = Monitor::new(kind, k, eps, seed);
+        let mut new = TrackerSpec::new(TrackerKind::from(kind))
+            .k(k)
+            .eps(eps)
+            .seed(seed)
+            .build()
+            .unwrap();
+        for u in &updates {
+            let a = old.step(u.site, u.delta);
+            let b = new.step(u.site, u.delta);
+            assert_eq!(
+                a,
+                b,
+                "{}: estimates diverged at t = {}",
+                kind.label(),
+                u.time
+            );
+        }
+        assert_eq!(old.estimate(), new.estimate(), "{}", kind.label());
+        assert_eq!(old.stats(), new.stats(), "{}", kind.label());
+        assert_eq!(old.kind(), kind);
+        assert!(old.stats().total_messages() > 0);
+    }
+}
+
+#[test]
+fn monitor_kind_registry_matches_tracker_kind_registry() {
+    assert_eq!(MonitorKind::ALL.len(), TrackerKind::COUNTERS.len());
+    for kind in MonitorKind::ALL {
+        let t: TrackerKind = kind.into();
+        assert_eq!(t.label(), kind.label());
+        assert_eq!(t.supports_deletions(), kind.supports_deletions());
+        assert!(TrackerKind::COUNTERS.contains(&t));
+    }
+}
+
+#[test]
+fn monitor_single_site_still_panics_on_k_not_1() {
+    // The shim keeps its historical panic; the replacement returns
+    // BuildError::SingleSiteRequiresK1 instead.
+    let panicked = std::panic::catch_unwind(|| Monitor::new(MonitorKind::SingleSite, 4, 0.1, 0));
+    assert!(panicked.is_err());
+    let err = TrackerSpec::new(TrackerKind::SingleSite)
+        .k(4)
+        .build()
+        .unwrap_err();
+    assert!(matches!(err, BuildError::SingleSiteRequiresK1 { k: 4 }));
+}
+
+#[test]
+fn monitor_deletion_panics_match_capability_flags() {
+    for kind in MonitorKind::ALL {
+        let result = std::panic::catch_unwind(|| {
+            let k = if kind == MonitorKind::SingleSite {
+                1
+            } else {
+                2
+            };
+            let mut mon = Monitor::new(kind, k, 0.2, 1);
+            mon.step(0, 1);
+            mon.step(0, -1);
+            mon.estimate()
+        });
+        assert_eq!(
+            result.is_ok(),
+            kind.supports_deletions(),
+            "{}: deletion acceptance mismatch",
+            kind.label()
+        );
+    }
+}
+
+#[test]
+fn freq_runner_matches_item_driver_for_concrete_frequency_sims() {
+    let eps = 0.15;
+    let audit_every = 500;
+    let updates = ItemStreamGen::new(11, 96, 1.1, 0.3, 1).updates(8_000, RoundRobin::new(3));
+
+    // The shim only drives the deterministic frequency sims; pin each to
+    // the unified ItemDriver on the spec-built equivalent.
+    let cases: Vec<(TrackerKind, FreqRunReport)> = vec![
+        (
+            TrackerKind::ExactFreq,
+            FreqRunner::new(eps, audit_every).run(&mut ExactFreqTracker::sim(3, eps, 96), &updates),
+        ),
+        (
+            TrackerKind::CountMinFreq,
+            FreqRunner::new(eps, audit_every)
+                .run(&mut CountMinFreqTracker::sim(3, eps, 7), &updates),
+        ),
+        (
+            TrackerKind::CrPrecisFreq,
+            FreqRunner::new(eps, audit_every)
+                .run(&mut CrPrecisFreqTracker::sim(3, eps, 96), &updates),
+        ),
+    ];
+    for (kind, old) in cases {
+        let mut tracker = TrackerSpec::new(kind)
+            .k(3)
+            .eps(eps)
+            .seed(7)
+            .universe(96)
+            .build_item()
+            .unwrap();
+        let new = ItemDriver::new(eps)
+            .unwrap()
+            .with_item_audit(audit_every)
+            .run_items(&mut tracker, &updates)
+            .unwrap();
+        assert_eq!(new.run.n, old.n, "{}", kind.label());
+        assert_eq!(new.run.final_f, old.final_f1, "{}", kind.label());
+        assert_eq!(new.run.violations, old.f1_violations, "{}", kind.label());
+        assert_eq!(new.audits, old.audits, "{}", kind.label());
+        assert_eq!(new.item_violations, old.item_violations, "{}", kind.label());
+        assert_eq!(new.max_err_over_f1, old.max_err_over_f1, "{}", kind.label());
+        assert_eq!(new.run.stats, old.stats, "{}", kind.label());
+        assert_eq!(
+            new.coord_space_words,
+            old.coord_space_words,
+            "{}",
+            kind.label()
+        );
+        assert_eq!(
+            new.item_violation_rate(),
+            old.item_violation_rate(),
+            "{}",
+            kind.label()
+        );
+    }
+}
