@@ -45,11 +45,21 @@ cargo test --workspace -q
 step "cargo build --release --examples"
 cargo build --release --examples
 
-step "run all 6 examples (API regressions in non-test binaries fail here)"
+step "run 6 of the 7 examples (API regressions in non-test binaries fail here)"
+# checkpoint_restore, the 7th example, runs in its own gate step below.
 for ex in quickstart compare_trackers network_monitor history_audit inventory_audit sharded_monitor; do
     printf -- '-- example %s\n' "$ex"
     cargo run -q --release --example "$ex" > /dev/null
 done
+
+step "checkpoint/resume smoke gate (example checkpoint_restore)"
+# Runs half the stream, checkpoints at a batch boundary, drops the
+# engine, resumes from the serialized bytes onto a different worker
+# count, and asserts the final estimates and CommStats ledgers are
+# bit-identical to the straight-through run. Its asserts make it a gate
+# (enforced like the e16 throughput gate); the full per-kind matrix
+# lives in tests/engine_checkpoint.rs.
+cargo run -q --release --example checkpoint_restore
 
 step "cargo bench --no-run --workspace (compile all 18 bench targets)"
 cargo bench --no-run --workspace

@@ -227,6 +227,26 @@ pub mod rngs {
         }
     }
 
+    impl SmallRng {
+        /// The generator's full internal state, for snapshot/restore.
+        ///
+        /// **Offline-compat extension**: the registry `rand` does not
+        /// expose generator state without its `serde1` feature, so code
+        /// using this method (the `dsv-core` state seam) must be adapted
+        /// if the workspace is switched back to registry crates — see
+        /// `MIGRATION.md`.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuild a generator from a [`state`](Self::state) snapshot,
+        /// continuing the stream exactly where the snapshot was taken.
+        /// Offline-compat extension; see [`state`](Self::state).
+        pub fn from_state(s: [u64; 4]) -> Self {
+            SmallRng { s }
+        }
+    }
+
     impl RngCore for SmallRng {
         fn next_u64(&mut self) -> u64 {
             let out = self.s[0]
@@ -248,7 +268,7 @@ pub mod rngs {
 #[cfg(test)]
 mod tests {
     use super::rngs::SmallRng;
-    use super::{Rng, SeedableRng};
+    use super::{Rng, RngCore, SeedableRng};
 
     #[test]
     fn deterministic_given_seed() {
@@ -281,6 +301,20 @@ mod tests {
             let f: f64 = r.gen();
             assert!((0.0..1.0).contains(&f));
         }
+    }
+
+    #[test]
+    fn state_snapshot_resumes_the_stream_exactly() {
+        let mut r = SmallRng::seed_from_u64(5);
+        for _ in 0..7 {
+            r.next_u64();
+        }
+        let snap = r.state();
+        let tail: Vec<u64> = (0..32).map(|_| r.next_u64()).collect();
+        let mut resumed = SmallRng::from_state(snap);
+        let resumed_tail: Vec<u64> = (0..32).map(|_| resumed.next_u64()).collect();
+        assert_eq!(tail, resumed_tail);
+        assert_eq!(resumed.state(), r.state());
     }
 
     #[test]

@@ -50,6 +50,7 @@
 //! ```
 
 use crate::baselines::{CmyCoord, CmySite, HyzCoord, HyzSite, NaiveCoord, NaiveSite};
+use crate::codec::{CodecError, Dec, Enc, TrackerState};
 use crate::deterministic::{DetCoord, DetSite};
 use crate::frequencies::{FreqCoord, FreqSite};
 use crate::frequencies_rand::{RFreqCoord, RFreqSite};
@@ -364,6 +365,33 @@ pub trait Tracker<In: Copy = i64>: std::fmt::Debug {
 
     /// Number of sites `k`.
     fn k(&self) -> usize;
+
+    /// Capture the tracker's full dynamic state — every site node, the
+    /// coordinator, RNG streams, and the [`CommStats`] ledger — as a
+    /// typed, versioned [`TrackerState`] (the snapshot/restore seam).
+    ///
+    /// The contract, held by `tests/state_roundtrip.rs` for all ten
+    /// kinds: restoring the state into a tracker built with the same
+    /// parameters and feeding both the same remaining stream yields
+    /// bit-identical estimates and ledgers, and
+    /// `snapshot → restore → snapshot` is byte-identical.
+    ///
+    /// The default (kept by custom protocols that have not opted into the
+    /// seam) returns [`CodecError::UnsupportedNode`].
+    fn snapshot(&self) -> Result<TrackerState, CodecError> {
+        Err(CodecError::UnsupportedNode)
+    }
+
+    /// Restore a [`snapshot`](Self::snapshot) into this tracker, which
+    /// must have been built with the same parameters. Kind and shape
+    /// mismatches are typed [`CodecError`]s; on error the tracker may be
+    /// partially overwritten and should be discarded (the
+    /// [`TrackerSpec::resume`] front door always restores into a freshly
+    /// built tracker).
+    fn restore(&mut self, state: &TrackerState) -> Result<(), CodecError> {
+        let _ = state;
+        Err(CodecError::UnsupportedNode)
+    }
 }
 
 impl<S, C> Tracker<S::In> for StarSim<S, C>
@@ -399,6 +427,29 @@ where
     fn k(&self) -> usize {
         StarSim::k(self)
     }
+
+    fn snapshot(&self) -> Result<TrackerState, CodecError> {
+        let mut enc = Enc::new();
+        StarSim::save_state(self, &mut enc)?;
+        Ok(TrackerState::new(
+            <Self as KnownKind>::KIND,
+            StarSim::k(self),
+            enc.into_bytes(),
+        ))
+    }
+
+    fn restore(&mut self, state: &TrackerState) -> Result<(), CodecError> {
+        if state.kind() != <Self as KnownKind>::KIND {
+            return Err(CodecError::Mismatch {
+                what: "tracker kind",
+                expected: crate::codec::kind_tag(<Self as KnownKind>::KIND) as u64,
+                found: crate::codec::kind_tag(state.kind()) as u64,
+            });
+        }
+        let mut dec = Dec::new(state.payload());
+        StarSim::load_state(self, &mut dec)?;
+        dec.finish()
+    }
 }
 
 impl<In: Copy, T: Tracker<In> + ?Sized> Tracker<In> for Box<T> {
@@ -428,6 +479,14 @@ impl<In: Copy, T: Tracker<In> + ?Sized> Tracker<In> for Box<T> {
 
     fn k(&self) -> usize {
         (**self).k()
+    }
+
+    fn snapshot(&self) -> Result<TrackerState, CodecError> {
+        (**self).snapshot()
+    }
+
+    fn restore(&mut self, state: &TrackerState) -> Result<(), CodecError> {
+        (**self).restore(state)
     }
 }
 
@@ -644,6 +703,41 @@ impl std::fmt::Display for RunError {
 
 impl std::error::Error for RunError {}
 
+/// A [`TrackerSpec::resume`] that cannot complete, as a typed error: the
+/// replacement tracker could not be built, or the snapshot could not be
+/// restored into it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ResumeError {
+    /// The spec itself is invalid (same conditions as [`TrackerSpec::build`]).
+    Build(BuildError),
+    /// The snapshot does not fit a tracker built from this spec (wrong
+    /// kind, wrong shapes, corrupted or wrong-version payload).
+    Codec(CodecError),
+}
+
+impl std::fmt::Display for ResumeError {
+    fn fmt(&self, fm: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResumeError::Build(e) => write!(fm, "cannot build the replacement tracker: {e}"),
+            ResumeError::Codec(e) => write!(fm, "cannot restore the snapshot: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ResumeError {}
+
+impl From<BuildError> for ResumeError {
+    fn from(e: BuildError) -> Self {
+        ResumeError::Build(e)
+    }
+}
+
+impl From<CodecError> for ResumeError {
+    fn from(e: CodecError) -> Self {
+        ResumeError::Codec(e)
+    }
+}
+
 // ---------------------------------------------------------------------------
 // The builder.
 // ---------------------------------------------------------------------------
@@ -856,6 +950,54 @@ impl TrackerSpec {
             }
             _ => unreachable!("validate() rejected non-frequency kinds"),
         })
+    }
+
+    /// Resume a counting tracker from a [`TrackerState`] snapshot: build a
+    /// fresh tracker from this spec, then restore the snapshot into it.
+    ///
+    /// The spec must carry the **same parameters** the snapshotted tracker
+    /// was built with (the snapshot holds dynamic state only); kind and
+    /// shape disagreements are typed errors. The resumed tracker continues
+    /// the stream bit-identically to the original — estimates, RNG
+    /// streams, and [`CommStats`] alike.
+    pub fn resume(&self, state: &TrackerState) -> Result<Box<dyn Tracker + Send>, ResumeError> {
+        self.check_resume(state)?;
+        let mut tracker = self.build()?;
+        tracker.restore(state)?;
+        Ok(tracker)
+    }
+
+    /// Resume an item-frequency tracker from a snapshot; see
+    /// [`resume`](Self::resume).
+    pub fn resume_item(
+        &self,
+        state: &TrackerState,
+    ) -> Result<Box<dyn ItemTracker + Send>, ResumeError> {
+        self.check_resume(state)?;
+        let mut tracker = self.build_item()?;
+        tracker.restore(state)?;
+        Ok(tracker)
+    }
+
+    /// Shared pre-build validation for both resume paths: the snapshot
+    /// must name this spec's kind and site count (restore re-checks both,
+    /// but failing before building gives earlier, cheaper errors).
+    fn check_resume(&self, state: &TrackerState) -> Result<(), CodecError> {
+        if state.kind() != self.kind {
+            return Err(CodecError::Mismatch {
+                what: "tracker kind",
+                expected: crate::codec::kind_tag(self.kind) as u64,
+                found: crate::codec::kind_tag(state.kind()) as u64,
+            });
+        }
+        if state.k() != self.k {
+            return Err(CodecError::Mismatch {
+                what: "site count k",
+                expected: self.k as u64,
+                found: state.k() as u64,
+            });
+        }
+        Ok(())
     }
 }
 

@@ -17,6 +17,8 @@
 //! The §3 trackers reduce to the CMY/HYZ cost shapes on monotone inputs
 //! (where `v = O(log n)`), which experiment E7 verifies.
 
+use crate::randomized::{load_rng, save_rng};
+use dsv_net::codec::{restore_seq, CodecError, Dec, Enc};
 use dsv_net::{CoordOutbox, CoordinatorNode, Outbox, SiteNode, StarSim, Time, WireSize};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -43,6 +45,14 @@ impl SiteNode for NaiveSite {
         out.send(delta);
     }
     fn on_down(&mut self, _t: Time, _m: &(), _req: bool, _out: &mut Outbox<i64>) {}
+
+    fn save_state(&self, _enc: &mut Enc) -> bool {
+        true // stateless site
+    }
+
+    fn load_state(&mut self, _dec: &mut Dec) -> Result<(), CodecError> {
+        Ok(())
+    }
 }
 
 impl CoordinatorNode for NaiveCoord {
@@ -53,6 +63,16 @@ impl CoordinatorNode for NaiveCoord {
     }
     fn estimate(&self) -> i64 {
         self.sum
+    }
+
+    fn save_state(&self, enc: &mut Enc) -> bool {
+        enc.i64(self.sum);
+        true
+    }
+
+    fn load_state(&mut self, dec: &mut Dec) -> Result<(), CodecError> {
+        self.sum = dec.i64()?;
+        Ok(())
     }
 }
 
@@ -155,6 +175,18 @@ impl SiteNode for CmySite {
         self.n_i = acc;
         n
     }
+
+    fn save_state(&self, enc: &mut Enc) -> bool {
+        enc.u64(self.n_i);
+        enc.u64(self.last);
+        true
+    }
+
+    fn load_state(&mut self, dec: &mut Dec) -> Result<(), CodecError> {
+        self.n_i = dec.u64()?;
+        self.last = dec.u64()?;
+        Ok(())
+    }
 }
 
 impl CoordinatorNode for CmyCoord {
@@ -166,6 +198,18 @@ impl CoordinatorNode for CmyCoord {
     }
     fn estimate(&self) -> i64 {
         self.sum as i64
+    }
+
+    fn save_state(&self, enc: &mut Enc) -> bool {
+        enc.seq_u64(&self.nhat);
+        enc.u64(self.sum);
+        true
+    }
+
+    fn load_state(&mut self, dec: &mut Dec) -> Result<(), CodecError> {
+        restore_seq("per-site counts", &mut self.nhat, &dec.seq_u64("nhat")?)?;
+        self.sum = dec.u64()?;
+        Ok(())
     }
 }
 
@@ -254,6 +298,20 @@ impl SiteNode for HyzSite {
             out.send(HyzUp::Exact(self.n_i));
         }
     }
+
+    fn save_state(&self, enc: &mut Enc) -> bool {
+        enc.u64(self.n_i);
+        enc.f64(self.p);
+        save_rng(&self.rng, enc);
+        true
+    }
+
+    fn load_state(&mut self, dec: &mut Dec) -> Result<(), CodecError> {
+        self.n_i = dec.u64()?;
+        self.p = dec.f64()?;
+        self.rng = load_rng(dec)?;
+        Ok(())
+    }
 }
 
 /// Coordinator of the HYZ-style counter: doubling rounds; within a round,
@@ -322,6 +380,30 @@ impl CoordinatorNode for HyzCoord {
     }
     fn estimate(&self) -> i64 {
         self.sum.round() as i64
+    }
+
+    fn save_state(&self, enc: &mut Enc) -> bool {
+        enc.seq_f64(&self.nhat);
+        enc.seq_u64(&self.exact_base);
+        enc.f64(self.sum);
+        enc.f64(self.p);
+        enc.f64(self.round_threshold);
+        enc.usize(self.awaiting);
+        true
+    }
+
+    fn load_state(&mut self, dec: &mut Dec) -> Result<(), CodecError> {
+        restore_seq("per-site estimates", &mut self.nhat, &dec.seq_f64("nhat")?)?;
+        restore_seq(
+            "per-site exact bases",
+            &mut self.exact_base,
+            &dec.seq_u64("exact_base")?,
+        )?;
+        self.sum = dec.f64()?;
+        self.p = dec.f64()?;
+        self.round_threshold = dec.f64()?;
+        self.awaiting = dec.usize()?;
+        Ok(())
     }
 }
 

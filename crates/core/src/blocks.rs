@@ -25,6 +25,7 @@
 //!   steps contributes ≥ `1/(2^r·5k)`. We assert `1/10` and report the
 //!   measured per-block gains, which land between the two, in E4.)
 
+use dsv_net::codec::{CodecError, Dec, Enc};
 use dsv_net::{CoordOutbox, CoordinatorNode, Outbox, SiteNode, Time, WireSize};
 
 /// `⌈2^{r−1}⌉`: the per-site count threshold and the unit of the block
@@ -133,6 +134,21 @@ impl BlockSite {
     pub fn start_block(&mut self, r: u32) {
         self.f_i = 0;
         self.threshold = threshold_for(r);
+    }
+
+    /// Serialize the partitioner's site-side state (snapshot seam).
+    pub fn save_state(&self, enc: &mut Enc) {
+        enc.u64(self.c);
+        enc.i64(self.f_i);
+        enc.u64(self.threshold);
+    }
+
+    /// Restore state written by [`save_state`](Self::save_state).
+    pub fn load_state(&mut self, dec: &mut Dec) -> Result<(), CodecError> {
+        self.c = dec.u64()?;
+        self.f_i = dec.i64()?;
+        self.threshold = dec.u64()?;
+        Ok(())
     }
 
     /// Current unsent update count (diagnostics).
@@ -247,6 +263,76 @@ impl BlockCoordinator {
     /// Number of sites.
     pub fn k(&self) -> usize {
         self.k
+    }
+
+    /// Serialize the partitioner's coordinator-side state, including the
+    /// completed-block log if enabled (snapshot seam).
+    pub fn save_state(&self, enc: &mut Enc) {
+        enc.usize(self.k);
+        enc.u32(self.r);
+        enc.u64(self.t_hat);
+        enc.u64(self.quota);
+        enc.i64(self.f_sync);
+        enc.bool(self.collecting);
+        enc.usize(self.replies);
+        enc.i64(self.reply_f_sum);
+        enc.u64(self.block_index);
+        enc.u64(self.block_start);
+        match &self.log {
+            None => enc.bool(false),
+            Some(log) => {
+                enc.bool(true);
+                enc.seq_len(log.len());
+                for b in log {
+                    enc.u64(b.index);
+                    enc.u32(b.r);
+                    enc.u64(b.start);
+                    enc.u64(b.end);
+                    enc.i64(b.f_start);
+                    enc.i64(b.f_end);
+                }
+            }
+        }
+    }
+
+    /// Restore state written by [`save_state`](Self::save_state); the
+    /// serialized site count must match this coordinator's.
+    pub fn load_state(&mut self, dec: &mut Dec) -> Result<(), CodecError> {
+        let k = dec.usize()?;
+        if k != self.k {
+            return Err(CodecError::Mismatch {
+                what: "partitioner site count",
+                expected: self.k as u64,
+                found: k as u64,
+            });
+        }
+        self.r = dec.u32()?;
+        self.t_hat = dec.u64()?;
+        self.quota = dec.u64()?;
+        self.f_sync = dec.i64()?;
+        self.collecting = dec.bool()?;
+        self.replies = dec.usize()?;
+        self.reply_f_sum = dec.i64()?;
+        self.block_index = dec.u64()?;
+        self.block_start = dec.u64()?;
+        self.log = if dec.bool()? {
+            let n = dec.seq_len("block log", 44)?;
+            let mut log = Vec::with_capacity(n);
+            for _ in 0..n {
+                log.push(BlockInfo {
+                    index: dec.u64()?,
+                    r: dec.u32()?,
+                    start: dec.u64()?,
+                    end: dec.u64()?,
+                    f_start: dec.i64()?,
+                    f_end: dec.i64()?,
+                });
+            }
+            Some(log)
+        } else {
+            None
+        };
+        Ok(())
     }
 
     /// Process a count message `c_i`. Returns `true` when the block quota

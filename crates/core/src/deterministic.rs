@@ -18,6 +18,7 @@
 //! `O(k·v(n))` partition messages.
 
 use crate::blocks::{BlockConfig, BlockCoordinator, BlockSite};
+use dsv_net::codec::{restore_seq, CodecError, Dec, Enc};
 use dsv_net::{CoordOutbox, CoordinatorNode, Outbox, SiteNode, StarSim, Time, WireSize};
 
 /// Site → coordinator messages of the deterministic tracker.
@@ -176,6 +177,22 @@ impl SiteNode for DetSite {
         self.delta = acc;
         n
     }
+
+    fn save_state(&self, enc: &mut Enc) -> bool {
+        self.blocks.save_state(enc);
+        enc.i64(self.d);
+        enc.i64(self.delta);
+        enc.u32(self.r);
+        true
+    }
+
+    fn load_state(&mut self, dec: &mut Dec) -> Result<(), CodecError> {
+        self.blocks.load_state(dec)?;
+        self.d = dec.i64()?;
+        self.delta = dec.i64()?;
+        self.r = dec.u32()?;
+        Ok(())
+    }
 }
 
 /// Coordinator state of the deterministic tracker.
@@ -233,6 +250,24 @@ impl CoordinatorNode for DetCoord {
 
     fn estimate(&self) -> i64 {
         self.blocks.f_sync() + self.dhat_sum
+    }
+
+    fn save_state(&self, enc: &mut Enc) -> bool {
+        self.blocks.save_state(enc);
+        enc.seq_i64(&self.dhat);
+        enc.i64(self.dhat_sum);
+        true
+    }
+
+    fn load_state(&mut self, dec: &mut Dec) -> Result<(), CodecError> {
+        self.blocks.load_state(dec)?;
+        restore_seq(
+            "per-site drift estimates",
+            &mut self.dhat,
+            &dec.seq_i64("dhat")?,
+        )?;
+        self.dhat_sum = dec.i64()?;
+        Ok(())
     }
 }
 

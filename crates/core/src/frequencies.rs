@@ -33,6 +33,7 @@
 //! for a total of `ε·F1(n)`.
 
 use crate::blocks::{BlockConfig, BlockCoordinator, BlockSite};
+use dsv_net::codec::{restore_seq, CodecError, Dec, Enc};
 use dsv_net::{
     CoordOutbox, CoordinatorNode, ItemUpdate, Outbox, SiteNode, StarSim, Time, WireSize,
 };
@@ -211,6 +212,90 @@ impl<M: CounterMap> SiteNode for FreqSite<M> {
             }
         }
     }
+
+    fn absorb_quiet(&mut self, _t0: Time, inputs: &[(u64, i64)]) -> usize {
+        // All three per-item thresholds are constant between messages —
+        // the partition counter's headroom, the §3.3 F1 band `ε·2^r`, and
+        // the per-counter band `ε·2^r/3` — so hoist them out of the loop
+        // (they change only via `on_down`, which ends the quiet run). An
+        // update is quiet iff it fires none of: the block count, the F1
+        // drift condition, or any of its counters' pending conditions;
+        // the float compares below are the exact compares `on_update`
+        // performs, so the absorbed state change is bit-identical.
+        let cap = (self.blocks.until_fire() as usize).min(inputs.len());
+        if cap == 0 {
+            return 0;
+        }
+        let f1_band = self.eps * (1u64 << self.r) as f64;
+        let thresh = counter_threshold(self.eps, self.r);
+        let mut f1_acc = self.f1_delta;
+        let mut run_sum = 0i64;
+        let mut n = 0;
+        'outer: while n < cap {
+            let (item, delta) = inputs[n];
+            debug_assert!(delta == 1 || delta == -1, "item streams are ±1");
+            let f1_next = f1_acc + delta;
+            let f1_fire = if self.r == 0 {
+                f1_next != 0
+            } else {
+                f1_next.unsigned_abs() as f64 >= f1_band
+            };
+            if f1_fire {
+                break;
+            }
+            self.scratch.clear();
+            self.map.map(item, &mut self.scratch);
+            // Counter rows touch pairwise-distinct counters (each map's
+            // rows index disjoint ranges), so checking every row against
+            // its un-advanced pending value equals the sequential check.
+            for &c in &self.scratch {
+                let p = self.pending[c as usize] + delta;
+                let fire = if self.r == 0 {
+                    p != 0
+                } else {
+                    p.unsigned_abs() as f64 >= thresh
+                };
+                if fire {
+                    break 'outer;
+                }
+            }
+            for &c in &self.scratch {
+                self.totals[c as usize] += delta;
+                self.pending[c as usize] += delta;
+            }
+            self.f1_d += delta;
+            f1_acc = f1_next;
+            run_sum += delta;
+            n += 1;
+        }
+        self.blocks.absorb_run(n as u64, run_sum);
+        self.f1_delta = f1_acc;
+        n
+    }
+
+    fn save_state(&self, enc: &mut Enc) -> bool {
+        self.blocks.save_state(enc);
+        enc.seq_i64(&self.totals);
+        enc.seq_i64(&self.pending);
+        enc.i64(self.f1_d);
+        enc.i64(self.f1_delta);
+        enc.u32(self.r);
+        true
+    }
+
+    fn load_state(&mut self, dec: &mut Dec) -> Result<(), CodecError> {
+        self.blocks.load_state(dec)?;
+        restore_seq("counter totals", &mut self.totals, &dec.seq_i64("totals")?)?;
+        restore_seq(
+            "pending deltas",
+            &mut self.pending,
+            &dec.seq_i64("pending")?,
+        )?;
+        self.f1_d = dec.i64()?;
+        self.f1_delta = dec.i64()?;
+        self.r = dec.u32()?;
+        Ok(())
+    }
 }
 
 /// Coordinator state of the frequency tracker.
@@ -300,6 +385,22 @@ impl<M: CounterMap> CoordinatorNode for FreqCoord<M> {
 
     fn estimate(&self) -> i64 {
         self.estimated_f1()
+    }
+
+    fn save_state(&self, enc: &mut Enc) -> bool {
+        self.blocks.save_state(enc);
+        enc.seq_i64(&self.fhat);
+        enc.seq_i64(&self.f1_dhat);
+        enc.i64(self.f1_dhat_sum);
+        true
+    }
+
+    fn load_state(&mut self, dec: &mut Dec) -> Result<(), CodecError> {
+        self.blocks.load_state(dec)?;
+        restore_seq("counter estimates", &mut self.fhat, &dec.seq_i64("fhat")?)?;
+        restore_seq("F1 drifts", &mut self.f1_dhat, &dec.seq_i64("f1_dhat")?)?;
+        self.f1_dhat_sum = dec.i64()?;
+        Ok(())
     }
 }
 

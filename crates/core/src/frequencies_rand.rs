@@ -25,7 +25,8 @@
 //! failure ≤ 2/9 per row per timestep; `r = 0` blocks are exact.
 
 use crate::blocks::{BlockConfig, BlockCoordinator, BlockSite};
-use crate::randomized::sampling_probability_with;
+use crate::randomized::{load_rng, sampling_probability_with, save_rng};
+use dsv_net::codec::{restore_seq, CodecError, Dec, Enc};
 use dsv_net::{CoordOutbox, CoordinatorNode, Outbox, SiteNode, StarSim, Time, WireSize};
 use dsv_sketch::{CountMinMap, CounterMap, IdentityMap};
 use rand::rngs::SmallRng;
@@ -121,6 +122,12 @@ pub struct RFreqSite<M: CounterMap> {
     sample_const: f64,
     rng: SmallRng,
     scratch: Vec<u32>,
+    /// Sampling decisions pre-drawn by `absorb_quiet` for the first
+    /// un-absorbed update, consumed (in row order) by the `on_update`
+    /// replay of that same update so the RNG stream stays bit-identical
+    /// to pure per-update execution. Empty except inside a `step_run`.
+    carry: Vec<bool>,
+    carry_at: usize,
 }
 
 impl<M: CounterMap> RFreqSite<M> {
@@ -143,6 +150,25 @@ impl<M: CounterMap> RFreqSite<M> {
             sample_const: c,
             rng: SmallRng::seed_from_u64(seed),
             scratch: Vec::new(),
+            carry: Vec::new(),
+            carry_at: 0,
+        }
+    }
+
+    /// The sampling decision for the next counter row: a pre-drawn carry
+    /// value if `absorb_quiet` already consumed the randomness for this
+    /// update, a fresh draw otherwise.
+    fn draw_send(&mut self) -> bool {
+        if self.carry_at < self.carry.len() {
+            let v = self.carry[self.carry_at];
+            self.carry_at += 1;
+            if self.carry_at == self.carry.len() {
+                self.carry.clear();
+                self.carry_at = 0;
+            }
+            v
+        } else {
+            self.rng.gen_bool(self.p)
         }
     }
 }
@@ -175,7 +201,7 @@ impl<M: CounterMap> SiteNode for RFreqSite<M> {
         for i in 0..self.scratch.len() {
             let c = self.scratch[i] as usize;
             self.totals[c] += delta;
-            let send = self.r == 0 || self.p >= 1.0 || self.rng.gen_bool(self.p);
+            let send = self.r == 0 || self.p >= 1.0 || self.draw_send();
             if delta > 0 {
                 self.d_plus[c] += 1;
                 if send {
@@ -223,6 +249,104 @@ impl<M: CounterMap> SiteNode for RFreqSite<M> {
                 }
             }
         }
+    }
+
+    fn absorb_quiet(&mut self, _t0: Time, inputs: &[(u64, i64)]) -> usize {
+        // In `r ≥ 1` blocks with `p < 1` an update is quiet iff it fires
+        // neither the partition counter, nor the F1 drift condition, nor
+        // any of its rows' sampling draws. The thresholds are constant
+        // between messages and hoisted; the sampling draws must come from
+        // the same RNG stream the per-update path would consume, so the
+        // draws for the first *loud* update are parked in `carry` for its
+        // `on_update` replay. `r = 0` and `p ≥ 1` forward every update —
+        // nothing to absorb.
+        if self.r == 0 || self.p >= 1.0 {
+            return 0;
+        }
+        debug_assert!(
+            self.carry.is_empty(),
+            "carry must be consumed before the next absorb"
+        );
+        let cap = (self.blocks.until_fire() as usize).min(inputs.len());
+        let f1_band = self.eps * (1u64 << self.r) as f64;
+        let mut f1_acc = self.f1_delta;
+        let mut run_sum = 0i64;
+        let mut n = 0;
+        'outer: while n < cap {
+            let (item, delta) = inputs[n];
+            debug_assert!(delta == 1 || delta == -1);
+            let f1_next = f1_acc + delta;
+            if f1_next.unsigned_abs() as f64 >= f1_band {
+                break;
+            }
+            self.scratch.clear();
+            self.map.map(item, &mut self.scratch);
+            for row in 0..self.scratch.len() {
+                let send = self.rng.gen_bool(self.p);
+                if send {
+                    // Park every draw made for this update; its replay
+                    // consumes them in the same row order.
+                    self.carry.clear();
+                    self.carry_at = 0;
+                    self.carry.extend(std::iter::repeat_n(false, row));
+                    self.carry.push(true);
+                    break 'outer;
+                }
+            }
+            for &c in &self.scratch {
+                self.totals[c as usize] += delta;
+                if delta > 0 {
+                    self.d_plus[c as usize] += 1;
+                } else {
+                    self.d_minus[c as usize] += 1;
+                }
+            }
+            self.f1_d += delta;
+            f1_acc = f1_next;
+            run_sum += delta;
+            n += 1;
+        }
+        self.blocks.absorb_run(n as u64, run_sum);
+        self.f1_delta = f1_acc;
+        n
+    }
+
+    fn save_state(&self, enc: &mut Enc) -> bool {
+        self.blocks.save_state(enc);
+        enc.seq_i64(&self.totals);
+        enc.seq_u64(&self.d_plus);
+        enc.seq_u64(&self.d_minus);
+        enc.i64(self.f1_d);
+        enc.i64(self.f1_delta);
+        enc.u32(self.r);
+        enc.f64(self.p);
+        save_rng(&self.rng, enc);
+        // The carry is empty at every observable boundary (it only lives
+        // inside a `step_run`), but serialize it anyway so the format
+        // cannot silently drop state if that invariant ever changes.
+        enc.seq_bool(&self.carry);
+        enc.usize(self.carry_at);
+        true
+    }
+
+    fn load_state(&mut self, dec: &mut Dec) -> Result<(), CodecError> {
+        self.blocks.load_state(dec)?;
+        restore_seq("counter totals", &mut self.totals, &dec.seq_i64("totals")?)?;
+        restore_seq("A+ drifts", &mut self.d_plus, &dec.seq_u64("d_plus")?)?;
+        restore_seq("A- drifts", &mut self.d_minus, &dec.seq_u64("d_minus")?)?;
+        self.f1_d = dec.i64()?;
+        self.f1_delta = dec.i64()?;
+        self.r = dec.u32()?;
+        self.p = dec.f64()?;
+        self.rng = load_rng(dec)?;
+        self.carry = dec.seq_bool("sampling carry")?;
+        self.carry_at = dec.usize()?;
+        if self.carry_at > self.carry.len() {
+            return Err(CodecError::BadValue {
+                what: "sampling carry cursor",
+            });
+        }
+        Ok(())
     }
 }
 
@@ -393,6 +517,48 @@ impl<M: CounterMap> CoordinatorNode for RFreqCoord<M> {
 
     fn estimate(&self) -> i64 {
         self.estimated_f1()
+    }
+
+    fn save_state(&self, enc: &mut Enc) -> bool {
+        self.blocks.save_state(enc);
+        enc.seq_i64(&self.base);
+        enc.seq_f64(&self.dhat_plus);
+        enc.seq_f64(&self.dhat_minus);
+        enc.seq_f64(&self.drift);
+        enc.seq_i64(&self.combined);
+        enc.seq_i64(&self.f1_dhat);
+        enc.i64(self.f1_dhat_sum);
+        enc.f64(self.p);
+        enc.u32(self.r);
+        enc.u64(self.breakdown.sampled);
+        enc.u64(self.breakdown.heavy);
+        enc.u64(self.breakdown.f1_drift);
+        enc.u64(self.breakdown.partition);
+        true
+    }
+
+    fn load_state(&mut self, dec: &mut Dec) -> Result<(), CodecError> {
+        self.blocks.load_state(dec)?;
+        restore_seq("block-start bases", &mut self.base, &dec.seq_i64("base")?)?;
+        restore_seq("A+ estimates", &mut self.dhat_plus, &dec.seq_f64("dhat+")?)?;
+        restore_seq("A- estimates", &mut self.dhat_minus, &dec.seq_f64("dhat-")?)?;
+        restore_seq("drift sums", &mut self.drift, &dec.seq_f64("drift")?)?;
+        restore_seq(
+            "combined estimates",
+            &mut self.combined,
+            &dec.seq_i64("combined")?,
+        )?;
+        restore_seq("F1 drifts", &mut self.f1_dhat, &dec.seq_i64("f1_dhat")?)?;
+        self.f1_dhat_sum = dec.i64()?;
+        self.p = dec.f64()?;
+        self.r = dec.u32()?;
+        self.breakdown = RFreqBreakdown {
+            sampled: dec.u64()?,
+            heavy: dec.u64()?,
+            f1_drift: dec.u64()?,
+            partition: dec.u64()?,
+        };
+        Ok(())
     }
 }
 

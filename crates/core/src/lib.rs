@@ -9,6 +9,7 @@
 //! | Module | Paper section | Contents |
 //! |--------|---------------|----------|
 //! | [`api`] | — (engineering) | unified front door: `Tracker` trait, `TrackerSpec` builder, `Driver` runner |
+//! | [`codec`] | — (engineering) | snapshot/restore seam: versioned `TrackerState`, binary codec |
 //! | [`variability`] | §2 | `v(n)` meter, Thm 2.1/2.2/2.4 bounds |
 //! | [`blocks`] | §3.1 | constant-variability time partitioning |
 //! | [`deterministic`] | §3.3 | `O((k/ε)·v)`-message deterministic tracker |
@@ -29,6 +30,7 @@
 pub mod api;
 pub mod baselines;
 pub mod blocks;
+pub mod codec;
 pub mod deterministic;
 pub mod expand;
 pub mod frequencies;
@@ -42,9 +44,10 @@ pub mod variability;
 
 pub use api::{
     BuildError, Driver, ItemDriver, ItemRunReport, ItemTracker, KindInfo, KnownKind, Problem,
-    RunError, StreamRecord, Tracker, TrackerKind, TrackerSpec,
+    ResumeError, RunError, StreamRecord, Tracker, TrackerKind, TrackerSpec,
 };
 pub use blocks::{BlockConfig, BlockCoordinator, BlockInfo, BlockSite};
+pub use codec::{CodecError, TrackerState};
 pub use deterministic::DeterministicTracker;
 #[allow(deprecated)]
 pub use frequencies::FreqRunner;

@@ -24,9 +24,26 @@
 //! for at most `k` updates per `r = 0` block.
 
 use crate::blocks::{BlockConfig, BlockCoordinator, BlockSite};
+use dsv_net::codec::{restore_seq, CodecError, Dec, Enc};
 use dsv_net::{CoordOutbox, CoordinatorNode, Outbox, SiteNode, StarSim, Time, WireSize};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+
+/// Serialize a [`SmallRng`]'s position in its stream (snapshot seam).
+pub(crate) fn save_rng(rng: &SmallRng, enc: &mut Enc) {
+    for w in rng.state() {
+        enc.u64(w);
+    }
+}
+
+/// Restore a [`SmallRng`] written by [`save_rng`].
+pub(crate) fn load_rng(dec: &mut Dec) -> Result<SmallRng, CodecError> {
+    let mut s = [0u64; 4];
+    for w in &mut s {
+        *w = dec.u64()?;
+    }
+    Ok(SmallRng::from_state(s))
+}
 
 /// The sampling probability `p = min{1, 3/(ε·2^r·√k)}` of block radius `r`.
 pub fn sampling_probability(eps: f64, r: u32, k: usize) -> f64 {
@@ -173,6 +190,26 @@ impl SiteNode for RandSite {
             }
         }
     }
+
+    fn save_state(&self, enc: &mut Enc) -> bool {
+        self.blocks.save_state(enc);
+        enc.u64(self.d_plus);
+        enc.u64(self.d_minus);
+        enc.u32(self.r);
+        enc.f64(self.p);
+        save_rng(&self.rng, enc);
+        true
+    }
+
+    fn load_state(&mut self, dec: &mut Dec) -> Result<(), CodecError> {
+        self.blocks.load_state(dec)?;
+        self.d_plus = dec.u64()?;
+        self.d_minus = dec.u64()?;
+        self.r = dec.u32()?;
+        self.p = dec.f64()?;
+        self.rng = load_rng(dec)?;
+        Ok(())
+    }
 }
 
 /// Coordinator state of the randomized tracker.
@@ -269,6 +306,28 @@ impl CoordinatorNode for RandCoord {
     fn estimate(&self) -> i64 {
         let drift = self.sum_plus - self.sum_minus;
         self.blocks.f_sync() + drift.round() as i64
+    }
+
+    fn save_state(&self, enc: &mut Enc) -> bool {
+        self.blocks.save_state(enc);
+        enc.seq_f64(&self.dhat_plus);
+        enc.seq_f64(&self.dhat_minus);
+        enc.f64(self.sum_plus);
+        enc.f64(self.sum_minus);
+        enc.f64(self.p);
+        enc.u32(self.r);
+        true
+    }
+
+    fn load_state(&mut self, dec: &mut Dec) -> Result<(), CodecError> {
+        self.blocks.load_state(dec)?;
+        restore_seq("A+ estimates", &mut self.dhat_plus, &dec.seq_f64("dhat+")?)?;
+        restore_seq("A- estimates", &mut self.dhat_minus, &dec.seq_f64("dhat-")?)?;
+        self.sum_plus = dec.f64()?;
+        self.sum_minus = dec.f64()?;
+        self.p = dec.f64()?;
+        self.r = dec.u32()?;
+        Ok(())
     }
 }
 

@@ -11,6 +11,7 @@
 //! aggregate, not just counts. Updates may be arbitrary integers here (no
 //! ±1 restriction).
 
+use dsv_net::codec::{CodecError, Dec, Enc};
 use dsv_net::{CoordOutbox, CoordinatorNode, Outbox, SiteNode, StarSim, Time, WireSize};
 
 /// Site → coordinator message: the fresh value of `f`.
@@ -79,6 +80,18 @@ impl SiteNode for SsSite {
         }
         n
     }
+
+    fn save_state(&self, enc: &mut Enc) -> bool {
+        enc.i64(self.f);
+        enc.i64(self.fhat);
+        true
+    }
+
+    fn load_state(&mut self, dec: &mut Dec) -> Result<(), CodecError> {
+        self.f = dec.i64()?;
+        self.fhat = dec.i64()?;
+        Ok(())
+    }
 }
 
 /// The coordinator: stores the last received value.
@@ -104,6 +117,16 @@ impl CoordinatorNode for SsCoord {
 
     fn estimate(&self) -> i64 {
         self.fhat
+    }
+
+    fn save_state(&self, enc: &mut Enc) -> bool {
+        enc.i64(self.fhat);
+        true
+    }
+
+    fn load_state(&mut self, dec: &mut Dec) -> Result<(), CodecError> {
+        self.fhat = dec.i64()?;
+        Ok(())
     }
 }
 

@@ -2,6 +2,7 @@
 
 use crate::Partition;
 use dsv_core::api::{BuildError, RunError};
+use dsv_net::codec::CodecError;
 use dsv_net::Time;
 
 /// Configuration of a [`crate::ShardedEngine`].
@@ -13,6 +14,18 @@ use dsv_net::Time;
 /// | [`partition`](Self::partition) | [`Partition::SiteAffine`] | Stream → shard routing |
 /// | [`eps`](Self::eps) | `0.1` | Relative error audited at batch boundaries |
 /// | [`probe_every`](Self::probe_every) | `1` | Record an error probe every N boundaries (0 = never) |
+/// | [`workers`](Self::workers) | `= shards` | Worker threads executing the shard replicas |
+///
+/// **Shards vs workers.** `shards` is the *logical* partitioning: how many
+/// tracker replicas the stream is split across. It is part of the engine's
+/// checkpointed identity — state lives per shard, and the stream → shard
+/// routing is a pure function of the record and the shard count, so
+/// changing it would change which replica owns which updates. `workers` is
+/// the *physical* parallelism: how many threads drive those replicas
+/// (worker `w` owns shards `s ≡ w (mod W)`). It is **not** state — any
+/// worker count produces bit-identical estimates and ledgers — which is
+/// exactly what makes live rescaling ([`crate::ShardedEngine::rescale`])
+/// and resuming a checkpoint onto a different number of workers exact.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EngineConfig {
     shards: usize,
@@ -20,6 +33,7 @@ pub struct EngineConfig {
     partition: Partition,
     eps: f64,
     probe_every: u64,
+    workers: usize,
 }
 
 impl EngineConfig {
@@ -32,7 +46,19 @@ impl EngineConfig {
             partition: Partition::SiteAffine,
             eps: 0.1,
             probe_every: 1,
+            workers: 0,
         }
+    }
+
+    /// Number of worker threads driving the shard replicas (default: one
+    /// per shard). Clamped to the shard count at execution time; `0`
+    /// restores the default rather than meaning "no workers" (the live
+    /// [`crate::ShardedEngine::rescale`], by contrast, rejects 0 with a
+    /// typed error). See the struct docs for the shards-vs-workers
+    /// distinction.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
     }
 
     /// Stream → shard routing policy (default [`Partition::SiteAffine`]).
@@ -57,6 +83,16 @@ impl EngineConfig {
     /// Number of shard replicas `S`.
     pub fn shards_count(&self) -> usize {
         self.shards
+    }
+
+    /// Number of worker threads (`= shards` unless overridden, and never
+    /// more than the shard count).
+    pub fn workers_count(&self) -> usize {
+        if self.workers == 0 {
+            self.shards
+        } else {
+            self.workers.min(self.shards)
+        }
     }
 
     /// Updates per ingestion batch.
@@ -116,6 +152,21 @@ pub enum EngineError {
         /// Timestep of the offending record.
         time: Time,
     },
+    /// A checkpoint could not be produced or restored (truncated,
+    /// corrupted, wrong version, or an unsupported protocol).
+    Codec(CodecError),
+    /// A checkpoint disagrees with the engine it is being resumed into
+    /// (different shard count, kind, or site count).
+    CheckpointMismatch {
+        /// What disagreed.
+        what: &'static str,
+        /// The value the engine requires.
+        expected: u64,
+        /// The value found in the checkpoint.
+        found: u64,
+    },
+    /// [`crate::ShardedEngine::rescale`] needs at least one worker.
+    ZeroWorkers,
 }
 
 impl std::fmt::Display for EngineError {
@@ -132,11 +183,27 @@ impl std::fmt::Display for EngineError {
                 fm,
                 "ByItem partitioning needs an item stream, but the record at t = {time} has no item key"
             ),
+            EngineError::Codec(e) => write!(fm, "checkpoint codec failure: {e}"),
+            EngineError::CheckpointMismatch {
+                what,
+                expected,
+                found,
+            } => write!(
+                fm,
+                "checkpoint mismatch: {what} is {found} in the checkpoint but {expected} in the engine"
+            ),
+            EngineError::ZeroWorkers => write!(fm, "need at least one worker"),
         }
     }
 }
 
 impl std::error::Error for EngineError {}
+
+impl From<CodecError> for EngineError {
+    fn from(e: CodecError) -> Self {
+        EngineError::Codec(e)
+    }
+}
 
 impl From<BuildError> for EngineError {
     fn from(e: BuildError) -> Self {

@@ -53,12 +53,14 @@
 
 #![warn(missing_docs)]
 
+mod checkpoint;
 mod config;
 mod merge;
 mod partition;
 mod report;
 mod sharded;
 
+pub use checkpoint::{EngineCheckpoint, CHECKPOINT_MAGIC, CHECKPOINT_VERSION};
 pub use config::{EngineConfig, EngineError};
 pub use partition::{InputDelta, Partition, ShardRecord};
 pub use report::EngineReport;

@@ -11,8 +11,10 @@ pub struct EngineReport {
     pub n: u64,
     /// Batches executed (= boundary reconciliations and audits).
     pub batches: u64,
-    /// Shard replicas.
+    /// Logical shard replicas.
     pub shards: usize,
+    /// Worker threads that drove the replicas during this run.
+    pub workers: usize,
     /// Configured batch size.
     pub batch_size: usize,
     /// Ground-truth `f` after this run (cumulative across runs).
@@ -71,6 +73,7 @@ mod tests {
             n: 1_000,
             batches: 10,
             shards: 4,
+            workers: 4,
             batch_size: 100,
             final_f: 500,
             final_estimate: 498,

@@ -1,11 +1,13 @@
 //! The batched, sharded runner.
 
+use crate::checkpoint::EngineCheckpoint;
 use crate::config::{EngineConfig, EngineError};
 use crate::merge::MergeCoordinator;
 use crate::partition::{hash_item, Partition, ShardRecord};
 use crate::report::EngineReport;
 use dsv_core::api::{ItemTracker, RunError, Tracker, TrackerKind, TrackerSpec};
-use dsv_net::{relative_error, CommStats, ErrorProbe, SiteId, Time};
+use dsv_core::codec::{Dec, Enc};
+use dsv_net::{relative_error, CommStats, ErrorProbe, MsgKind, SiteId, StateFrame, Time, WireSize};
 use std::marker::PhantomData;
 use std::sync::mpsc;
 use std::time::Instant;
@@ -181,12 +183,25 @@ impl RunAudit {
 /// segments, and shard state, the merged estimate, and both communication
 /// ledgers persist across calls.
 ///
+/// The `S` logical shards are driven by `W ≤ S` worker threads (worker
+/// `w` owns shards `s ≡ w (mod W)`; [`EngineConfig::workers`]). Because
+/// replica state is a pure function of the stream → *shard* routing,
+/// never of the shard → worker assignment, the worker count can change
+/// freely between ingestion calls — [`rescale`](Self::rescale) — and
+/// whole engines can be externalized and resumed at batch boundaries —
+/// [`checkpoint`](Self::checkpoint) / resume constructors — with
+/// bit-identical estimates and ledgers.
+///
 /// See the crate docs for the execution model and the guarantee argument.
 #[derive(Debug)]
 pub struct ShardedEngine<T, In: Copy = i64> {
     shards: Vec<T>,
     cfg: EngineConfig,
     coord: MergeCoordinator,
+    /// Snapshot traffic ([`StateFrame`]s), charged per checkpoint.
+    /// Separate from the tracker and merge ledgers so checkpointing never
+    /// perturbs the ledgers the resume-equivalence guarantee covers.
+    ckpt_stats: CommStats,
     time: Time,
     f: i64,
     _in: PhantomData<fn(In) -> In>,
@@ -224,10 +239,54 @@ where
             coord: MergeCoordinator::new(cfg.shards_count()),
             shards,
             cfg,
+            ckpt_stats: CommStats::new(),
             time: 0,
             f: 0,
             _in: PhantomData,
         })
+    }
+
+    /// Rebuild an engine from an [`EngineCheckpoint`]: construct fresh
+    /// replicas with `make` (which must reproduce the original build
+    /// parameters — [`TrackerSpec::shard`] seeding included), then restore
+    /// every shard's state, the merge coordinator, and the engine scalars.
+    ///
+    /// `cfg` must agree with the checkpoint on the **logical** shard
+    /// count; the **worker** count is free — resuming onto a different
+    /// `cfg.workers` is the rescaling seam, and is exact (see
+    /// [`rescale`](Self::rescale)).
+    pub fn with_factory_resume<E>(
+        cfg: EngineConfig,
+        ckpt: &EngineCheckpoint,
+        make: impl FnMut(usize) -> Result<T, E>,
+    ) -> Result<Self, EngineError>
+    where
+        EngineError: From<E>,
+    {
+        if cfg.shards_count() != ckpt.shards() {
+            return Err(EngineError::CheckpointMismatch {
+                what: "logical shard count",
+                expected: cfg.shards_count() as u64,
+                found: ckpt.shards() as u64,
+            });
+        }
+        let mut engine = Self::with_factory(cfg, make)?;
+        if engine.kind() != ckpt.kind() {
+            return Err(EngineError::CheckpointMismatch {
+                what: "tracker kind tag",
+                expected: dsv_core::codec::kind_tag(engine.kind()) as u64,
+                found: dsv_core::codec::kind_tag(ckpt.kind()) as u64,
+            });
+        }
+        for (tracker, state) in engine.shards.iter_mut().zip(ckpt.states()) {
+            tracker.restore(state)?;
+        }
+        let mut dec = Dec::new(ckpt.merge());
+        engine.coord.load_state(&mut dec)?;
+        dec.finish()?;
+        engine.time = ckpt.time();
+        engine.f = ckpt.f();
+        Ok(engine)
     }
 
     /// The engine configuration.
@@ -269,6 +328,58 @@ where
         self.coord.stats()
     }
 
+    /// Snapshot traffic charged by [`checkpoint`](Self::checkpoint) calls
+    /// on this engine (one [`StateFrame`] per shard per checkpoint).
+    pub fn checkpoint_stats(&self) -> &CommStats {
+        &self.ckpt_stats
+    }
+
+    /// Capture the engine's complete state — every shard replica's
+    /// [`dsv_core::codec::TrackerState`], the merge coordinator, consumed
+    /// time, and ground-truth `f` — as a restorable [`EngineCheckpoint`].
+    ///
+    /// Call between ingestion calls: every point between [`run`](Self::run)
+    /// / [`run_parted`](Self::run_parted) calls is a batch boundary, the
+    /// engine's exact sync point (shards quiesced, estimate reconciled,
+    /// audit run), which is what makes the cut safe — see `DESIGN.md` §6.
+    /// Shipping the state off the workers is charged to the dedicated
+    /// [`checkpoint_stats`](Self::checkpoint_stats) ledger as one
+    /// [`StateFrame`] per shard.
+    pub fn checkpoint(&mut self) -> Result<EngineCheckpoint, EngineError> {
+        let mut states = Vec::with_capacity(self.shards.len());
+        for tracker in &self.shards {
+            states.push(tracker.snapshot()?);
+        }
+        for (sid, state) in states.iter().enumerate() {
+            let frame = StateFrame::for_payload(sid, state.payload().len());
+            self.ckpt_stats.charge(MsgKind::Up, frame.words());
+        }
+        let mut merge = Enc::new();
+        self.coord.save_state(&mut merge);
+        Ok(EngineCheckpoint::new(
+            self.kind(),
+            self.shards[0].k(),
+            self.time,
+            self.f,
+            merge.into_bytes(),
+            states,
+        ))
+    }
+
+    /// Live-rescale the engine: reassign the `S` logical shard replicas
+    /// across `workers` worker threads, effective from the next ingestion
+    /// call. No shard state moves logically and no stream is replayed —
+    /// the shard → worker map is execution detail — so estimates and
+    /// ledgers continue bit-identically at any worker count (values above
+    /// `S` are clamped to one worker per shard).
+    pub fn rescale(&mut self, workers: usize) -> Result<(), EngineError> {
+        if workers == 0 {
+            return Err(EngineError::ZeroWorkers);
+        }
+        self.cfg = self.cfg.workers(workers);
+        Ok(())
+    }
+
     /// Ingest `stream` in batches, reconciling and auditing at every
     /// batch boundary. With more than one shard, each batch's per-shard
     /// sub-batches execute on persistent worker threads.
@@ -283,6 +394,7 @@ where
         let started = Instant::now();
         let cfg = self.cfg;
         let s_count = cfg.shards_count();
+        let w_count = cfg.workers_count();
         let kind = self.shards[0].kind();
         let k = self.shards[0].k();
         let deletions_ok = kind.supports_deletions();
@@ -322,16 +434,15 @@ where
         let time = &mut self.time;
         let f = &mut self.f;
 
-        if s_count == 1 {
-            // Single shard: batched, but inline — no thread machinery.
+        if w_count == 1 {
+            // One worker (any shard count): batched, but inline — no
+            // thread machinery. Same state trajectory as the threaded
+            // path, since replica state never depends on worker placement.
             for batch in stream.chunks(cfg.batch_size()) {
-                let (df, est) = if use_runs {
-                    let df = fill_runs(batch, k, kind, deletions_ok, &mut run_bufs)?;
-                    let est = shards[0].update_run(0, &run_bufs[0]);
-                    run_bufs[0].clear();
-                    (df, est)
+                let df = if use_runs {
+                    fill_runs(batch, k, kind, deletions_ok, &mut run_bufs)?
                 } else {
-                    let df = fill_tuples(
+                    fill_tuples(
                         batch,
                         k,
                         kind,
@@ -341,30 +452,55 @@ where
                         &lut,
                         &mut rr,
                         &mut tup_bufs,
-                    )?;
-                    let est = shards[0].update_batch(&tup_bufs[0]);
-                    tup_bufs[0].clear();
-                    (df, est)
+                    )?
                 };
                 *time += batch.len() as Time;
                 *f += df;
-                coord.absorb(0, est);
+                if use_runs {
+                    // shard == site in this layout.
+                    for (site, buf) in run_bufs.iter_mut().enumerate() {
+                        if buf.is_empty() {
+                            continue;
+                        }
+                        let est = shards[site].update_run(site, buf);
+                        buf.clear();
+                        coord.absorb(site, est);
+                    }
+                } else {
+                    for (sid, buf) in tup_bufs.iter_mut().enumerate() {
+                        if buf.is_empty() {
+                            continue;
+                        }
+                        let est = shards[sid].update_batch(buf);
+                        buf.clear();
+                        coord.absorb(sid, est);
+                    }
+                }
                 audit.boundary(*time, *f, coord.estimate());
             }
         } else {
             std::thread::scope(|scope| -> Result<(), EngineError> {
                 let (res_tx, res_rx) = mpsc::channel::<(usize, i64, WorkBuf<In>)>();
-                let mut work_txs = Vec::with_capacity(s_count);
+                // Worker w owns logical shards {s : s ≡ w (mod W)}, as a
+                // dense group; a shard's slot within its group is s / W.
+                let mut groups: Vec<Vec<&mut T>> = (0..w_count).map(|_| Vec::new()).collect();
                 for (sid, tracker) in shards.iter_mut().enumerate() {
-                    let (tx, rx) = mpsc::sync_channel::<WorkBuf<In>>(1);
+                    groups[sid % w_count].push(tracker);
+                }
+                let mut work_txs = Vec::with_capacity(w_count);
+                for (w, mut group) in groups.into_iter().enumerate() {
+                    let bound = group.len().max(1);
+                    let (tx, rx) = mpsc::sync_channel::<(usize, WorkBuf<In>)>(bound);
                     let res_tx = res_tx.clone();
                     work_txs.push(tx);
                     scope.spawn(move || {
-                        while let Ok(work) = rx.recv() {
+                        while let Ok((slot, work)) = rx.recv() {
+                            let tracker = &mut *group[slot];
                             let est = match &work {
                                 WorkBuf::Batch(buf) => tracker.update_batch(buf),
                                 WorkBuf::Run(site, buf) => tracker.update_run(*site, buf),
                             };
+                            let sid = slot * w_count + w;
                             if res_tx.send((sid, est, work)).is_err() {
                                 break;
                             }
@@ -392,7 +528,7 @@ where
                     *time += batch.len() as Time;
                     *f += df;
                     let mut outstanding = 0;
-                    for (sid, work_tx) in work_txs.iter().enumerate() {
+                    for sid in 0..s_count {
                         let work = if use_runs {
                             if sid >= k || run_bufs[sid].is_empty() {
                                 continue;
@@ -404,7 +540,9 @@ where
                             }
                             WorkBuf::Batch(std::mem::take(&mut tup_bufs[sid]))
                         };
-                        work_tx.send(work).expect("shard worker died");
+                        work_txs[sid % w_count]
+                            .send((sid / w_count, work))
+                            .expect("shard worker died");
                         outstanding += 1;
                     }
                     for _ in 0..outstanding {
@@ -455,6 +593,7 @@ where
         let started = Instant::now();
         let cfg = self.cfg;
         let s_count = cfg.shards_count();
+        let w_count = cfg.workers_count();
         let kind = self.shards[0].kind();
         let k = self.shards[0].k();
         let deletions_ok = kind.supports_deletions();
@@ -501,7 +640,11 @@ where
             (lo, hi)
         };
 
-        if s_count == 1 {
+        if w_count == 1 {
+            // Absorb once per shard per round (the shard's end-of-round
+            // estimate), exactly like the threaded path — worker count
+            // must never show in the merge ledger.
+            let mut finals: Vec<Option<i64>> = vec![None; s_count];
             for round in 0..rounds {
                 for &(site, inputs) in feeds {
                     let (lo, hi) = chunk_of(inputs, round);
@@ -510,30 +653,43 @@ where
                     }
                     let chunk = &inputs[lo..hi];
                     let sum: i64 = chunk.iter().map(|x| x.delta_of()).sum();
-                    let est = shards[0].update_run(site, chunk);
+                    let sid = site % s_count;
+                    let est = shards[sid].update_run(site, chunk);
                     *time += chunk.len() as Time;
                     *f += sum;
-                    coord.absorb(0, est);
+                    finals[sid] = Some(est);
+                }
+                for (sid, est) in finals.iter_mut().enumerate() {
+                    if let Some(e) = est.take() {
+                        coord.absorb(sid, e);
+                    }
                 }
                 audit.boundary(*time, *f, coord.estimate());
             }
         } else {
             std::thread::scope(|scope| {
-                // Work items are (feed, lo, hi) index triples; workers
-                // resolve them against the shared feed slices, so nothing
-                // is copied on this path.
+                // Work items are (group slot, feed, lo, hi) index tuples;
+                // workers resolve them against the shared feed slices, so
+                // nothing is copied on this path.
                 let (res_tx, res_rx) = mpsc::channel::<(usize, i64, i64, usize)>();
-                let mut work_txs = Vec::with_capacity(s_count);
+                let mut groups: Vec<Vec<&mut T>> = (0..w_count).map(|_| Vec::new()).collect();
                 for (sid, tracker) in shards.iter_mut().enumerate() {
-                    let (tx, rx) = mpsc::sync_channel::<(usize, usize, usize)>(1);
+                    groups[sid % w_count].push(tracker);
+                }
+                let mut work_txs = Vec::with_capacity(w_count);
+                for (w, mut group) in groups.into_iter().enumerate() {
+                    let bound = feeds.len().max(1);
+                    let (tx, rx) = mpsc::sync_channel::<(usize, usize, usize, usize)>(bound);
                     let res_tx = res_tx.clone();
                     work_txs.push(tx);
                     scope.spawn(move || {
-                        while let Ok((feed, lo, hi)) = rx.recv() {
+                        while let Ok((slot, feed, lo, hi)) = rx.recv() {
                             let (site, inputs) = feeds[feed];
                             let chunk = &inputs[lo..hi];
                             let sum: i64 = chunk.iter().map(|x| x.delta_of()).sum();
+                            let tracker = &mut *group[slot];
                             let est = tracker.update_run(site, chunk);
+                            let sid = slot * w_count + w;
                             if res_tx.send((sid, est, sum, chunk.len())).is_err() {
                                 break;
                             }
@@ -550,8 +706,9 @@ where
                         if lo == hi {
                             continue;
                         }
-                        work_txs[site % s_count]
-                            .send((feed, lo, hi))
+                        let sid = site % s_count;
+                        work_txs[sid % w_count]
+                            .send((sid / w_count, feed, lo, hi))
                             .expect("shard worker died");
                         outstanding += 1;
                     }
@@ -584,6 +741,7 @@ where
             n,
             batches: audit.batches,
             shards: self.cfg.shards_count(),
+            workers: self.cfg.workers_count(),
             batch_size: self.cfg.batch_size(),
             final_f: self.f,
             final_estimate: self.coord.estimate(),
@@ -604,6 +762,18 @@ impl CounterEngine {
     pub fn counters(spec: TrackerSpec, cfg: EngineConfig) -> Result<Self, EngineError> {
         Self::with_factory(cfg, |s| spec.shard(s).build())
     }
+
+    /// Resume a counting engine from a checkpoint taken by
+    /// [`ShardedEngine::checkpoint`]. `spec` must carry the parameters
+    /// the checkpointed engine was built with; `cfg` must agree on the
+    /// logical shard count but may change the worker count (rescaling).
+    pub fn resume(
+        spec: TrackerSpec,
+        cfg: EngineConfig,
+        ckpt: &EngineCheckpoint,
+    ) -> Result<Self, EngineError> {
+        Self::with_factory_resume(cfg, ckpt, |s| spec.shard(s).build())
+    }
 }
 
 impl ItemEngine {
@@ -612,6 +782,16 @@ impl ItemEngine {
     /// every item is owned by exactly one shard.
     pub fn items(spec: TrackerSpec, cfg: EngineConfig) -> Result<Self, EngineError> {
         Self::with_factory(cfg, |s| spec.shard(s).build_item())
+    }
+
+    /// Resume an item-frequency engine from a checkpoint; see
+    /// [`CounterEngine::resume`].
+    pub fn resume(
+        spec: TrackerSpec,
+        cfg: EngineConfig,
+        ckpt: &EngineCheckpoint,
+    ) -> Result<Self, EngineError> {
+        Self::with_factory_resume(cfg, ckpt, |s| spec.shard(s).build_item())
     }
 }
 

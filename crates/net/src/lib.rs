@@ -26,6 +26,7 @@
 
 #![warn(missing_docs)]
 
+pub mod codec;
 pub mod message;
 pub mod protocol;
 pub mod runner;
@@ -33,12 +34,13 @@ pub mod shard;
 pub mod sim;
 pub mod stats;
 
+pub use codec::{CodecError, Dec, Enc};
 pub use message::{MsgKind, MsgRecord, WireSize};
 pub use protocol::{CoordOutbox, CoordinatorNode, DownMsg, Outbox, SiteNode};
 pub use runner::{
     relative_error, relative_error_floored, ConfigError, ErrorProbe, RunReport, TrackerRunner,
 };
-pub use shard::ShardReport;
+pub use shard::{ShardReport, StateFrame};
 pub use sim::StarSim;
 pub use stats::CommStats;
 

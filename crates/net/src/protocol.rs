@@ -13,6 +13,7 @@
 //! call each other) is what makes the message accounting exact and the
 //! execution deterministic.
 
+use crate::codec::{CodecError, Dec, Enc};
 use crate::message::WireSize;
 use crate::{SiteId, Time};
 
@@ -153,6 +154,30 @@ pub trait SiteNode {
     fn absorb_quiet(&mut self, _t0: Time, _inputs: &[Self::In]) -> usize {
         0
     }
+
+    /// Serialize this site's dynamic protocol state (drifts, counters,
+    /// pending thresholds, RNG stream) into `enc` and return `true` — the
+    /// snapshot/restore seam. Configuration that a fresh construction
+    /// re-derives (ε, `k`, sketch shapes) is **not** serialized; restore
+    /// targets a node built with the same parameters.
+    ///
+    /// The default returns `false` without writing, which makes
+    /// [`crate::StarSim::save_state`] report the protocol as
+    /// [`CodecError::UnsupportedNode`] — custom protocols opt in by
+    /// overriding this and [`load_state`](Self::load_state) together.
+    fn save_state(&self, enc: &mut Enc) -> bool {
+        let _ = enc;
+        false
+    }
+
+    /// Restore the state written by [`save_state`](Self::save_state) into
+    /// this (same-configuration) node. Must consume the payload exactly
+    /// and must validate every shape it depends on (vector lengths, ...)
+    /// with typed [`CodecError`]s rather than panicking.
+    fn load_state(&mut self, dec: &mut Dec) -> Result<(), CodecError> {
+        let _ = dec;
+        Err(CodecError::UnsupportedNode)
+    }
 }
 
 /// Coordinator half of a distributed tracking protocol.
@@ -172,6 +197,20 @@ pub trait CoordinatorNode {
 
     /// Current estimate `f̂(n)` held at the coordinator.
     fn estimate(&self) -> i64;
+
+    /// Serialize the coordinator's dynamic state; see
+    /// [`SiteNode::save_state`] for the contract (the default opts out).
+    fn save_state(&self, enc: &mut Enc) -> bool {
+        let _ = enc;
+        false
+    }
+
+    /// Restore the state written by [`save_state`](Self::save_state); see
+    /// [`SiteNode::load_state`] for the contract.
+    fn load_state(&mut self, dec: &mut Dec) -> Result<(), CodecError> {
+        let _ = dec;
+        Err(CodecError::UnsupportedNode)
+    }
 }
 
 #[cfg(test)]

@@ -33,6 +33,41 @@ impl WireSize for ShardReport {
     }
 }
 
+/// A shard's serialized tracker state in flight to the coordinator (or to
+/// stable storage) during an engine checkpoint.
+///
+/// Externalizing state is communication in the model's currency too:
+/// shipping a `w`-word snapshot off a worker costs `w` words on the wire,
+/// charged as one [`crate::MsgKind::Up`] message. The engine charges these
+/// frames to a dedicated checkpoint ledger, **separate** from the
+/// in-protocol and merge ledgers, so checkpointing never perturbs the
+/// ledgers the equivalence guarantee is stated over (a resumed run must
+/// reproduce an uninterrupted run's tracker and merge traffic exactly).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StateFrame {
+    /// Which shard's state is being shipped.
+    pub shard: usize,
+    /// Snapshot payload size in words (one word = 8 payload bytes,
+    /// rounded up).
+    pub words: usize,
+}
+
+impl StateFrame {
+    /// The frame for a `bytes`-byte snapshot payload of `shard`.
+    pub fn for_payload(shard: usize, bytes: usize) -> Self {
+        StateFrame {
+            shard,
+            words: bytes.div_ceil(8),
+        }
+    }
+}
+
+impl WireSize for StateFrame {
+    fn words(&self) -> usize {
+        self.words
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -51,5 +86,16 @@ mod tests {
         assert_eq!(stats.total_messages(), 1);
         assert_eq!(stats.total_words(), 1);
         assert_eq!(stats.upward_messages(), 1);
+    }
+
+    #[test]
+    fn state_frame_words_round_up_payload_bytes() {
+        assert_eq!(StateFrame::for_payload(0, 0).words(), 0);
+        assert_eq!(StateFrame::for_payload(0, 1).words(), 1);
+        assert_eq!(StateFrame::for_payload(0, 8).words(), 1);
+        assert_eq!(StateFrame::for_payload(2, 17).words(), 3);
+        let mut stats = CommStats::new();
+        stats.charge(MsgKind::Up, StateFrame::for_payload(2, 17).words());
+        assert_eq!(stats.total_words(), 3);
     }
 }

@@ -6,6 +6,7 @@
 //! timestep until the network quiesces. Every delivery is charged to the
 //! [`CommStats`] ledger and optionally recorded in a transcript.
 
+use crate::codec::{CodecError, Dec, Enc};
 use crate::message::{MsgKind, MsgRecord, WireSize, ALL_SITES};
 use crate::protocol::{CoordOutbox, CoordinatorNode, DownMsg, Outbox, SiteNode};
 use crate::stats::CommStats;
@@ -119,6 +120,70 @@ where
     /// Current coordinator estimate `f̂`.
     pub fn estimate(&self) -> i64 {
         self.coord.estimate()
+    }
+
+    /// Serialize the simulator's full dynamic state — simulated time, the
+    /// [`CommStats`] ledger, and every node's protocol state (each as a
+    /// length-prefixed blob) — into `enc`.
+    ///
+    /// Returns [`CodecError::UnsupportedNode`] if the protocol pair keeps
+    /// the default [`SiteNode::save_state`] /
+    /// [`CoordinatorNode::save_state`]. Transcripts are not captured; a
+    /// restored simulator starts with transcript recording disabled.
+    /// Snapshots are taken between timesteps, when the network is
+    /// quiescent — which is the only state a caller can observe — so the
+    /// in-flight message buffers are never part of the state.
+    pub fn save_state(&self, enc: &mut Enc) -> Result<(), CodecError> {
+        enc.usize(self.sites.len());
+        enc.u64(self.time);
+        self.stats.encode(enc);
+        let mut sub = Enc::new();
+        if !self.coord.save_state(&mut sub) {
+            return Err(CodecError::UnsupportedNode);
+        }
+        enc.blob(sub.as_bytes());
+        for site in &self.sites {
+            let mut sub = Enc::new();
+            if !site.save_state(&mut sub) {
+                return Err(CodecError::UnsupportedNode);
+            }
+            enc.blob(sub.as_bytes());
+        }
+        Ok(())
+    }
+
+    /// Restore state written by [`save_state`](Self::save_state) into this
+    /// simulator, which must have been built with the same configuration
+    /// (same `k`, same protocol parameters).
+    ///
+    /// On error the simulator may have been partially overwritten and
+    /// should be discarded; the `TrackerSpec::resume` front door in
+    /// `dsv-core` always restores into a freshly built tracker, which it
+    /// drops on failure.
+    pub fn load_state(&mut self, dec: &mut Dec) -> Result<(), CodecError> {
+        let k = dec.usize()?;
+        if k != self.sites.len() {
+            return Err(CodecError::Mismatch {
+                what: "site count k",
+                expected: self.sites.len() as u64,
+                found: k as u64,
+            });
+        }
+        let time = dec.u64()?;
+        let stats = CommStats::decode(dec)?;
+        let mut sub = Dec::new(dec.blob()?);
+        self.coord.load_state(&mut sub)?;
+        sub.finish()?;
+        for site in &mut self.sites {
+            let mut sub = Dec::new(dec.blob()?);
+            site.load_state(&mut sub)?;
+            sub.finish()?;
+        }
+        self.time = time;
+        self.stats = stats;
+        self.pending_up.clear();
+        self.next_up.clear();
+        Ok(())
     }
 
     fn record(&mut self, kind: MsgKind, site: SiteId, words: usize) {

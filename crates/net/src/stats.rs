@@ -5,6 +5,7 @@
 //! message counts (per kind) and total words so experiments can report
 //! either unit.
 
+use crate::codec::{CodecError, Dec, Enc};
 use crate::message::{bits_per_word, MsgKind};
 
 /// Ledger of all communication charged during a simulation.
@@ -117,6 +118,28 @@ impl CommStats {
         self.words += other.words;
         self.broadcast_ops += other.broadcast_ops;
         self.request_ops += other.request_ops;
+    }
+
+    /// Serialize the ledger for the snapshot/restore seam.
+    pub fn encode(&self, enc: &mut Enc) {
+        for &m in &self.msgs {
+            enc.u64(m);
+        }
+        enc.u64(self.words);
+        enc.u64(self.broadcast_ops);
+        enc.u64(self.request_ops);
+    }
+
+    /// Decode a ledger written by [`encode`](Self::encode).
+    pub fn decode(dec: &mut Dec) -> Result<Self, CodecError> {
+        let mut out = CommStats::default();
+        for m in &mut out.msgs {
+            *m = dec.u64()?;
+        }
+        out.words = dec.u64()?;
+        out.broadcast_ops = dec.u64()?;
+        out.request_ops = dec.u64()?;
+        Ok(out)
     }
 
     /// Difference `self - earlier`, for per-phase accounting. Panics in

@@ -52,10 +52,11 @@ pub use dsv_sketch as sketch;
 pub mod prelude {
     pub use dsv_core::api::{
         BuildError, Driver, ItemDriver, ItemRunReport, ItemTracker, KindInfo, KnownKind, Problem,
-        RunError, StreamRecord, Tracker, TrackerKind, TrackerSpec,
+        ResumeError, RunError, StreamRecord, Tracker, TrackerKind, TrackerSpec,
     };
     pub use dsv_core::baselines::{CmyCounter, HyzCounter, NaiveTracker, PeriodicSync};
     pub use dsv_core::blocks::{BlockConfig, BlockCoordinator, BlockSite};
+    pub use dsv_core::codec::{CodecError, TrackerState};
     pub use dsv_core::deterministic::DeterministicTracker;
     pub use dsv_core::expand::expand_update;
     #[allow(deprecated)]
@@ -71,8 +72,8 @@ pub mod prelude {
     pub use dsv_core::tracing::{HistorySummary, TracingRecorder};
     pub use dsv_core::variability::{Variability, VariabilityMeter};
     pub use dsv_engine::{
-        CounterEngine, EngineConfig, EngineError, EngineReport, InputDelta, ItemEngine, Partition,
-        ShardRecord, ShardedEngine,
+        CounterEngine, EngineCheckpoint, EngineConfig, EngineError, EngineReport, InputDelta,
+        ItemEngine, Partition, ShardRecord, ShardedEngine,
     };
     pub use dsv_gen::{
         assign_updates, prefix_values, AdversarialGen, DeltaGen, FlipFamilyGen, HashAssign,

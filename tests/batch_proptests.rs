@@ -118,6 +118,73 @@ proptest! {
         }
     }
 
+    /// `update_run` over long per-site runs equals the `step` loop for
+    /// all four frequency kinds — the path that drives the `FreqSite` /
+    /// `RFreqSite` `absorb_quiet` kernels (hoisted per-item thresholds;
+    /// carried sampling draws for the randomized kind), which must stay
+    /// bit-identical in estimates, per-item estimates, and stats.
+    #[test]
+    fn update_run_matches_step_loop_for_frequency_kinds_on_site_runs(
+        ops in prop::collection::vec((0u64..16, any::<bool>()), 1..500),
+        k in 1usize..4,
+        eps in 0.1f64..0.5,
+        seed in 0u64..10_000,
+    ) {
+        let mut counts = [0i64; 16];
+        let stream: Vec<(u64, i64)> = ops
+            .iter()
+            .map(|&(item, del)| {
+                let delta = if del && counts[item as usize] > 0 { -1 } else { 1 };
+                counts[item as usize] += delta;
+                (item, delta)
+            })
+            .collect();
+        // Bursty placement: runs of 1..=60 updates per site, so the
+        // absorb kernels see long quiet stretches.
+        let mut s = seed ^ 0xACE;
+        let mut runs: Vec<(usize, Vec<(u64, i64)>)> = Vec::new();
+        let mut at = 0;
+        while at < stream.len() {
+            let site = lcg(&mut s) as usize % k;
+            let len = (lcg(&mut s) as usize % 60 + 1).min(stream.len() - at);
+            runs.push((site, stream[at..at + len].to_vec()));
+            at += len;
+        }
+
+        for kind in TrackerKind::FREQUENCIES {
+            let spec = TrackerSpec::new(kind).k(k).eps(eps).seed(seed).universe(16);
+            let mut a = spec.build_item().unwrap();
+            for (site, inputs) in &runs {
+                for &input in inputs {
+                    a.step(*site, input);
+                }
+            }
+            let mut b = spec.build_item().unwrap();
+            for (site, inputs) in &runs {
+                b.update_run(*site, inputs);
+            }
+            prop_assert_eq!(b.estimate(), a.estimate(), "{} F1", kind.label());
+            prop_assert_eq!(b.stats(), a.stats(), "{} stats", kind.label());
+            for item in 0..16u64 {
+                prop_assert_eq!(
+                    b.estimate_item(item),
+                    a.estimate_item(item),
+                    "{} item {}",
+                    kind.label(),
+                    item
+                );
+            }
+            // The snapshot is the sharpest oracle: every field, including
+            // RNG positions and pending thresholds, must agree.
+            prop_assert_eq!(
+                b.snapshot().unwrap().to_bytes(),
+                a.snapshot().unwrap().to_bytes(),
+                "{} serialized state",
+                kind.label()
+            );
+        }
+    }
+
     /// The batched path is bit-identical for all four frequency kinds,
     /// including per-item estimates.
     #[test]

@@ -1,0 +1,181 @@
+//! Codec robustness: truncated, corrupted, and wrong-version state
+//! payloads must surface as typed `CodecError`s — never panics, never
+//! silent acceptance of trailing garbage, never unbounded allocation from
+//! corrupted length prefixes.
+
+use dsv::prelude::*;
+
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+/// A warm snapshot of `kind` (counter kinds), taken mid-stream so every
+/// state vector is populated.
+fn warm_state(kind: TrackerKind) -> (TrackerSpec, TrackerState) {
+    let k = if kind == TrackerKind::SingleSite {
+        1
+    } else {
+        3
+    };
+    let spec = TrackerSpec::new(kind)
+        .k(k)
+        .eps(0.2)
+        .seed(9)
+        .deletions(kind.supports_deletions());
+    let mut tracker = spec.build().unwrap();
+    let mut s = 41u64;
+    for _ in 0..1_500 {
+        let site = lcg(&mut s) as usize % k;
+        let delta = if kind.supports_deletions() && lcg(&mut s).is_multiple_of(3) {
+            -1
+        } else {
+            1
+        };
+        tracker.step(site, delta);
+    }
+    (spec, tracker.snapshot().unwrap())
+}
+
+#[test]
+fn truncation_at_every_byte_is_an_error_for_every_counter_kind() {
+    for kind in TrackerKind::COUNTERS {
+        let (spec, state) = warm_state(kind);
+        let bytes = state.to_bytes();
+        for cut in 0..bytes.len() {
+            match TrackerState::from_bytes(&bytes[..cut]) {
+                Err(_) => {}
+                // The envelope may decode from a truncated byte stream
+                // only if the cut hides nothing (impossible: cut < len).
+                Ok(_) => panic!("{}: cut at {cut} decoded", kind.label()),
+            }
+        }
+        // The payload itself can also be cut *after* envelope decode:
+        // truncate the inner payload and restore must fail, not panic.
+        let payload = state.payload();
+        for cut in [0, 1, payload.len() / 2, payload.len().saturating_sub(1)] {
+            let clipped = TrackerState::new(state.kind(), state.k(), payload[..cut].to_vec());
+            assert!(
+                spec.resume(&clipped).is_err(),
+                "{}: clipped payload at {cut} restored",
+                kind.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn corrupted_bytes_never_panic_and_usually_fail_typed() {
+    // Flip every byte of a warm snapshot (one at a time) and decode +
+    // restore. Corruption may happen to produce a *valid* alternative
+    // state (e.g. a flipped counter value) — that is fine; what must
+    // never happen is a panic or an allocation blow-up.
+    let (spec, state) = warm_state(TrackerKind::Randomized);
+    let bytes = state.to_bytes();
+    for i in 0..bytes.len() {
+        let mut evil = bytes.clone();
+        evil[i] ^= 0xA5;
+        if let Ok(s) = TrackerState::from_bytes(&evil) {
+            let _ = spec.resume(&s); // a flipped scalar may be "valid" — fine
+        }
+    }
+    // What is NOT allowed to survive: any flip in the envelope head
+    // (magic, version, kind tag) — those must be specific typed errors.
+    for i in 0..7 {
+        let mut evil = bytes.clone();
+        evil[i] ^= 0xA5;
+        let err = TrackerState::from_bytes(&evil).err().or_else(|| {
+            spec.resume(&TrackerState::from_bytes(&evil).unwrap())
+                .err()
+                .map(|e| match e {
+                    ResumeError::Codec(c) => c,
+                    ResumeError::Build(_) => CodecError::UnsupportedNode,
+                })
+        });
+        assert!(err.is_some(), "envelope flip at byte {i} was accepted");
+    }
+}
+
+#[test]
+fn wrong_version_and_wrong_magic_are_specific_errors() {
+    let (_, state) = warm_state(TrackerKind::Deterministic);
+    let bytes = state.to_bytes();
+
+    let mut future = bytes.clone();
+    future[4] = 0xEE; // version word
+    future[5] = 0x03;
+    assert!(matches!(
+        TrackerState::from_bytes(&future),
+        Err(CodecError::UnsupportedVersion { .. })
+    ));
+
+    let mut zero = bytes.clone();
+    zero[4] = 0;
+    zero[5] = 0;
+    assert!(matches!(
+        TrackerState::from_bytes(&zero),
+        Err(CodecError::UnsupportedVersion { found: 0, .. })
+    ));
+
+    let mut alien = bytes.clone();
+    alien[..4].copy_from_slice(b"JUNK");
+    assert!(matches!(
+        TrackerState::from_bytes(&alien),
+        Err(CodecError::BadMagic { .. })
+    ));
+
+    let mut trailing = bytes;
+    trailing.extend_from_slice(&[1, 2, 3]);
+    assert_eq!(
+        TrackerState::from_bytes(&trailing),
+        Err(CodecError::Trailing { left: 3 })
+    );
+}
+
+#[test]
+fn engine_checkpoints_survive_the_same_gauntlet() {
+    let spec = TrackerSpec::new(TrackerKind::Deterministic)
+        .k(4)
+        .eps(0.1)
+        .deletions(true);
+    let mut engine = ShardedEngine::counters(spec, EngineConfig::new(4, 256)).unwrap();
+    let updates: Vec<dsv::net::Update> = (1..=4_096)
+        .map(|t| dsv::net::Update::new(t, (t % 4) as usize, if t % 5 == 0 { -1 } else { 1 }))
+        .collect();
+    engine.run(&updates).unwrap();
+    let bytes = engine.checkpoint().unwrap().to_bytes();
+
+    for cut in 0..bytes.len() {
+        assert!(
+            EngineCheckpoint::from_bytes(&bytes[..cut]).is_err(),
+            "cut at {cut}"
+        );
+    }
+    for i in 0..bytes.len().min(64) {
+        let mut evil = bytes.clone();
+        evil[i] ^= 0xFF;
+        let _ = EngineCheckpoint::from_bytes(&evil); // must not panic
+    }
+    let restored = EngineCheckpoint::from_bytes(&bytes).unwrap();
+    assert_eq!(restored.shards(), 4);
+    assert_eq!(restored.kind(), TrackerKind::Deterministic);
+
+    // Resuming with a disagreeing config is a typed engine error.
+    let err = CounterEngine::resume(spec, EngineConfig::new(3, 256), &restored).unwrap_err();
+    assert!(matches!(
+        err,
+        EngineError::CheckpointMismatch {
+            what: "logical shard count",
+            ..
+        }
+    ));
+    let wrong_kind = TrackerSpec::new(TrackerKind::Naive).k(4);
+    let err = CounterEngine::resume(wrong_kind, EngineConfig::new(4, 256), &restored).unwrap_err();
+    assert!(matches!(
+        err,
+        EngineError::Codec(_) | EngineError::CheckpointMismatch { .. }
+    ));
+    assert!(!err.to_string().is_empty());
+}

@@ -1,0 +1,247 @@
+//! The engine checkpoint/resume/rescale contract, for **every**
+//! `TrackerKind`: a `ShardedEngine` checkpointed at a batch boundary,
+//! serialized to bytes, restored (including onto a different worker
+//! count), and driven to completion produces **bit-identical** final
+//! estimates and `CommStats` ledgers — tracker and merge alike — to the
+//! uninterrupted run. Live `rescale` mid-stream is held to the same
+//! standard.
+
+use dsv::net::{ItemUpdate, Update};
+use dsv::prelude::*;
+
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+fn counter_stream(seed: u64, n: u64, k: usize, deletions: bool) -> Vec<Update> {
+    let mut s = seed;
+    (1..=n)
+        .map(|t| {
+            let site = lcg(&mut s) as usize % k;
+            let delta = if deletions && lcg(&mut s).is_multiple_of(3) {
+                -1
+            } else {
+                1
+            };
+            Update::new(t, site, delta)
+        })
+        .collect()
+}
+
+fn item_stream(seed: u64, n: u64, k: usize, universe: u64) -> Vec<ItemUpdate> {
+    let mut s = seed;
+    let mut counts = vec![0i64; universe as usize];
+    (1..=n)
+        .map(|t| {
+            let site = lcg(&mut s) as usize % k;
+            let item = lcg(&mut s) % universe;
+            let delta = if counts[item as usize] > 0 && lcg(&mut s).is_multiple_of(3) {
+                -1
+            } else {
+                1
+            };
+            counts[item as usize] += delta;
+            ItemUpdate::new(t, site, item, delta)
+        })
+        .collect()
+}
+
+/// Everything the equivalence claim covers, bundled for comparison.
+#[derive(Debug, PartialEq)]
+struct Fingerprint {
+    time: u64,
+    estimate: i64,
+    shard_estimates: Vec<i64>,
+    tracker_stats: dsv::net::CommStats,
+    merge_stats: dsv::net::CommStats,
+}
+
+fn fingerprint<T: Tracker<In> + Send, In: Copy + Send>(e: &ShardedEngine<T, In>) -> Fingerprint {
+    Fingerprint {
+        time: e.time(),
+        estimate: e.estimate(),
+        shard_estimates: e.shard_estimates(),
+        tracker_stats: e.tracker_stats(),
+        merge_stats: e.merge_stats().clone(),
+    }
+}
+
+#[test]
+fn every_counter_kind_resumes_and_rescales_bit_identically() {
+    let shards = 4;
+    let batch = 512;
+    let n = 16 * batch as u64; // cut at a multiple of the batch size
+    let cut = 9 * batch;
+    for kind in TrackerKind::COUNTERS {
+        let k = if kind == TrackerKind::SingleSite {
+            1
+        } else {
+            4
+        };
+        let spec = TrackerSpec::new(kind)
+            .k(k)
+            .eps(0.2)
+            .seed(17)
+            .deletions(kind.supports_deletions());
+        let cfg = EngineConfig::new(shards, batch).eps(0.2);
+        let stream = counter_stream(1_000 + kind as u64, n, k, kind.supports_deletions());
+
+        // Uninterrupted reference.
+        let mut straight = ShardedEngine::counters(spec, cfg).unwrap();
+        straight.run(&stream).unwrap();
+        let want = fingerprint(&straight);
+
+        // Checkpoint at a batch boundary, serialize ("kill"), resume onto
+        // several different worker counts, finish the stream.
+        let mut first = ShardedEngine::counters(spec, cfg).unwrap();
+        first.run(&stream[..cut]).unwrap();
+        let bytes = first.checkpoint().unwrap().to_bytes();
+        drop(first);
+
+        for workers in [shards, 2, 1, 7] {
+            let ckpt = EngineCheckpoint::from_bytes(&bytes).unwrap();
+            let mut resumed = CounterEngine::resume(spec, cfg.workers(workers), &ckpt).unwrap();
+            let report = resumed.run(&stream[cut..]).unwrap();
+            assert_eq!(report.workers, workers.min(shards), "{}", kind.label());
+            assert_eq!(
+                fingerprint(&resumed),
+                want,
+                "{} resumed onto {workers} workers diverged",
+                kind.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn every_frequency_kind_resumes_and_rescales_bit_identically() {
+    let shards = 3;
+    let batch = 256;
+    let n = 12 * batch as u64;
+    let cut = 7 * batch;
+    let universe = 64u64;
+    for kind in TrackerKind::FREQUENCIES {
+        let spec = TrackerSpec::new(kind)
+            .k(3)
+            .eps(0.25)
+            .seed(23)
+            .universe(universe as usize);
+        let cfg = EngineConfig::new(shards, batch)
+            .eps(0.25)
+            .partition(Partition::ByItem);
+        let stream = item_stream(77, n, 3, universe);
+
+        let mut straight = ShardedEngine::items(spec, cfg).unwrap();
+        straight.run(&stream).unwrap();
+        let want = fingerprint(&straight);
+
+        let mut first = ShardedEngine::items(spec, cfg).unwrap();
+        first.run(&stream[..cut]).unwrap();
+        let bytes = first.checkpoint().unwrap().to_bytes();
+        drop(first);
+
+        for workers in [1, 2, shards] {
+            let ckpt = EngineCheckpoint::from_bytes(&bytes).unwrap();
+            let mut resumed = ItemEngine::resume(spec, cfg.workers(workers), &ckpt).unwrap();
+            resumed.run(&stream[cut..]).unwrap();
+            assert_eq!(
+                fingerprint(&resumed),
+                want,
+                "{} resumed onto {workers} workers diverged",
+                kind.label()
+            );
+            for item in 0..universe {
+                assert_eq!(
+                    resumed.estimate_item(item),
+                    straight.estimate_item(item),
+                    "{} item {item}",
+                    kind.label()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn live_rescale_between_runs_is_ledger_identical() {
+    let spec = TrackerSpec::new(TrackerKind::Deterministic)
+        .k(8)
+        .eps(0.1)
+        .deletions(true);
+    let stream = counter_stream(5, 24_000, 8, true);
+    let cfg = EngineConfig::new(8, 1_000);
+
+    let mut steady = ShardedEngine::counters(spec, cfg).unwrap();
+    steady.run(&stream).unwrap();
+
+    // Scale 8 → 2 → 5 workers across segment boundaries, live.
+    let mut elastic = ShardedEngine::counters(spec, cfg).unwrap();
+    elastic.run(&stream[..8_000]).unwrap();
+    elastic.rescale(2).unwrap();
+    elastic.run(&stream[8_000..16_000]).unwrap();
+    elastic.rescale(5).unwrap();
+    let report = elastic.run(&stream[16_000..]).unwrap();
+    assert_eq!(report.workers, 5);
+    assert_eq!(fingerprint(&elastic), fingerprint(&steady));
+
+    assert_eq!(elastic.rescale(0).unwrap_err(), EngineError::ZeroWorkers);
+}
+
+#[test]
+fn run_parted_is_worker_count_invariant() {
+    let spec = TrackerSpec::new(TrackerKind::Deterministic)
+        .k(4)
+        .eps(0.1)
+        .deletions(true);
+    let feeds_data: Vec<(usize, Vec<i64>)> = (0..4)
+        .map(|site| {
+            let mut s = 100 + site as u64;
+            let inputs = (0..6_000)
+                .map(|_| if lcg(&mut s).is_multiple_of(4) { -1 } else { 1 })
+                .collect();
+            (site, inputs)
+        })
+        .collect();
+    let feeds: Vec<(usize, &[i64])> = feeds_data.iter().map(|(s, v)| (*s, v.as_slice())).collect();
+
+    let mut want: Option<Fingerprint> = None;
+    for workers in [4usize, 2, 1, 3] {
+        let mut engine =
+            ShardedEngine::counters(spec, EngineConfig::new(4, 500).workers(workers)).unwrap();
+        engine.run_parted(&feeds).unwrap();
+        let fp = fingerprint(&engine);
+        match &want {
+            None => want = Some(fp),
+            Some(w) => assert_eq!(&fp, w, "workers={workers} diverged"),
+        }
+    }
+}
+
+#[test]
+fn checkpoint_traffic_is_charged_to_its_own_ledger() {
+    let spec = TrackerSpec::new(TrackerKind::Deterministic).k(2).eps(0.1);
+    let stream = counter_stream(9, 4_000, 2, false);
+    let mut engine = ShardedEngine::counters(spec, EngineConfig::new(2, 500)).unwrap();
+    engine.run(&stream).unwrap();
+    assert_eq!(engine.checkpoint_stats().total_messages(), 0);
+    let ckpt = engine.checkpoint().unwrap();
+    // One StateFrame per shard, carrying the snapshot payload in words.
+    assert_eq!(engine.checkpoint_stats().total_messages(), 2);
+    let payload_words: u64 = ckpt
+        .states()
+        .iter()
+        .map(|s| (s.payload().len() as u64).div_ceil(8))
+        .sum();
+    assert_eq!(engine.checkpoint_stats().total_words(), payload_words);
+    // Checkpointing twice charges twice; the tracker/merge ledgers are
+    // untouched either way (that is what keeps resume equivalence exact).
+    let tracker_stats = engine.tracker_stats();
+    let merge_stats = engine.merge_stats().clone();
+    engine.checkpoint().unwrap();
+    assert_eq!(engine.checkpoint_stats().total_messages(), 4);
+    assert_eq!(engine.tracker_stats(), tracker_stats);
+    assert_eq!(engine.merge_stats(), &merge_stats);
+}
