@@ -1,30 +1,107 @@
 #!/usr/bin/env bash
 # Full local CI gate for the dsv workspace. Runs everything the tier-1
 # verify runs, plus formatting, lints, the full workspace test matrix,
-# bench/example compilation, bench smoke runs with a JSON schema gate,
-# and rustdoc. Fails fast on the first broken step.
+# bench/example compilation, bench smoke runs with JSON schema gates
+# (including the e17 overlap-speedup gate), and rustdoc. Fails fast on
+# the first broken step, and prints a per-step wall-clock summary at the
+# end (also emitted to $GITHUB_STEP_SUMMARY under Actions) so gate-time
+# regressions are visible in PRs.
 #
 # This script is the single source of truth for the gate; the GitHub
 # workflow (.github/workflows/ci.yml) just checks out, installs a
-# toolchain, and runs it.
+# toolchain, and runs it — once per feature-matrix job:
+#
+#   ./ci.sh                            # default features
+#   DSV_FEATURES=async-ingest ./ci.sh  # the async-ingest feature seam
 set -euo pipefail
 cd "$(dirname "$0")"
 
-step() { printf '\n=== %s ===\n' "$*"; }
+# Cargo feature flags for this run (the workflow matrix sets
+# DSV_FEATURES; empty means default features). The dsv facade forwards
+# each feature to the member crates that implement it.
+# Possibly-empty arrays are expanded with the ${arr[@]+"${arr[@]}"}
+# idiom throughout: plain "${arr[@]}" on an empty array trips set -u on
+# bash < 4.4 (e.g. the stock macOS /bin/bash 3.2). The %N in the timing
+# code is GNU date; BSD date degrades it to whole seconds, gracefully.
+FEATURE_FLAGS=()
+# dsv-bench declares no features of its own, so `-p dsv-bench` commands
+# reach the seam through dependency syntax — keeping their feature
+# resolution identical to the workspace-wide steps (no mid-gate feature
+# flip, no redundant rebuild, and the bench/schema gates actually
+# exercise the matrix job's configuration).
+BENCH_FEATURE_FLAGS=()
+if [ -n "${DSV_FEATURES:-}" ]; then
+    FEATURE_FLAGS=(--features "$DSV_FEATURES")
+    BENCH_FEATURE_FLAGS=(--features "dsv-engine/${DSV_FEATURES}")
+fi
+
+# ---------------------------------------------------------------------------
+# Per-step wall-clock timing. `step` closes the previous step; the EXIT
+# trap closes the last one and prints the summary table (markdown to
+# $GITHUB_STEP_SUMMARY when set), including on failure so a hung or slow
+# step is visible in the log that killed the run.
+# ---------------------------------------------------------------------------
+STEP_NAMES=()
+STEP_SECS=()
+CUR_STEP=""
+CUR_START=0
+SCRIPT_START=$(date +%s.%N)
+
+finish_step() {
+    if [ -n "$CUR_STEP" ]; then
+        STEP_NAMES+=("$CUR_STEP")
+        STEP_SECS+=("$(echo "$(date +%s.%N) $CUR_START" | awk '{printf "%.1f", $1 - $2}')")
+        CUR_STEP=""
+    fi
+}
+
+step() {
+    finish_step
+    CUR_STEP="$*"
+    CUR_START=$(date +%s.%N)
+    printf '\n=== %s ===\n' "$*"
+}
+
+print_timings() {
+    rc=$?
+    finish_step
+    total=$(echo "$(date +%s.%N) $SCRIPT_START" | awk '{printf "%.1f", $1 - $2}')
+    printf '\n=== step timings (features: %s) ===\n' "${DSV_FEATURES:-default}"
+    for i in ${STEP_NAMES[@]+"${!STEP_NAMES[@]}"}; do
+        printf '%8ss  %s\n' "${STEP_SECS[$i]}" "${STEP_NAMES[$i]}"
+    done
+    printf '%8ss  TOTAL%s\n' "$total" "$([ "$rc" -ne 0 ] && echo ' (FAILED)')"
+    if [ -n "${GITHUB_STEP_SUMMARY:-}" ]; then
+        {
+            printf '### ci.sh step timings (features: %s)\n\n' "${DSV_FEATURES:-default}"
+            printf '| step | seconds |\n|---|---:|\n'
+            for i in ${STEP_NAMES[@]+"${!STEP_NAMES[@]}"}; do
+                printf '| %s | %s |\n' "${STEP_NAMES[$i]}" "${STEP_SECS[$i]}"
+            done
+            printf '| **TOTAL%s** | **%s** |\n' "$([ "$rc" -ne 0 ] && echo ' (failed)')" "$total"
+        } >> "$GITHUB_STEP_SUMMARY"
+    fi
+}
+trap print_timings EXIT
 
 # Resolve a dsv-bench bench binary through cargo itself (stale-proof:
 # `ls -t target/.../name-*` picks outdated hashes after renames or
 # toolchain bumps; the JSON compiler messages name the fresh artifact).
+# The match is anchored to the exact target name — compiler-artifact
+# lines only, `"name":"<target>",` with its closing delimiter — so a
+# future bench named e.g. `e17_pipeline_ext` can never shadow
+# `e17_pipeline` however the message fields are ordered.
 # Never fails (so `set -e` can't kill the script before the caller's
 # not-found diagnostic): a broken target yields an empty string and the
 # compile error is replayed on stderr.
 bench_bin() {
-    if ! out=$(cargo bench --no-run --message-format=json -p dsv-bench --bench "$1" 2>/tmp/bench_bin.err); then
+    if ! out=$(cargo bench --no-run --message-format=json -p dsv-bench ${BENCH_FEATURE_FLAGS[@]+"${BENCH_FEATURE_FLAGS[@]}"} --bench "$1" 2>/tmp/bench_bin.err); then
         cat /tmp/bench_bin.err >&2
         return 0
     fi
     printf '%s' "$out" \
-        | grep "\"name\":\"$1\"" \
+        | grep '"reason":"compiler-artifact"' \
+        | grep "\"name\":\"$1\"[,}]" \
         | sed -n 's/.*"executable":"\([^"]*\)".*/\1/p' \
         | tail -1 \
         || true
@@ -34,22 +111,31 @@ step "cargo fmt --check"
 cargo fmt --all --check
 
 step "cargo build --release"
-cargo build --release
+cargo build --release ${FEATURE_FLAGS[@]+"${FEATURE_FLAGS[@]}"}
+
+step "cargo build --no-default-features (feature-seam floor)"
+# The workspace has no default features today; this keeps it that way —
+# a dependency accidentally made non-optional or a cfg leak outside its
+# feature gate fails here instead of rotting until someone flips flags.
+cargo build --no-default-features
 
 step "cargo clippy --workspace --all-targets (-D warnings)"
-cargo clippy --workspace --all-targets -- -D warnings
+cargo clippy --workspace --all-targets ${FEATURE_FLAGS[@]+"${FEATURE_FLAGS[@]}"} -- -D warnings
 
 step "cargo test --workspace -q (superset of the tier-1 'cargo test -q')"
-cargo test --workspace -q
+cargo test --workspace -q ${FEATURE_FLAGS[@]+"${FEATURE_FLAGS[@]}"}
 
 step "cargo build --release --examples"
-cargo build --release --examples
+cargo build --release --examples ${FEATURE_FLAGS[@]+"${FEATURE_FLAGS[@]}"}
 
-step "run 6 of the 7 examples (API regressions in non-test binaries fail here)"
-# checkpoint_restore, the 7th example, runs in its own gate step below.
-for ex in quickstart compare_trackers network_monitor history_audit inventory_audit sharded_monitor; do
+step "run 7 of the 8 examples (API regressions in non-test binaries fail here)"
+# checkpoint_restore, the 8th example, runs in its own gate step below.
+# pipelined_monitor asserts run_pipelined's bit-identity to run_parted
+# and that fast feeds finish in a laggy feed's shadow, so it is a gate
+# in its own right.
+for ex in quickstart compare_trackers network_monitor history_audit inventory_audit sharded_monitor pipelined_monitor; do
     printf -- '-- example %s\n' "$ex"
-    cargo run -q --release --example "$ex" > /dev/null
+    cargo run -q --release ${FEATURE_FLAGS[@]+"${FEATURE_FLAGS[@]}"} --example "$ex" > /dev/null
 done
 
 step "checkpoint/resume smoke gate (example checkpoint_restore)"
@@ -59,10 +145,10 @@ step "checkpoint/resume smoke gate (example checkpoint_restore)"
 # bit-identical to the straight-through run. Its asserts make it a gate
 # (enforced like the e16 throughput gate); the full per-kind matrix
 # lives in tests/engine_checkpoint.rs.
-cargo run -q --release --example checkpoint_restore
+cargo run -q --release ${FEATURE_FLAGS[@]+"${FEATURE_FLAGS[@]}"} --example checkpoint_restore
 
-step "cargo bench --no-run --workspace (compile all 18 bench targets)"
-cargo bench --no-run --workspace
+step "cargo bench --no-run --workspace (compile all 19 bench targets)"
+cargo bench --no-run --workspace ${FEATURE_FLAGS[@]+"${FEATURE_FLAGS[@]}"}
 
 step "1s smoke run of one e* bench binary"
 # The e* binaries are full experiments; a 1-second slice is enough to
@@ -86,12 +172,28 @@ e16_bin=$(bench_bin e16_throughput)
 [ -n "$e16_bin" ] || { echo "e16 bench binary not found"; exit 1; }
 mkdir -p target/ci
 "$e16_bin" --smoke --out target/ci/BENCH_e16.json > /dev/null
-cargo run -q --release -p dsv-bench --bin bench_schema -- target/ci/BENCH_e16.json
+cargo run -q --release -p dsv-bench ${BENCH_FEATURE_FLAGS[@]+"${BENCH_FEATURE_FLAGS[@]}"} --bin bench_schema -- target/ci/BENCH_e16.json
 if [ -f BENCH_e16.json ]; then
-    cargo run -q --release -p dsv-bench --bin bench_schema -- BENCH_e16.json
+    cargo run -q --release -p dsv-bench ${BENCH_FEATURE_FLAGS[@]+"${BENCH_FEATURE_FLAGS[@]}"} --bin bench_schema -- BENCH_e16.json
+fi
+
+step "e17 pipeline smoke + overlap gate + BENCH json schema gate"
+# The pipelined-ingestion experiment in --smoke mode. The binary itself
+# enforces the overlap gate (slow-feed speedup >= 1.25x, smoke runs
+# included — the overlap is production concurrency, which needs no
+# second core) and asserts pipelined/sync bit-identity before any
+# timing; bench_schema then re-enforces the recorded gate on both the
+# fresh artifact and the committed full run, so a regression can't hide
+# in either.
+e17_bin=$(bench_bin e17_pipeline)
+[ -n "$e17_bin" ] || { echo "e17 bench binary not found"; exit 1; }
+"$e17_bin" --smoke --out target/ci/BENCH_e17.json > /dev/null
+cargo run -q --release -p dsv-bench ${BENCH_FEATURE_FLAGS[@]+"${BENCH_FEATURE_FLAGS[@]}"} --bin bench_schema -- target/ci/BENCH_e17.json
+if [ -f BENCH_e17.json ]; then
+    cargo run -q --release -p dsv-bench ${BENCH_FEATURE_FLAGS[@]+"${BENCH_FEATURE_FLAGS[@]}"} --bin bench_schema -- BENCH_e17.json
 fi
 
 step "cargo doc --no-deps --workspace (warning-free)"
-RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace ${FEATURE_FLAGS[@]+"${FEATURE_FLAGS[@]}"}
 
 printf '\nCI green.\n'

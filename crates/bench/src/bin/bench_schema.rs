@@ -1,16 +1,19 @@
 //! CI gate over machine-readable benchmark artifacts.
 //!
 //! ```sh
-//! cargo run --release -p dsv-bench --bin bench_schema -- BENCH_e16.json
+//! cargo run --release -p dsv-bench --bin bench_schema -- BENCH_e16.json BENCH_e17.json
 //! ```
 //!
-//! Parses each argument as JSON and checks it against the E16 schema
-//! (`dsv_bench::validate_e16`): non-empty stream/row tables, finite
-//! positive throughput numbers. Exits non-zero on the first failure, so a
-//! bench that crashed mid-run, emitted NaNs, or silently produced an
-//! empty sweep fails the pipeline instead of polluting the trajectory.
+//! Parses each argument as JSON and checks it against the schema its
+//! `experiment` tag names (`dsv_bench::validate_bench_doc`): non-empty
+//! stream/scenario tables, finite positive throughput numbers, and — for
+//! `e17_pipeline` — the overlap-speedup gate re-enforced on the recorded
+//! slow-feed row. Exits non-zero on the first failure, so a bench that
+//! crashed mid-run, emitted NaNs, silently produced an empty sweep, or
+//! regressed below its own gate fails the pipeline instead of polluting
+//! the trajectory.
 
-use dsv_bench::{validate_e16, Json};
+use dsv_bench::{validate_bench_doc, Json};
 use std::process::ExitCode;
 
 fn check(path: &str) -> Result<(), String> {
@@ -19,12 +22,16 @@ fn check(path: &str) -> Result<(), String> {
         return Err(format!("{path}: file is empty"));
     }
     let doc = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
-    validate_e16(&doc).map_err(|e| format!("{path}: schema violation: {e}"))?;
+    let schema = validate_bench_doc(&doc).map_err(|e| format!("{path}: schema violation: {e}"))?;
     let n = doc.get("n").and_then(Json::as_f64).unwrap_or(0.0);
-    let streams = doc.get("streams").and_then(Json::as_array).unwrap_or(&[]);
+    let tables = doc
+        .get("streams")
+        .or_else(|| doc.get("scenarios"))
+        .and_then(Json::as_array)
+        .unwrap_or(&[]);
     println!(
-        "{path}: ok — {} stream(s), n = {n}, schema e16_throughput",
-        streams.len()
+        "{path}: ok — {} table(s), n = {n}, schema {schema}",
+        tables.len()
     );
     Ok(())
 }
@@ -32,7 +39,7 @@ fn check(path: &str) -> Result<(), String> {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!("usage: bench_schema <BENCH_e16.json> [more.json ...]");
+        eprintln!("usage: bench_schema <BENCH_*.json> [more.json ...]");
         return ExitCode::FAILURE;
     }
     for path in &args {

@@ -5,8 +5,9 @@
 //! builds offline, so instead of `serde_json` this module implements the
 //! small JSON subset those artifacts need: a value tree ([`Json`]), a
 //! pretty writer that refuses non-finite numbers, a strict
-//! recursive-descent parser, and the E16 schema validator CI runs
-//! ([`validate_e16`]).
+//! recursive-descent parser, and the schema validators CI runs
+//! ([`validate_e16`], [`validate_e17`]) — the `bench_schema` bin
+//! dispatches on each document's `experiment` tag.
 
 use std::fmt;
 
@@ -365,8 +366,37 @@ impl<'a> Parser<'a> {
 }
 
 // ---------------------------------------------------------------------------
-// The E16 schema gate.
+// The BENCH schema gates. The field helpers are shared by every
+// experiment validator so their semantics (and error wording) cannot
+// drift between schemas.
 // ---------------------------------------------------------------------------
+
+/// Object field lookup that errors on absence.
+fn field(j: &Json, key: &str) -> Result<Json, String> {
+    j.get(key).cloned().ok_or(format!("missing field '{key}'"))
+}
+
+/// A required finite number > 0.
+fn pos_num(j: &Json, key: &str) -> Result<f64, String> {
+    let v = field(j, key)?
+        .as_f64()
+        .ok_or(format!("field '{key}' must be a number"))?;
+    if !(v.is_finite() && v > 0.0) {
+        return Err(format!("field '{key}' must be finite and > 0, got {v}"));
+    }
+    Ok(v)
+}
+
+/// A required finite number ≥ 0 (a count).
+fn count(j: &Json, key: &str) -> Result<f64, String> {
+    let v = field(j, key)?
+        .as_f64()
+        .ok_or(format!("field '{key}' must be a number"))?;
+    if !(v.is_finite() && v >= 0.0) {
+        return Err(format!("field '{key}' must be finite and >= 0, got {v}"));
+    }
+    Ok(v)
+}
 
 /// Validate a `BENCH_e16.json` document: the schema CI enforces so perf
 /// regressions stay visible in the benchmark trajectory.
@@ -386,28 +416,6 @@ impl<'a> Parser<'a> {
 /// }
 /// ```
 pub fn validate_e16(doc: &Json) -> Result<(), String> {
-    let field = |j: &Json, key: &str| -> Result<Json, String> {
-        j.get(key).cloned().ok_or(format!("missing field '{key}'"))
-    };
-    let pos_num = |j: &Json, key: &str| -> Result<f64, String> {
-        let v = field(j, key)?
-            .as_f64()
-            .ok_or(format!("field '{key}' must be a number"))?;
-        if !(v.is_finite() && v > 0.0) {
-            return Err(format!("field '{key}' must be finite and > 0, got {v}"));
-        }
-        Ok(v)
-    };
-    let count = |j: &Json, key: &str| -> Result<f64, String> {
-        let v = field(j, key)?
-            .as_f64()
-            .ok_or(format!("field '{key}' must be a number"))?;
-        if !(v.is_finite() && v >= 0.0) {
-            return Err(format!("field '{key}' must be finite and >= 0, got {v}"));
-        }
-        Ok(v)
-    };
-
     if field(doc, "experiment")?.as_str() != Some("e16_throughput") {
         return Err("field 'experiment' must be \"e16_throughput\"".into());
     }
@@ -466,6 +474,123 @@ pub fn validate_e16(doc: &Json) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// The E17 schema gate.
+// ---------------------------------------------------------------------------
+
+/// Validate a `BENCH_e17.json` document: the pipelined-ingestion overlap
+/// experiment. Beyond shape and finiteness, the validator re-enforces the
+/// experiment's acceptance gate on the recorded numbers: the `slow-feed`
+/// scenario's `overlap_speedup` must meet the document's `overlap_gate`,
+/// so a committed artifact that regressed below the gate fails CI even
+/// without re-running the bench.
+///
+/// Required shape:
+///
+/// ```json
+/// {
+///   "experiment": "e17_pipeline",
+///   "smoke": bool, "n": > 0, "kind": str, "k": > 0, "shards": > 0,
+///   "batch": > 0, "overlap_gate": > 1,
+///   "scenarios": [ non-empty, each:
+///     { "scenario": str, "overlap_speedup": finite > 0,
+///       "rows": [ non-empty, each:
+///         { "mode": "sync" | "pipelined", "wall_ms" > 0,
+///           "updates_per_sec" > 0, "messages" ≥ 0,
+///           "boundary_violations" ≥ 0, "push_stalls" ≥ 0,
+///           "pop_waits" ≥ 0, "mean_occupancy" ≥ 0 } ] } ]
+/// }
+/// ```
+pub fn validate_e17(doc: &Json) -> Result<(), String> {
+    if field(doc, "experiment")?.as_str() != Some("e17_pipeline") {
+        return Err("field 'experiment' must be \"e17_pipeline\"".into());
+    }
+    field(doc, "smoke")?
+        .as_bool()
+        .ok_or("field 'smoke' must be a bool")?;
+    pos_num(doc, "n")?;
+    field(doc, "kind")?
+        .as_str()
+        .ok_or("field 'kind' must be a string")?;
+    pos_num(doc, "k")?;
+    pos_num(doc, "shards")?;
+    pos_num(doc, "batch")?;
+    let gate = pos_num(doc, "overlap_gate")?;
+    if gate <= 1.0 {
+        return Err(format!(
+            "field 'overlap_gate' must exceed 1 (a no-op pipeline passes anything else), got {gate}"
+        ));
+    }
+
+    let scenarios_field = field(doc, "scenarios")?;
+    let scenarios = scenarios_field
+        .as_array()
+        .ok_or("field 'scenarios' must be an array")?;
+    if scenarios.is_empty() {
+        return Err("'scenarios' must be non-empty".into());
+    }
+    let mut saw_slow_feed = false;
+    for (i, scenario) in scenarios.iter().enumerate() {
+        let ctx = |e: String| format!("scenarios[{i}]: {e}");
+        let name = field(scenario, "scenario")
+            .map_err(ctx)?
+            .as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| ctx("field 'scenario' must be a string".into()))?;
+        let speedup = pos_num(scenario, "overlap_speedup").map_err(ctx)?;
+        if name == "slow-feed" {
+            saw_slow_feed = true;
+            if speedup < gate {
+                return Err(ctx(format!(
+                    "slow-feed overlap_speedup {speedup:.2} is below the gate {gate:.2}"
+                )));
+            }
+        }
+        let rows_field = field(scenario, "rows").map_err(ctx)?;
+        let rows = rows_field
+            .as_array()
+            .ok_or_else(|| ctx("field 'rows' must be an array".into()))?;
+        if rows.is_empty() {
+            return Err(ctx("'rows' must be non-empty".into()));
+        }
+        for (j, row) in rows.iter().enumerate() {
+            let ctx = |e: String| format!("scenarios[{i}].rows[{j}]: {e}");
+            let mode = field(row, "mode")
+                .map_err(ctx)?
+                .as_str()
+                .map(str::to_owned)
+                .ok_or_else(|| ctx("field 'mode' must be a string".into()))?;
+            if mode != "sync" && mode != "pipelined" {
+                return Err(ctx(format!(
+                    "field 'mode' must be \"sync\" or \"pipelined\", got \"{mode}\""
+                )));
+            }
+            pos_num(row, "wall_ms").map_err(ctx)?;
+            pos_num(row, "updates_per_sec").map_err(ctx)?;
+            count(row, "messages").map_err(ctx)?;
+            count(row, "boundary_violations").map_err(ctx)?;
+            count(row, "push_stalls").map_err(ctx)?;
+            count(row, "pop_waits").map_err(ctx)?;
+            count(row, "mean_occupancy").map_err(ctx)?;
+        }
+    }
+    if !saw_slow_feed {
+        return Err("'scenarios' must include the gated \"slow-feed\" scenario".into());
+    }
+    Ok(())
+}
+
+/// Validate any known `BENCH_*.json` document by its `experiment` tag
+/// (the dispatch the `bench_schema` bin uses).
+pub fn validate_bench_doc(doc: &Json) -> Result<&'static str, String> {
+    match doc.get("experiment").and_then(Json::as_str) {
+        Some("e16_throughput") => validate_e16(doc).map(|()| "e16_throughput"),
+        Some("e17_pipeline") => validate_e17(doc).map(|()| "e17_pipeline"),
+        Some(other) => Err(format!("unknown experiment tag \"{other}\"")),
+        None => Err("missing string field 'experiment'".into()),
+    }
 }
 
 #[cfg(test)]
@@ -596,5 +721,99 @@ mod tests {
             .replace("\"updates_per_sec\": 41000000", "\"updates_per_sec\": 0");
         let doc = Json::parse(&text).unwrap();
         assert!(validate_e16(&doc).unwrap_err().contains("updates_per_sec"));
+    }
+
+    fn valid_e17_doc() -> Json {
+        let row = |mode: &str, wall: f64| {
+            Json::obj(vec![
+                ("mode", Json::str(mode)),
+                ("wall_ms", Json::num(wall)),
+                ("updates_per_sec", Json::num(2.0e7)),
+                ("messages", Json::num(900.0)),
+                ("boundary_violations", Json::num(0.0)),
+                (
+                    "push_stalls",
+                    Json::num(if mode == "sync" { 0.0 } else { 3.0 }),
+                ),
+                (
+                    "pop_waits",
+                    Json::num(if mode == "sync" { 0.0 } else { 17.0 }),
+                ),
+                ("mean_occupancy", Json::num(41.5)),
+            ])
+        };
+        let scenario = |name: &str, speedup: f64| {
+            Json::obj(vec![
+                ("scenario", Json::str(name)),
+                (
+                    "rows",
+                    Json::Arr(vec![row("sync", 200.0), row("pipelined", 110.0)]),
+                ),
+                ("overlap_speedup", Json::num(speedup)),
+            ])
+        };
+        Json::obj(vec![
+            ("experiment", Json::str("e17_pipeline")),
+            ("smoke", Json::Bool(true)),
+            ("n", Json::num(2.0e6)),
+            ("kind", Json::str("deterministic")),
+            ("k", Json::num(4.0)),
+            ("shards", Json::num(4.0)),
+            ("batch", Json::num(32_768.0)),
+            ("overlap_gate", Json::num(1.25)),
+            (
+                "scenarios",
+                Json::Arr(vec![
+                    scenario("uniform", 1.02),
+                    scenario("slow-feed", 1.81),
+                    scenario("skewed-feed", 1.05),
+                ]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn e17_schema_accepts_the_emitted_shape_and_dispatches() {
+        assert_eq!(validate_e17(&valid_e17_doc()), Ok(()));
+        assert_eq!(validate_bench_doc(&valid_e17_doc()), Ok("e17_pipeline"));
+        assert_eq!(validate_bench_doc(&valid_doc()), Ok("e16_throughput"));
+        let unknown = Json::obj(vec![("experiment", Json::str("e99_mystery"))]);
+        assert!(validate_bench_doc(&unknown)
+            .unwrap_err()
+            .contains("e99_mystery"));
+        assert!(validate_bench_doc(&Json::obj(vec![])).is_err());
+    }
+
+    #[test]
+    fn e17_schema_enforces_the_overlap_gate_on_recorded_numbers() {
+        // A slow-feed speedup below the document's own gate is a schema
+        // failure: the committed artifact cannot regress silently.
+        let text = valid_e17_doc()
+            .to_string()
+            .replace("\"overlap_speedup\": 1.81", "\"overlap_speedup\": 1.1");
+        let doc = Json::parse(&text).unwrap();
+        let err = validate_e17(&doc).unwrap_err();
+        assert!(err.contains("below the gate"), "{err}");
+
+        // Dropping the gated scenario entirely is also a failure.
+        let text = valid_e17_doc()
+            .to_string()
+            .replace("\"scenario\": \"slow-feed\"", "\"scenario\": \"slow-ish\"");
+        let doc = Json::parse(&text).unwrap();
+        assert!(validate_e17(&doc).unwrap_err().contains("slow-feed"));
+
+        // Degenerate gate values are rejected.
+        let text = valid_e17_doc()
+            .to_string()
+            .replace("\"overlap_gate\": 1.25", "\"overlap_gate\": 1");
+        let doc = Json::parse(&text).unwrap();
+        assert!(validate_e17(&doc).unwrap_err().contains("overlap_gate"));
+
+        // Bad mode string.
+        let text = valid_e17_doc()
+            .to_string()
+            .replace("\"mode\": \"pipelined\"", "\"mode\": \"overlapped\"");
+        let doc = Json::parse(&text).unwrap();
+        assert!(validate_e17(&doc).unwrap_err().contains("mode"));
     }
 }

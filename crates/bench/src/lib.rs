@@ -15,7 +15,7 @@ pub mod json;
 pub mod stats;
 pub mod table;
 
-pub use json::{validate_e16, Json, JsonError};
+pub use json::{validate_bench_doc, validate_e16, validate_e17, Json, JsonError};
 pub use stats::Summary;
 pub use table::Table;
 

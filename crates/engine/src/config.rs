@@ -1,5 +1,6 @@
 //! Engine configuration and errors.
 
+use crate::ingest::Backpressure;
 use crate::Partition;
 use dsv_core::api::{BuildError, RunError};
 use dsv_net::codec::CodecError;
@@ -15,6 +16,8 @@ use dsv_net::Time;
 /// | [`eps`](Self::eps) | `0.1` | Relative error audited at batch boundaries |
 /// | [`probe_every`](Self::probe_every) | `1` | Record an error probe every N boundaries (0 = never) |
 /// | [`workers`](Self::workers) | `= shards` | Worker threads executing the shard replicas |
+/// | [`backpressure`](Self::backpressure) | [`Backpressure::Block`] | Full-queue policy for pipelined feeds |
+/// | [`queue_capacity`](Self::queue_capacity) | `2 × batch` | Bounded capacity of each pipelined feed queue, in inputs |
 ///
 /// **Shards vs workers.** `shards` is the *logical* partitioning: how many
 /// tracker replicas the stream is split across. It is part of the engine's
@@ -34,6 +37,8 @@ pub struct EngineConfig {
     eps: f64,
     probe_every: u64,
     workers: usize,
+    backpressure: Backpressure,
+    queue_capacity: Option<usize>,
 }
 
 impl EngineConfig {
@@ -47,7 +52,26 @@ impl EngineConfig {
             eps: 0.1,
             probe_every: 1,
             workers: 0,
+            backpressure: Backpressure::Block,
+            queue_capacity: None,
         }
+    }
+
+    /// Full-queue policy for pipelined feed pushes (default
+    /// [`Backpressure::Block`]); see
+    /// [`crate::ShardedEngine::run_pipelined`].
+    pub fn backpressure(mut self, policy: Backpressure) -> Self {
+        self.backpressure = policy;
+        self
+    }
+
+    /// Bounded capacity of each pipelined feed queue, in inputs (default
+    /// `2 × batch`, so a feed can stage the next round while the worker
+    /// drains the current one). Zero is rejected by validation — a
+    /// zero-capacity queue can never carry an input.
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = Some(capacity);
+        self
     }
 
     /// Number of worker threads driving the shard replicas (default: one
@@ -115,6 +139,17 @@ impl EngineConfig {
         self.probe_every
     }
 
+    /// The full-queue policy for pipelined feeds.
+    pub fn backpressure_policy(&self) -> Backpressure {
+        self.backpressure
+    }
+
+    /// The pipelined feed queue capacity in inputs (`2 × batch` unless
+    /// overridden).
+    pub fn queue_capacity_value(&self) -> usize {
+        self.queue_capacity.unwrap_or(2 * self.batch)
+    }
+
     pub(crate) fn validate(&self) -> Result<(), EngineError> {
         if self.shards == 0 {
             return Err(EngineError::ZeroShards);
@@ -124,6 +159,9 @@ impl EngineConfig {
         }
         if !(self.eps > 0.0 && self.eps < 1.0) {
             return Err(EngineError::InvalidEps { eps: self.eps });
+        }
+        if self.queue_capacity == Some(0) {
+            return Err(EngineError::ZeroQueueCapacity);
         }
         Ok(())
     }
@@ -167,6 +205,9 @@ pub enum EngineError {
     },
     /// [`crate::ShardedEngine::rescale`] needs at least one worker.
     ZeroWorkers,
+    /// A pipelined feed queue must hold at least one input
+    /// ([`EngineConfig::queue_capacity`] was 0).
+    ZeroQueueCapacity,
 }
 
 impl std::fmt::Display for EngineError {
@@ -193,6 +234,9 @@ impl std::fmt::Display for EngineError {
                 "checkpoint mismatch: {what} is {found} in the checkpoint but {expected} in the engine"
             ),
             EngineError::ZeroWorkers => write!(fm, "need at least one worker"),
+            EngineError::ZeroQueueCapacity => {
+                write!(fm, "pipelined feed queues need capacity for at least one input")
+            }
         }
     }
 }
@@ -238,6 +282,24 @@ mod tests {
             ));
         }
         assert!(EngineConfig::new(8, 65_536).eps(0.05).validate().is_ok());
+        assert_eq!(
+            EngineConfig::new(2, 10).queue_capacity(0).validate(),
+            Err(EngineError::ZeroQueueCapacity)
+        );
+        assert!(EngineConfig::new(2, 10)
+            .queue_capacity(1)
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn queue_capacity_defaults_to_double_buffering() {
+        let cfg = EngineConfig::new(4, 1_000);
+        assert_eq!(cfg.queue_capacity_value(), 2_000);
+        assert_eq!(cfg.backpressure_policy(), Backpressure::Block);
+        let cfg = cfg.queue_capacity(64).backpressure(Backpressure::Yield);
+        assert_eq!(cfg.queue_capacity_value(), 64);
+        assert_eq!(cfg.backpressure_policy(), Backpressure::Yield);
     }
 
     #[test]

@@ -35,6 +35,16 @@
 //! randomized ones (same replica, same seed, same update order); the
 //! facade's `tests/engine_equivalence.rs` holds it to that.
 //!
+//! Ingestion comes in three shapes, strongest guarantee first:
+//! [`ShardedEngine::run`] (central router over a timed stream),
+//! [`ShardedEngine::run_parted`] (pre-parted per-site feeds, one
+//! synchronized round at a time), and [`ShardedEngine::run_pipelined`]
+//! (per-feed bounded queues — see the [`ingest`] types [`ShardFeed`] /
+//! [`Backpressure`] — where feeding, shard execution, and coordinator
+//! reconciliation all overlap while keeping estimates and ledgers
+//! bit-identical to `run_parted`). The optional `async-ingest` feature
+//! adds runtime-agnostic `push_async` futures to the feed handles.
+//!
 //! ```
 //! use dsv_core::api::{TrackerKind, TrackerSpec};
 //! use dsv_engine::{EngineConfig, ShardedEngine};
@@ -55,6 +65,7 @@
 
 mod checkpoint;
 mod config;
+pub mod ingest;
 mod merge;
 mod partition;
 mod report;
@@ -62,6 +73,10 @@ mod sharded;
 
 pub use checkpoint::{EngineCheckpoint, CHECKPOINT_MAGIC, CHECKPOINT_VERSION};
 pub use config::{EngineConfig, EngineError};
+pub use ingest::{Backpressure, FeedError, ShardFeed};
 pub use partition::{InputDelta, Partition, ShardRecord};
 pub use report::EngineReport;
 pub use sharded::{CounterEngine, ItemEngine, ShardedEngine};
+
+#[cfg(feature = "async-ingest")]
+pub use ingest::{AsyncPush, AsyncPushBatch};

@@ -49,17 +49,25 @@ pub(crate) fn hash_item(item: u64) -> u64 {
 /// ([`crate::ShardedEngine::run_parted`]) receives bare inputs instead of
 /// timed records, and audits through this.
 pub trait InputDelta: Copy {
+    /// Wire width of one input in words, for charging ingestion traffic
+    /// ([`dsv_net::FeedFrame`]) in the model's currency.
+    const WORDS: usize;
+
     /// The signed contribution to `f` (respectively `F1`).
     fn delta_of(self) -> i64;
 }
 
 impl InputDelta for i64 {
+    const WORDS: usize = 1;
+
     fn delta_of(self) -> i64 {
         self
     }
 }
 
 impl InputDelta for (u64, i64) {
+    const WORDS: usize = 2;
+
     fn delta_of(self) -> i64 {
         self.1
     }

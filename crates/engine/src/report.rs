@@ -1,6 +1,6 @@
 //! Outcome of an engine run.
 
-use dsv_net::{CommStats, ErrorProbe};
+use dsv_net::{CommStats, ErrorProbe, IngestStats};
 use std::time::Duration;
 
 /// Outcome of [`crate::ShardedEngine::run`] over one stream (or stream
@@ -29,6 +29,12 @@ pub struct EngineReport {
     pub tracker_stats: CommStats,
     /// Engine-level shard → coordinator reconciliation traffic.
     pub merge_stats: CommStats,
+    /// Pipelined-ingestion traffic, stalls, and queue occupancy
+    /// (cumulative over the engine's [`run_pipelined`] calls; empty for
+    /// engines fed only through `run` / `run_parted`).
+    ///
+    /// [`run_pipelined`]: crate::ShardedEngine::run_pipelined
+    pub ingest_stats: IngestStats,
     /// Sampled boundary trajectory (per `EngineConfig::probe_every`).
     pub probes: Vec<ErrorProbe>,
     /// Wall-clock time spent inside `run`.
@@ -81,6 +87,7 @@ mod tests {
             max_boundary_rel_err: 0.3,
             tracker_stats: CommStats::new(),
             merge_stats: CommStats::new(),
+            ingest_stats: IngestStats::new(),
             probes: Vec::new(),
             elapsed: Duration::from_millis(500),
         };

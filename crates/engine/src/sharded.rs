@@ -2,14 +2,19 @@
 
 use crate::checkpoint::EngineCheckpoint;
 use crate::config::{EngineConfig, EngineError};
+use crate::ingest::{Ring, RingConsumer, ShardFeed};
 use crate::merge::MergeCoordinator;
-use crate::partition::{hash_item, Partition, ShardRecord};
+use crate::partition::{hash_item, InputDelta, Partition, ShardRecord};
 use crate::report::EngineReport;
 use dsv_core::api::{ItemTracker, RunError, Tracker, TrackerKind, TrackerSpec};
 use dsv_core::codec::{Dec, Enc};
-use dsv_net::{relative_error, CommStats, ErrorProbe, MsgKind, SiteId, StateFrame, Time, WireSize};
+use dsv_net::{
+    relative_error, CommStats, ErrorProbe, IngestStats, MsgKind, SiteId, StateFrame, Time, WireSize,
+};
+use std::collections::BTreeMap;
 use std::marker::PhantomData;
 use std::sync::mpsc;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// The counting-problem engine: shard replicas built by
@@ -130,6 +135,23 @@ where
     Ok(df)
 }
 
+/// One feed drained by a pipelined worker: its queue's consumer end, a
+/// recycled round buffer, and whether the feed has delivered its final
+/// (short or empty) round.
+struct FeedState<In: Copy> {
+    consumer: RingConsumer<In>,
+    buf: Vec<In>,
+    done: bool,
+}
+
+/// One logical shard owned by a pipelined worker: its slot within the
+/// worker's replica group, its shard id, and its feeds in feed order.
+struct OwnedShard<In: Copy> {
+    slot: usize,
+    sid: usize,
+    feeds: Vec<FeedState<In>>,
+}
+
 /// Run-local audit accumulator (per `run` call).
 struct RunAudit {
     eps: f64,
@@ -202,6 +224,12 @@ pub struct ShardedEngine<T, In: Copy = i64> {
     /// Separate from the tracker and merge ledgers so checkpointing never
     /// perturbs the ledgers the resume-equivalence guarantee covers.
     ckpt_stats: CommStats,
+    /// Pipelined-ingestion ledger ([`dsv_net::FeedFrame`] traffic, stalls,
+    /// occupancy), accumulated by [`run_pipelined`](Self::run_pipelined).
+    /// Separate from the other ledgers for the same reason as
+    /// `ckpt_stats`: the transport must not perturb the ledgers the
+    /// pipelined-equivalence guarantee is stated over.
+    ingest_stats: IngestStats,
     time: Time,
     f: i64,
     _in: PhantomData<fn(In) -> In>,
@@ -240,6 +268,7 @@ where
             shards,
             cfg,
             ckpt_stats: CommStats::new(),
+            ingest_stats: IngestStats::new(),
             time: 0,
             f: 0,
             _in: PhantomData,
@@ -332,6 +361,12 @@ where
     /// on this engine (one [`StateFrame`] per shard per checkpoint).
     pub fn checkpoint_stats(&self) -> &CommStats {
         &self.ckpt_stats
+    }
+
+    /// Pipelined-ingestion traffic, stalls, and queue occupancy charged
+    /// by [`run_pipelined`](Self::run_pipelined) calls on this engine.
+    pub fn ingest_stats(&self) -> &IngestStats {
+        &self.ingest_stats
     }
 
     /// Capture the engine's complete state — every shard replica's
@@ -734,7 +769,267 @@ where
         Ok(self.finish_report(total as u64, audit, started))
     }
 
-    /// Assemble the report shared by both ingestion paths (all execution
+    /// Ingest through the pipelined path: per-feed bounded queues,
+    /// produced by the `feeder` closure and drained by the shard workers,
+    /// with the coordinator reconciling each completed boundary while the
+    /// workers already absorb the next one.
+    ///
+    /// `sites[i]` names the site feed `i` carries (several feeds may name
+    /// the same site, exactly like [`run_parted`](Self::run_parted)); the
+    /// feeder closure receives one [`ShardFeed`] handle per feed, in the
+    /// same order, and runs on the calling thread concurrently with the
+    /// workers. Push inputs from it directly, or move the handles into
+    /// producer threads/tasks of your own — the run finishes when every
+    /// handle is closed (dropping closes) and every queue is drained.
+    /// Handles stashed beyond the closure are force-closed when it
+    /// returns, so the run always terminates.
+    ///
+    /// **Equivalence contract:** for the same per-site input sequences
+    /// and configuration, estimates, per-shard replica states, and the
+    /// tracker + merge [`CommStats`] ledgers are **bit-identical** to
+    /// [`run_parted`](Self::run_parted) over the same feeds — the
+    /// boundary cut is the same (rounds of [`EngineConfig::batch_size`]
+    /// inputs per feed), only the execution overlaps. What pipelining
+    /// adds is charged to the separate [`ingest_stats`](Self::ingest_stats)
+    /// ledger. The divergence is error *timing*: `run_parted` validates
+    /// whole feeds before running anything, while a pipelined feed is
+    /// validated at the push boundary ([`crate::FeedError`]) — inputs
+    /// pushed before the offending one are already in flight and will be
+    /// consumed.
+    ///
+    /// Backpressure ([`EngineConfig::backpressure`]) bounds each queue at
+    /// [`EngineConfig::queue_capacity`] inputs; a feed that outruns its
+    /// shard stalls (or errors) at the push boundary, and a feed that
+    /// lags only stalls the shard it feeds — every other worker keeps
+    /// absorbing, which is the overlap the `e17_pipeline` bench gates.
+    pub fn run_pipelined<F>(
+        &mut self,
+        sites: &[SiteId],
+        feeder: F,
+    ) -> Result<EngineReport, EngineError>
+    where
+        In: InputDelta + Send + Sync,
+        F: FnOnce(Vec<ShardFeed<In>>),
+    {
+        let started = Instant::now();
+        let cfg = self.cfg;
+        let s_count = cfg.shards_count();
+        let w_count = cfg.workers_count();
+        let kind = self.shards[0].kind();
+        let k = self.shards[0].k();
+        let deletions_ok = kind.supports_deletions();
+        let batch = cfg.batch_size();
+
+        for &site in sites {
+            if site >= k {
+                return Err(RunError::SiteOutOfRange {
+                    site,
+                    k,
+                    time: self.time,
+                }
+                .into());
+            }
+        }
+
+        // One bounded SPSC ring per feed; producer ends become the
+        // ShardFeed handles, consumer ends go to the owning workers.
+        let rings: Vec<Arc<Ring<In>>> = sites
+            .iter()
+            .map(|_| Arc::new(Ring::new(cfg.queue_capacity_value())))
+            .collect();
+        let mut handles = Vec::with_capacity(sites.len());
+        // Worker w owns shards s ≡ w (mod W); within a shard, feeds keep
+        // their index order (the order run_parted processes them in).
+        let mut consumers: Vec<BTreeMap<usize, Vec<RingConsumer<In>>>> =
+            (0..w_count).map(|_| BTreeMap::new()).collect();
+        for (feed, (&site, ring)) in sites.iter().zip(&rings).enumerate() {
+            let shard = site % s_count;
+            handles.push(ShardFeed::new(
+                Arc::clone(ring),
+                feed,
+                site,
+                shard,
+                cfg.backpressure_policy(),
+                deletions_ok,
+            ));
+            consumers[shard % w_count]
+                .entry(shard)
+                .or_default()
+                .push(RingConsumer {
+                    ring: Arc::clone(ring),
+                    site,
+                });
+        }
+
+        let mut audit = RunAudit::new(cfg.eps_value(), cfg.probe_period());
+
+        let shards = &mut self.shards;
+        let coord = &mut self.coord;
+        let time = &mut self.time;
+        let f = &mut self.f;
+
+        /// A worker's end-of-round message: per owned shard with work
+        /// this round, `(shard, end-of-round estimate, Σ delta, inputs)`.
+        enum CoordMsg {
+            Round {
+                worker: usize,
+                round: u64,
+                reports: Vec<(usize, i64, i64, u64)>,
+            },
+            Done {
+                worker: usize,
+            },
+        }
+
+        let n_total = std::thread::scope(|scope| {
+            let (res_tx, res_rx) = mpsc::channel::<CoordMsg>();
+            let mut groups: Vec<Vec<&mut T>> = (0..w_count).map(|_| Vec::new()).collect();
+            for (sid, tracker) in shards.iter_mut().enumerate() {
+                groups[sid % w_count].push(tracker);
+            }
+
+            for ((w, mut group), shard_feeds) in groups.into_iter().enumerate().zip(consumers) {
+                let res_tx = res_tx.clone();
+                scope.spawn(move || {
+                    // The worker's shards with feeds, ascending sid.
+                    let mut owned: Vec<OwnedShard<In>> = shard_feeds
+                        .into_iter()
+                        .map(|(sid, feeds)| OwnedShard {
+                            slot: sid / w_count,
+                            sid,
+                            feeds: feeds
+                                .into_iter()
+                                .map(|consumer| FeedState {
+                                    consumer,
+                                    buf: Vec::with_capacity(batch),
+                                    done: false,
+                                })
+                                .collect(),
+                        })
+                        .collect();
+                    let mut round = 0u64;
+                    loop {
+                        let mut reports = Vec::new();
+                        for shard in owned.iter_mut() {
+                            let mut sum = 0i64;
+                            let mut len = 0u64;
+                            let mut est = 0i64;
+                            let mut any = false;
+                            for fs in shard.feeds.iter_mut() {
+                                if fs.done {
+                                    continue;
+                                }
+                                fs.buf.clear();
+                                // Blocks until the feed delivers this
+                                // round's inputs or closes — a lagging
+                                // feed stalls only this worker.
+                                fs.consumer.pop_round(&mut fs.buf, batch);
+                                if fs.buf.len() < batch {
+                                    fs.done = true;
+                                }
+                                if fs.buf.is_empty() {
+                                    continue;
+                                }
+                                sum += fs.buf.iter().map(|x| x.delta_of()).sum::<i64>();
+                                len += fs.buf.len() as u64;
+                                est = group[shard.slot].update_run(fs.consumer.site, &fs.buf);
+                                any = true;
+                            }
+                            if any {
+                                reports.push((shard.sid, est, sum, len));
+                            }
+                        }
+                        // Feed rounds are contiguous from 0, so the first
+                        // all-empty round means every owned feed is done.
+                        if reports.is_empty() {
+                            let _ = res_tx.send(CoordMsg::Done { worker: w });
+                            break;
+                        }
+                        if res_tx
+                            .send(CoordMsg::Round {
+                                worker: w,
+                                round,
+                                reports,
+                            })
+                            .is_err()
+                        {
+                            break;
+                        }
+                        round += 1;
+                    }
+                });
+            }
+            drop(res_tx);
+
+            // The coordinator: runs on its own scoped thread so merging
+            // boundary r overlaps the workers' ingestion of r+1.
+            let audit_ref = &mut audit;
+            let coordinator = scope.spawn(move || {
+                let mut n: u64 = 0;
+                // next_watermark[w]: lowest round worker w might still
+                // report (MAX once done). Worker messages arrive in round
+                // order per worker, so a round below every watermark is
+                // complete and can be reconciled.
+                let mut next_watermark = vec![0u64; w_count];
+                let mut pending: BTreeMap<u64, Vec<(usize, i64, i64, u64)>> = BTreeMap::new();
+                let mut next_round = 0u64;
+                for msg in res_rx {
+                    match msg {
+                        CoordMsg::Round {
+                            worker,
+                            round,
+                            reports,
+                        } => {
+                            pending.entry(round).or_default().extend(reports);
+                            next_watermark[worker] = round + 1;
+                        }
+                        CoordMsg::Done { worker } => {
+                            next_watermark[worker] = u64::MAX;
+                        }
+                    }
+                    let ready = next_watermark.iter().copied().min().unwrap_or(u64::MAX);
+                    while next_round < ready {
+                        let Some(mut reports) = pending.remove(&next_round) else {
+                            // Rounds are dense: no entry means every
+                            // produced round is already reconciled.
+                            break;
+                        };
+                        // Same per-boundary order as run_parted: fold the
+                        // ground truth, then absorb shard estimates in
+                        // shard order, then audit the boundary.
+                        reports.sort_unstable_by_key(|&(sid, ..)| sid);
+                        for &(_, _, sum, len) in &reports {
+                            *f += sum;
+                            *time += len as Time;
+                            n += len;
+                        }
+                        for &(sid, est, ..) in &reports {
+                            coord.absorb(sid, est);
+                        }
+                        audit_ref.boundary(*time, *f, coord.estimate());
+                        next_round += 1;
+                    }
+                }
+                n
+            });
+
+            feeder(handles);
+            // The feeder has returned: force-close every ring so stashed
+            // or leaked handles cannot wedge the workers.
+            for ring in &rings {
+                ring.close();
+            }
+            coordinator.join().expect("engine coordinator panicked")
+        });
+
+        for ring in &rings {
+            ring.drain_stats(&mut self.ingest_stats);
+        }
+
+        Ok(self.finish_report(n_total, audit, started))
+    }
+
+    /// Assemble the report shared by the ingestion paths (all execution
     /// borrows have ended by the time this runs).
     fn finish_report(&self, n: u64, audit: RunAudit, started: Instant) -> EngineReport {
         EngineReport {
@@ -749,6 +1044,7 @@ where
             max_boundary_rel_err: audit.max_err,
             tracker_stats: self.tracker_stats(),
             merge_stats: self.coord.stats().clone(),
+            ingest_stats: self.ingest_stats.clone(),
             probes: audit.probes,
             elapsed: started.elapsed(),
         }
@@ -1026,6 +1322,137 @@ mod tests {
         ));
         // Nothing ran: validation precedes execution.
         assert_eq!(engine.time(), 0);
+    }
+
+    #[test]
+    fn pipelined_ingest_is_bit_identical_to_parted_ingest() {
+        let updates = WalkGen::fair(5).updates(32_000, RoundRobin::new(4));
+        let mut feeds: Vec<(usize, Vec<i64>)> = (0..4).map(|s| (s, Vec::new())).collect();
+        for u in &updates {
+            feeds[u.site].1.push(u.delta);
+        }
+        let feed_slices: Vec<(usize, &[i64])> =
+            feeds.iter().map(|(s, v)| (*s, v.as_slice())).collect();
+        let sites: Vec<usize> = feeds.iter().map(|(s, _)| *s).collect();
+
+        let cfg = EngineConfig::new(4, 1_000);
+        let mut parted = ShardedEngine::counters(det_spec(4), cfg).unwrap();
+        let parted_report = parted.run_parted(&feed_slices).unwrap();
+
+        for workers in [4usize, 2, 1] {
+            let mut piped = ShardedEngine::counters(det_spec(4), cfg.workers(workers)).unwrap();
+            let report = piped
+                .run_pipelined(&sites, |handles| {
+                    // One producer thread per feed: the deployment shape.
+                    std::thread::scope(|s| {
+                        for (mut handle, (_, data)) in handles.into_iter().zip(&feeds) {
+                            s.spawn(move || {
+                                for chunk in data.chunks(333) {
+                                    handle.push_batch(chunk).unwrap();
+                                }
+                            });
+                        }
+                    });
+                })
+                .unwrap();
+            assert_eq!(report.n, parted_report.n, "W={workers}");
+            assert_eq!(report.batches, parted_report.batches);
+            assert_eq!(report.final_f, parted_report.final_f);
+            assert_eq!(report.final_estimate, parted_report.final_estimate);
+            assert_eq!(piped.shard_estimates(), parted.shard_estimates());
+            assert_eq!(piped.tracker_stats(), parted.tracker_stats());
+            assert_eq!(piped.merge_stats(), parted.merge_stats());
+            // The transport is charged on its own ledger, in full.
+            assert_eq!(report.ingest_stats.items, updates.len() as u64);
+            assert_eq!(report.ingest_stats.words, updates.len() as u64);
+            assert!(report.ingest_stats.frames > 0);
+        }
+    }
+
+    #[test]
+    fn pipelined_single_feeder_thread_with_blocking_backpressure() {
+        // One thread round-robining chunks across all handles, chunks no
+        // larger than the queue capacity: the documented safe schedule
+        // for a single Block-policy producer.
+        let n_per_site = 5_000usize;
+        let feeds: Vec<Vec<i64>> = (0..3).map(|_| vec![1i64; n_per_site]).collect();
+        let cfg = EngineConfig::new(3, 256).queue_capacity(128);
+        let mut parted = ShardedEngine::counters(det_spec(3), cfg).unwrap();
+        let slices: Vec<(usize, &[i64])> = feeds
+            .iter()
+            .enumerate()
+            .map(|(s, v)| (s, v.as_slice()))
+            .collect();
+        parted.run_parted(&slices).unwrap();
+
+        let mut piped = ShardedEngine::counters(det_spec(3), cfg).unwrap();
+        let report = piped
+            .run_pipelined(&[0, 1, 2], |mut handles| {
+                let mut at = [0usize; 3];
+                loop {
+                    let mut progressed = false;
+                    for (i, handle) in handles.iter_mut().enumerate() {
+                        if at[i] < n_per_site {
+                            let hi = (at[i] + 100).min(n_per_site);
+                            handle.push_batch(&feeds[i][at[i]..hi]).unwrap();
+                            at[i] = hi;
+                            progressed = true;
+                        }
+                    }
+                    if !progressed {
+                        break;
+                    }
+                }
+            })
+            .unwrap();
+        assert_eq!(report.final_f, 3 * n_per_site as i64);
+        assert_eq!(piped.shard_estimates(), parted.shard_estimates());
+        assert_eq!(piped.merge_stats(), parted.merge_stats());
+        // Every input went through the bounded transport (whether any
+        // push stalled is consumer-pace-dependent; the guaranteed-stall
+        // case lives in tests/pipeline_equivalence.rs with a 1-slot
+        // queue, where no chunk can ever land in one shot).
+        assert_eq!(report.ingest_stats.items, 3 * n_per_site as u64);
+        assert_eq!(report.ingest_stats.dropped, 0);
+    }
+
+    #[test]
+    fn pipelined_rejects_bad_sites_and_zero_capacity() {
+        let mut engine = ShardedEngine::counters(det_spec(2), EngineConfig::new(2, 16)).unwrap();
+        let err = engine.run_pipelined(&[0, 9], |_| {}).unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::Run(RunError::SiteOutOfRange { site: 9, k: 2, .. })
+        ));
+        assert_eq!(engine.time(), 0);
+
+        let err = ShardedEngine::counters(det_spec(2), EngineConfig::new(2, 16).queue_capacity(0))
+            .unwrap_err();
+        assert_eq!(err, EngineError::ZeroQueueCapacity);
+    }
+
+    #[test]
+    fn pipelined_empty_run_and_leaked_handle_terminate() {
+        let mut engine = ShardedEngine::counters(det_spec(2), EngineConfig::new(2, 16)).unwrap();
+        // No feeds at all.
+        let report = engine
+            .run_pipelined(&[], |handles| assert!(handles.is_empty()))
+            .unwrap();
+        assert_eq!((report.n, report.batches), (0, 0));
+
+        // A handle stashed past the feeder closure is force-closed by the
+        // engine, so the run still terminates and the data still lands.
+        let mut stash = None;
+        let report = engine
+            .run_pipelined(&[0], |mut handles| {
+                let mut h = handles.pop().unwrap();
+                h.push_batch(&[1, 1, 1]).unwrap();
+                stash = Some(h);
+            })
+            .unwrap();
+        assert_eq!(report.n, 3);
+        let mut leaked = stash.unwrap();
+        assert_eq!(leaked.push(1), Err(crate::FeedError::Closed { pushed: 0 }));
     }
 
     #[test]

@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod codec;
+pub mod ingest;
 pub mod message;
 pub mod protocol;
 pub mod runner;
@@ -35,6 +36,7 @@ pub mod sim;
 pub mod stats;
 
 pub use codec::{CodecError, Dec, Enc};
+pub use ingest::{FeedFrame, IngestStats};
 pub use message::{MsgKind, MsgRecord, WireSize};
 pub use protocol::{CoordOutbox, CoordinatorNode, DownMsg, Outbox, SiteNode};
 pub use runner::{

@@ -72,8 +72,8 @@ pub mod prelude {
     pub use dsv_core::tracing::{HistorySummary, TracingRecorder};
     pub use dsv_core::variability::{Variability, VariabilityMeter};
     pub use dsv_engine::{
-        CounterEngine, EngineCheckpoint, EngineConfig, EngineError, EngineReport, InputDelta,
-        ItemEngine, Partition, ShardRecord, ShardedEngine,
+        Backpressure, CounterEngine, EngineCheckpoint, EngineConfig, EngineError, EngineReport,
+        FeedError, InputDelta, ItemEngine, Partition, ShardFeed, ShardRecord, ShardedEngine,
     };
     pub use dsv_gen::{
         assign_updates, prefix_values, AdversarialGen, DeltaGen, FlipFamilyGen, HashAssign,
@@ -81,7 +81,7 @@ pub mod prelude {
         SiteAssign, WalkGen,
     };
     pub use dsv_net::{
-        relative_error, relative_error_floored, CommStats, ConfigError, ErrorProbe, ItemUpdate,
-        RunReport, ShardReport, StarSim, TrackerRunner, Update,
+        relative_error, relative_error_floored, CommStats, ConfigError, ErrorProbe, FeedFrame,
+        IngestStats, ItemUpdate, RunReport, ShardReport, StarSim, TrackerRunner, Update,
     };
 }
