@@ -13,6 +13,7 @@
 #
 #   ./ci.sh                            # default features
 #   DSV_FEATURES=async-ingest ./ci.sh  # the async-ingest feature seam
+#   DSV_FEATURES=remote ./ci.sh        # distributed shards + failover
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -146,6 +147,20 @@ step "checkpoint/resume smoke gate (example checkpoint_restore)"
 # (enforced like the e16 throughput gate); the full per-kind matrix
 # lives in tests/engine_checkpoint.rs.
 cargo run -q --release ${FEATURE_FLAGS[@]+"${FEATURE_FLAGS[@]}"} --example checkpoint_restore
+
+case " ${DSV_FEATURES:-} " in *remote*)
+    step "remote failover smoke gate (example remote_failover, 9th example)"
+    # Spawns two dsv-shard-server worker processes behind a Unix-domain
+    # socket (TCP loopback off unix), SIGKILLs one mid-stream, and asserts
+    # the coordinator respawns the slot, restores from the last
+    # auto-checkpoint, replays the gap, and ends bit-identical to the
+    # in-process engine. The example's asserts make it a gate; the full
+    # kind × transport × fault matrix lives in tests/remote_equivalence.rs
+    # and tests/failover_injection.rs (run in the workspace-test step of
+    # this matrix job via required-features).
+    cargo run -q --release ${FEATURE_FLAGS[@]+"${FEATURE_FLAGS[@]}"} --example remote_failover > /dev/null
+    ;;
+esac
 
 step "cargo bench --no-run --workspace (compile all 19 bench targets)"
 cargo bench --no-run --workspace ${FEATURE_FLAGS[@]+"${FEATURE_FLAGS[@]}"}

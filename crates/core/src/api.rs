@@ -839,6 +839,57 @@ impl TrackerSpec {
         self
     }
 
+    /// Append this spec to a wire payload. The remote sharded engine
+    /// ships the coordinator's spec to shard-server processes so both
+    /// sides build bit-identical trackers; round-trips exactly through
+    /// [`TrackerSpec::decode`].
+    pub fn encode(&self, enc: &mut Enc) {
+        enc.u8(crate::codec::kind_tag(self.kind));
+        enc.usize(self.k);
+        enc.f64(self.eps);
+        enc.u64(self.seed);
+        enc.bool(self.universe.is_some());
+        if let Some(u) = self.universe {
+            enc.usize(u);
+        }
+        enc.bool(self.sample_const.is_some());
+        if let Some(c) = self.sample_const {
+            enc.f64(c);
+        }
+        enc.bool(self.deletions);
+    }
+
+    /// Decode a spec written by [`TrackerSpec::encode`]. Unknown kind
+    /// tags and malformed optionals are typed [`CodecError`]s; parameter
+    /// *validity* is still checked at build time, exactly as for a
+    /// locally constructed spec.
+    pub fn decode(dec: &mut Dec) -> Result<Self, CodecError> {
+        let tag = dec.u8()?;
+        let kind = crate::codec::kind_from_tag(tag).ok_or(CodecError::BadTag {
+            what: "tracker kind",
+            tag: tag as u64,
+        })?;
+        let k = dec.usize()?;
+        let eps = dec.f64()?;
+        let seed = dec.u64()?;
+        let universe = if dec.bool()? {
+            Some(dec.usize()?)
+        } else {
+            None
+        };
+        let sample_const = if dec.bool()? { Some(dec.f64()?) } else { None };
+        let deletions = dec.bool()?;
+        Ok(TrackerSpec {
+            kind,
+            k,
+            eps,
+            seed,
+            universe,
+            sample_const,
+            deletions,
+        })
+    }
+
     /// Shared parameter validation for both build paths.
     fn validate(&self, expected: Problem) -> Result<(), BuildError> {
         if self.kind.problem() != expected {
@@ -1352,6 +1403,51 @@ mod tests {
 
     fn counter_spec(kind: TrackerKind, k: usize) -> TrackerSpec {
         TrackerSpec::new(kind).k(k).eps(0.2).seed(7)
+    }
+
+    #[test]
+    fn spec_wire_codec_round_trips_every_kind_and_rejects_junk() {
+        for kind in TrackerKind::ALL {
+            let spec = TrackerSpec::new(kind)
+                .k(5)
+                .eps(0.173)
+                .seed(0xDEAD_BEEF)
+                .universe(96)
+                .sample_const(4.5)
+                .deletions(kind.supports_deletions());
+            let mut enc = Enc::new();
+            spec.encode(&mut enc);
+            let bytes = enc.into_bytes();
+            let mut dec = Dec::new(&bytes);
+            let back = TrackerSpec::decode(&mut dec).unwrap();
+            dec.finish().unwrap();
+            assert_eq!(back, spec, "{}", kind.label());
+
+            // Every truncation is a typed error, never a panic.
+            for cut in 0..bytes.len() {
+                assert!(
+                    TrackerSpec::decode(&mut Dec::new(&bytes[..cut])).is_err(),
+                    "{}: cut at {cut}",
+                    kind.label()
+                );
+            }
+        }
+        // Defaults (all optionals unset) round-trip too.
+        let spec = TrackerSpec::new(TrackerKind::Deterministic);
+        let mut enc = Enc::new();
+        spec.encode(&mut enc);
+        let mut dec = Dec::new(enc.as_bytes());
+        assert_eq!(TrackerSpec::decode(&mut dec).unwrap(), spec);
+        // An unknown kind tag is a typed BadTag.
+        let mut junk = Enc::new();
+        junk.u8(0xEE);
+        assert!(matches!(
+            TrackerSpec::decode(&mut Dec::new(junk.as_bytes())),
+            Err(CodecError::BadTag {
+                what: "tracker kind",
+                ..
+            })
+        ));
     }
 
     #[test]

@@ -18,6 +18,7 @@ use dsv_net::Time;
 /// | [`workers`](Self::workers) | `= shards` | Worker threads executing the shard replicas |
 /// | [`backpressure`](Self::backpressure) | [`Backpressure::Block`] | Full-queue policy for pipelined feeds |
 /// | [`queue_capacity`](Self::queue_capacity) | `2 × batch` | Bounded capacity of each pipelined feed queue, in inputs |
+/// | [`checkpoint_every`](Self::checkpoint_every) | `0` (off) | Auto-checkpoint sink period, in batch boundaries |
 ///
 /// **Shards vs workers.** `shards` is the *logical* partitioning: how many
 /// tracker replicas the stream is split across. It is part of the engine's
@@ -39,6 +40,7 @@ pub struct EngineConfig {
     workers: usize,
     backpressure: Backpressure,
     queue_capacity: Option<usize>,
+    checkpoint_every: u64,
 }
 
 impl EngineConfig {
@@ -54,7 +56,19 @@ impl EngineConfig {
             workers: 0,
             backpressure: Backpressure::Block,
             queue_capacity: None,
+            checkpoint_every: 0,
         }
+    }
+
+    /// Auto-checkpoint each shard every `every` batch boundaries (default
+    /// 0 = never). The remote engine uses this as its durability sink:
+    /// shard state captured every N boundaries bounds how much stream a
+    /// failover has to replay. Checkpoint traffic is charged to the
+    /// separate `checkpoint_stats` ledger, so the period never perturbs
+    /// tracker/merge equivalence.
+    pub fn checkpoint_every(mut self, every: u64) -> Self {
+        self.checkpoint_every = every;
+        self
     }
 
     /// Full-queue policy for pipelined feed pushes (default
@@ -148,6 +162,11 @@ impl EngineConfig {
     /// overridden).
     pub fn queue_capacity_value(&self) -> usize {
         self.queue_capacity.unwrap_or(2 * self.batch)
+    }
+
+    /// The auto-checkpoint period in batch boundaries (0 = never).
+    pub fn checkpoint_period(&self) -> u64 {
+        self.checkpoint_every
     }
 
     pub(crate) fn validate(&self) -> Result<(), EngineError> {

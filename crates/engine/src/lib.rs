@@ -68,6 +68,8 @@ mod config;
 pub mod ingest;
 mod merge;
 mod partition;
+#[cfg(feature = "remote")]
+pub mod remote;
 mod report;
 mod sharded;
 

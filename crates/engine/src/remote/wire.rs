@@ -1,0 +1,549 @@
+//! The coordinator ↔ shard-worker wire protocol.
+//!
+//! Every protocol message is one transport frame (see
+//! `dsv_net::transport`): a versioned envelope (magic [`WIRE_MAGIC`] +
+//! `u16` [`WIRE_VERSION`]), a `u8` message tag, then the fields, all
+//! encoded with the workspace codec (`dsv_net::codec`). Decoding is
+//! panic-free and exact — truncation, corruption, unknown tags, and
+//! trailing bytes are typed [`CodecError`]s — and the corruption gauntlet
+//! in `tests/failover_injection.rs` drives every byte of every message
+//! shape through the decoder to hold it to that.
+//!
+//! The payloads reuse the already wire-sized model types: round chunks
+//! are the per-site runs `run_parted` dispatches, checkpoint states are
+//! the same versioned `TrackerState` envelopes the in-process seam
+//! serializes, and boundary reports carry exactly the `(shard, estimate,
+//! Σδ, length)` tuples the in-process merge path reconciles — which is
+//! why a remote run can be bit-identical to the in-process one.
+
+use dsv_core::api::TrackerSpec;
+use dsv_core::codec::TrackerState;
+use dsv_net::codec::{CodecError, Dec, Enc};
+
+/// Magic bytes opening every remote-protocol message.
+pub const WIRE_MAGIC: [u8; 4] = *b"DSVR";
+
+/// Current remote-protocol version. A peer speaking a newer version is a
+/// typed [`CodecError::UnsupportedVersion`], surfaced before any shard
+/// state moves.
+pub const WIRE_VERSION: u16 = 1;
+
+/// One shard's inputs for one round — the per-problem input payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Inputs {
+    /// Counter-stream deltas (`In = i64`).
+    Counts(Vec<i64>),
+    /// Item-stream updates (`In = (item, δ)`).
+    Items(Vec<(u64, i64)>),
+}
+
+impl Inputs {
+    /// Number of inputs carried.
+    pub fn len(&self) -> usize {
+        match self {
+            Inputs::Counts(v) => v.len(),
+            Inputs::Items(v) => v.len(),
+        }
+    }
+
+    /// Whether no inputs are carried.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn encode(&self, enc: &mut Enc) {
+        match self {
+            Inputs::Counts(v) => {
+                enc.u8(1);
+                enc.seq_i64(v);
+            }
+            Inputs::Items(v) => {
+                enc.u8(2);
+                enc.seq_len(v.len());
+                for &(item, delta) in v {
+                    enc.u64(item);
+                    enc.i64(delta);
+                }
+            }
+        }
+    }
+
+    fn decode(dec: &mut Dec) -> Result<Self, CodecError> {
+        match dec.u8()? {
+            1 => Ok(Inputs::Counts(dec.seq_i64("count inputs")?)),
+            2 => {
+                let n = dec.seq_len("item inputs", 16)?;
+                let mut v = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let item = dec.u64()?;
+                    let delta = dec.i64()?;
+                    v.push((item, delta));
+                }
+                Ok(Inputs::Items(v))
+            }
+            tag => Err(CodecError::BadTag {
+                what: "input payload",
+                tag: tag as u64,
+            }),
+        }
+    }
+}
+
+/// One shard's work within a round: the contiguous input run of one feed,
+/// exactly as `run_parted` would dispatch it in-process. Chunks arrive in
+/// feed order, which is what keeps the last-report-per-shard rule (and so
+/// the merge ledger) identical to the in-process path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Chunk {
+    /// The logical shard the inputs belong to.
+    pub sid: usize,
+    /// The site the feed carries.
+    pub site: usize,
+    /// The inputs, in feed arrival order.
+    pub inputs: Inputs,
+}
+
+/// A shard to (re)install on a worker: its id and the checkpoint state to
+/// restore (`None` builds a fresh replica — a shard that has never been
+/// checkpointed).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardInit {
+    /// The logical shard id.
+    pub sid: usize,
+    /// The state to restore, if any.
+    pub state: Option<TrackerState>,
+}
+
+/// Coordinator → worker messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ToWorker {
+    /// Install the worker's replica set: build (or restore) one tracker
+    /// per shard from `spec.shard(sid)`. Sent once after the handshake,
+    /// and again in full to a respawned replacement.
+    Assign {
+        /// The coordinator's tracker spec (workers derive per-shard
+        /// replicas via `TrackerSpec::shard`).
+        spec: TrackerSpec,
+        /// Total logical shard count `S` (diagnostics / sanity).
+        s_count: usize,
+        /// The shards this worker must own, with restore states.
+        shards: Vec<ShardInit>,
+    },
+    /// Add shards to an already-assigned worker — the reattach path,
+    /// migrating a dead worker's shards onto a live one.
+    Attach {
+        /// The shards to add, with restore states.
+        shards: Vec<ShardInit>,
+    },
+    /// Process one round of chunks (in the given order) and reply with a
+    /// [`ToCoord::RoundReport`].
+    Round {
+        /// Round number (0-based within the current ingestion call).
+        round: u64,
+        /// Milliseconds to sleep before processing — 0 in production;
+        /// nonzero only under an injected delay fault, so the
+        /// coordinator's read timeout fires against a live-but-stalled
+        /// worker.
+        delay_ms: u64,
+        /// The work, in feed order.
+        chunks: Vec<Chunk>,
+    },
+    /// Snapshot the named shards and reply with a
+    /// [`ToCoord::CheckpointReport`].
+    Checkpoint {
+        /// The (dirty) shards to snapshot.
+        shards: Vec<usize>,
+    },
+    /// Shut down cleanly.
+    Finish,
+}
+
+impl ToWorker {
+    /// Encode to one transport frame payload.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut enc = Enc::new();
+        enc.magic(WIRE_MAGIC, WIRE_VERSION);
+        match self {
+            ToWorker::Assign {
+                spec,
+                s_count,
+                shards,
+            } => {
+                enc.u8(1);
+                spec.encode(&mut enc);
+                enc.usize(*s_count);
+                encode_shard_inits(&mut enc, shards);
+            }
+            ToWorker::Attach { shards } => {
+                enc.u8(2);
+                encode_shard_inits(&mut enc, shards);
+            }
+            ToWorker::Round {
+                round,
+                delay_ms,
+                chunks,
+            } => {
+                enc.u8(3);
+                enc.u64(*round);
+                enc.u64(*delay_ms);
+                enc.seq_len(chunks.len());
+                for chunk in chunks {
+                    enc.usize(chunk.sid);
+                    enc.usize(chunk.site);
+                    chunk.inputs.encode(&mut enc);
+                }
+            }
+            ToWorker::Checkpoint { shards } => {
+                enc.u8(4);
+                enc.seq_len(shards.len());
+                for &sid in shards {
+                    enc.usize(sid);
+                }
+            }
+            ToWorker::Finish => enc.u8(5),
+        }
+        enc.into_bytes()
+    }
+
+    /// Decode one transport frame payload; must consume it exactly.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut dec = Dec::new(bytes);
+        dec.magic(WIRE_MAGIC, WIRE_VERSION)?;
+        let msg = match dec.u8()? {
+            1 => {
+                let spec = TrackerSpec::decode(&mut dec)?;
+                let s_count = dec.usize()?;
+                let shards = decode_shard_inits(&mut dec)?;
+                ToWorker::Assign {
+                    spec,
+                    s_count,
+                    shards,
+                }
+            }
+            2 => ToWorker::Attach {
+                shards: decode_shard_inits(&mut dec)?,
+            },
+            3 => {
+                let round = dec.u64()?;
+                let delay_ms = dec.u64()?;
+                let n = dec.seq_len("round chunks", 17)?;
+                let mut chunks = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let sid = dec.usize()?;
+                    let site = dec.usize()?;
+                    let inputs = Inputs::decode(&mut dec)?;
+                    chunks.push(Chunk { sid, site, inputs });
+                }
+                ToWorker::Round {
+                    round,
+                    delay_ms,
+                    chunks,
+                }
+            }
+            4 => {
+                let n = dec.seq_len("checkpoint shards", 8)?;
+                let shards = (0..n).map(|_| dec.usize()).collect::<Result<_, _>>()?;
+                ToWorker::Checkpoint { shards }
+            }
+            5 => ToWorker::Finish,
+            tag => {
+                return Err(CodecError::BadTag {
+                    what: "coordinator message",
+                    tag: tag as u64,
+                })
+            }
+        };
+        dec.finish()?;
+        Ok(msg)
+    }
+}
+
+fn encode_shard_inits(enc: &mut Enc, shards: &[ShardInit]) {
+    enc.seq_len(shards.len());
+    for init in shards {
+        enc.usize(init.sid);
+        match &init.state {
+            Some(state) => {
+                enc.bool(true);
+                enc.blob(&state.to_bytes());
+            }
+            None => enc.bool(false),
+        }
+    }
+}
+
+fn decode_shard_inits(dec: &mut Dec) -> Result<Vec<ShardInit>, CodecError> {
+    let n = dec.seq_len("assigned shards", 9)?;
+    let mut shards = Vec::with_capacity(n);
+    for _ in 0..n {
+        let sid = dec.usize()?;
+        let state = if dec.bool()? {
+            Some(TrackerState::from_bytes(dec.blob()?)?)
+        } else {
+            None
+        };
+        shards.push(ShardInit { sid, state });
+    }
+    Ok(shards)
+}
+
+/// One shard's end-of-round report: the tuple the in-process merge path
+/// reconciles — end-of-round local estimate, the round's ground-truth
+/// increment, and the inputs consumed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundEntry {
+    /// The reporting shard.
+    pub sid: usize,
+    /// Its local estimate after this round's chunks.
+    pub estimate: i64,
+    /// Sum of the round's deltas at this shard (ground truth).
+    pub sum: i64,
+    /// Inputs consumed this round at this shard.
+    pub len: u64,
+}
+
+/// Worker → coordinator messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ToCoord {
+    /// Reply to [`ToWorker::Assign`] / [`ToWorker::Attach`]: empty
+    /// `error` on success, a human-readable build/restore failure
+    /// otherwise.
+    AssignAck {
+        /// Empty on success.
+        error: String,
+    },
+    /// Reply to [`ToWorker::Round`].
+    RoundReport {
+        /// Echo of the round number (protocol sanity).
+        round: u64,
+        /// One entry per shard that received chunks, ascending sid.
+        reports: Vec<RoundEntry>,
+    },
+    /// Reply to [`ToWorker::Checkpoint`].
+    CheckpointReport {
+        /// The requested shards' serialized states.
+        states: Vec<(usize, TrackerState)>,
+    },
+}
+
+impl ToCoord {
+    /// Encode to one transport frame payload.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut enc = Enc::new();
+        enc.magic(WIRE_MAGIC, WIRE_VERSION);
+        match self {
+            ToCoord::AssignAck { error } => {
+                enc.u8(1);
+                enc.blob(error.as_bytes());
+            }
+            ToCoord::RoundReport { round, reports } => {
+                enc.u8(2);
+                enc.u64(*round);
+                enc.seq_len(reports.len());
+                for r in reports {
+                    enc.usize(r.sid);
+                    enc.i64(r.estimate);
+                    enc.i64(r.sum);
+                    enc.u64(r.len);
+                }
+            }
+            ToCoord::CheckpointReport { states } => {
+                enc.u8(3);
+                enc.seq_len(states.len());
+                for (sid, state) in states {
+                    enc.usize(*sid);
+                    enc.blob(&state.to_bytes());
+                }
+            }
+        }
+        enc.into_bytes()
+    }
+
+    /// Decode one transport frame payload; must consume it exactly.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut dec = Dec::new(bytes);
+        dec.magic(WIRE_MAGIC, WIRE_VERSION)?;
+        let msg = match dec.u8()? {
+            1 => ToCoord::AssignAck {
+                error: String::from_utf8(dec.blob()?.to_vec()).map_err(|_| {
+                    CodecError::BadValue {
+                        what: "assign ack error string",
+                    }
+                })?,
+            },
+            2 => {
+                let round = dec.u64()?;
+                let n = dec.seq_len("round reports", 32)?;
+                let mut reports = Vec::with_capacity(n);
+                for _ in 0..n {
+                    reports.push(RoundEntry {
+                        sid: dec.usize()?,
+                        estimate: dec.i64()?,
+                        sum: dec.i64()?,
+                        len: dec.u64()?,
+                    });
+                }
+                ToCoord::RoundReport { round, reports }
+            }
+            3 => {
+                let n = dec.seq_len("checkpoint states", 9)?;
+                let mut states = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let sid = dec.usize()?;
+                    let state = TrackerState::from_bytes(dec.blob()?)?;
+                    states.push((sid, state));
+                }
+                ToCoord::CheckpointReport { states }
+            }
+            tag => {
+                return Err(CodecError::BadTag {
+                    what: "worker message",
+                    tag: tag as u64,
+                })
+            }
+        };
+        dec.finish()?;
+        Ok(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsv_core::api::TrackerKind;
+
+    fn sample_messages() -> (Vec<ToWorker>, Vec<ToCoord>) {
+        let spec = TrackerSpec::new(TrackerKind::Randomized)
+            .k(3)
+            .eps(0.2)
+            .seed(11)
+            .deletions(true);
+        let state = TrackerState::new(TrackerKind::Randomized, 3, vec![9; 24]);
+        let to_worker = vec![
+            ToWorker::Assign {
+                spec,
+                s_count: 4,
+                shards: vec![
+                    ShardInit {
+                        sid: 0,
+                        state: None,
+                    },
+                    ShardInit {
+                        sid: 2,
+                        state: Some(state.clone()),
+                    },
+                ],
+            },
+            ToWorker::Attach {
+                shards: vec![ShardInit {
+                    sid: 3,
+                    state: Some(state.clone()),
+                }],
+            },
+            ToWorker::Round {
+                round: 7,
+                delay_ms: 0,
+                chunks: vec![
+                    Chunk {
+                        sid: 0,
+                        site: 0,
+                        inputs: Inputs::Counts(vec![1, -1, 1]),
+                    },
+                    Chunk {
+                        sid: 2,
+                        site: 2,
+                        inputs: Inputs::Items(vec![(5, 1), (9, -1)]),
+                    },
+                ],
+            },
+            ToWorker::Checkpoint { shards: vec![0, 2] },
+            ToWorker::Finish,
+        ];
+        let to_coord = vec![
+            ToCoord::AssignAck {
+                error: String::new(),
+            },
+            ToCoord::AssignAck {
+                error: "k mismatch".to_string(),
+            },
+            ToCoord::RoundReport {
+                round: 7,
+                reports: vec![
+                    RoundEntry {
+                        sid: 0,
+                        estimate: 1,
+                        sum: 1,
+                        len: 3,
+                    },
+                    RoundEntry {
+                        sid: 2,
+                        estimate: -4,
+                        sum: 0,
+                        len: 2,
+                    },
+                ],
+            },
+            ToCoord::CheckpointReport {
+                states: vec![(2, state)],
+            },
+        ];
+        (to_worker, to_coord)
+    }
+
+    #[test]
+    fn every_message_shape_round_trips() {
+        let (to_worker, to_coord) = sample_messages();
+        for msg in &to_worker {
+            assert_eq!(&ToWorker::from_bytes(&msg.to_bytes()).unwrap(), msg);
+        }
+        for msg in &to_coord {
+            assert_eq!(&ToCoord::from_bytes(&msg.to_bytes()).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn truncation_at_every_byte_is_a_typed_error() {
+        let (to_worker, to_coord) = sample_messages();
+        for msg in &to_worker {
+            let bytes = msg.to_bytes();
+            for cut in 0..bytes.len() {
+                assert!(ToWorker::from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
+            }
+        }
+        for msg in &to_coord {
+            let bytes = msg.to_bytes();
+            for cut in 0..bytes.len() {
+                assert!(ToCoord::from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn envelope_and_tag_corruption_are_specific_errors() {
+        let bytes = ToWorker::Finish.to_bytes();
+        let mut alien = bytes.clone();
+        alien[0] = b'X';
+        assert!(matches!(
+            ToWorker::from_bytes(&alien),
+            Err(CodecError::BadMagic { .. })
+        ));
+        let mut future = bytes.clone();
+        future[4] = (WIRE_VERSION + 1) as u8;
+        assert!(matches!(
+            ToWorker::from_bytes(&future),
+            Err(CodecError::UnsupportedVersion { .. })
+        ));
+        let mut bad_tag = bytes.clone();
+        bad_tag[6] = 0xEE;
+        assert!(matches!(
+            ToWorker::from_bytes(&bad_tag),
+            Err(CodecError::BadTag { .. })
+        ));
+        let mut trailing = bytes;
+        trailing.push(0);
+        assert!(matches!(
+            ToWorker::from_bytes(&trailing),
+            Err(CodecError::Trailing { left: 1 })
+        ));
+    }
+}

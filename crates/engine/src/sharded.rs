@@ -7,7 +7,7 @@ use crate::merge::MergeCoordinator;
 use crate::partition::{hash_item, InputDelta, Partition, ShardRecord};
 use crate::report::EngineReport;
 use dsv_core::api::{ItemTracker, RunError, Tracker, TrackerKind, TrackerSpec};
-use dsv_core::codec::{Dec, Enc};
+use dsv_core::codec::{Dec, Enc, TrackerState};
 use dsv_net::{
     relative_error, CommStats, ErrorProbe, IngestStats, MsgKind, SiteId, StateFrame, Time, WireSize,
 };
@@ -152,18 +152,20 @@ struct OwnedShard<In: Copy> {
     feeds: Vec<FeedState<In>>,
 }
 
-/// Run-local audit accumulator (per `run` call).
-struct RunAudit {
+/// Run-local audit accumulator (per `run` call). Shared with the remote
+/// coordinator, which audits the same boundary cut over socket-delivered
+/// reports.
+pub(crate) struct RunAudit {
     eps: f64,
     probe_every: u64,
-    batches: u64,
-    violations: u64,
-    max_err: f64,
-    probes: Vec<ErrorProbe>,
+    pub(crate) batches: u64,
+    pub(crate) violations: u64,
+    pub(crate) max_err: f64,
+    pub(crate) probes: Vec<ErrorProbe>,
 }
 
 impl RunAudit {
-    fn new(eps: f64, probe_every: u64) -> Self {
+    pub(crate) fn new(eps: f64, probe_every: u64) -> Self {
         RunAudit {
             eps,
             probe_every,
@@ -175,7 +177,7 @@ impl RunAudit {
     }
 
     /// Audit one batch boundary: global truth `f` vs merged estimate.
-    fn boundary(&mut self, time: Time, f: i64, fhat: i64) {
+    pub(crate) fn boundary(&mut self, time: Time, f: i64, fhat: i64) {
         self.batches += 1;
         let err = relative_error(f, fhat);
         if err > self.max_err {
@@ -230,6 +232,19 @@ pub struct ShardedEngine<T, In: Copy = i64> {
     /// `ckpt_stats`: the transport must not perturb the ledgers the
     /// pipelined-equivalence guarantee is stated over.
     ingest_stats: IngestStats,
+    /// Inputs dispatched to each shard since its state was last captured
+    /// by [`checkpoint`](Self::checkpoint). Tracker state is a pure
+    /// function of the inputs a replica has consumed, so a zero counter
+    /// proves the shard's snapshot is unchanged — the dirty-shard skip
+    /// that keeps a periodic checkpoint sink from reserializing (and
+    /// re-charging) quiet shards every period. Counting *inputs* rather
+    /// than watching the quiet ledger is deliberate: trackers mutate
+    /// internal state (round counters, samplers) without sending
+    /// messages, so "ledger unchanged" would under-approximate dirtiness.
+    shard_inputs: Vec<u64>,
+    /// Each shard's serialized state as of its last checkpoint capture
+    /// (`None` until first captured). Reused verbatim for clean shards.
+    ckpt_cache: Vec<Option<TrackerState>>,
     time: Time,
     f: i64,
     _in: PhantomData<fn(In) -> In>,
@@ -266,9 +281,11 @@ where
         Ok(ShardedEngine {
             coord: MergeCoordinator::new(cfg.shards_count()),
             shards,
-            cfg,
             ckpt_stats: CommStats::new(),
             ingest_stats: IngestStats::new(),
+            shard_inputs: vec![0; cfg.shards_count()],
+            ckpt_cache: vec![None; cfg.shards_count()],
+            cfg,
             time: 0,
             f: 0,
             _in: PhantomData,
@@ -379,15 +396,27 @@ where
     /// audit run), which is what makes the cut safe — see `DESIGN.md` §6.
     /// Shipping the state off the workers is charged to the dedicated
     /// [`checkpoint_stats`](Self::checkpoint_stats) ledger as one
-    /// [`StateFrame`] per shard.
+    /// [`StateFrame`] per **dirty** shard: a shard that has consumed no
+    /// inputs since its last capture is provably unchanged, so its cached
+    /// serialized state is reused verbatim and nothing is charged — which
+    /// is what keeps a periodic auto-checkpoint sink
+    /// ([`EngineConfig::checkpoint_every`]) from paying full
+    /// serialization cost per boundary on skewed streams.
     pub fn checkpoint(&mut self) -> Result<EngineCheckpoint, EngineError> {
         let mut states = Vec::with_capacity(self.shards.len());
-        for tracker in &self.shards {
-            states.push(tracker.snapshot()?);
-        }
-        for (sid, state) in states.iter().enumerate() {
+        for (sid, tracker) in self.shards.iter().enumerate() {
+            if self.shard_inputs[sid] == 0 {
+                if let Some(cached) = &self.ckpt_cache[sid] {
+                    states.push(cached.clone());
+                    continue;
+                }
+            }
+            let state = tracker.snapshot()?;
             let frame = StateFrame::for_payload(sid, state.payload().len());
             self.ckpt_stats.charge(MsgKind::Up, frame.words());
+            self.ckpt_cache[sid] = Some(state.clone());
+            self.shard_inputs[sid] = 0;
+            states.push(state);
         }
         let mut merge = Enc::new();
         self.coord.save_state(&mut merge);
@@ -468,6 +497,7 @@ where
         let coord = &mut self.coord;
         let time = &mut self.time;
         let f = &mut self.f;
+        let shard_inputs = &mut self.shard_inputs;
 
         if w_count == 1 {
             // One worker (any shard count): batched, but inline — no
@@ -497,6 +527,7 @@ where
                         if buf.is_empty() {
                             continue;
                         }
+                        shard_inputs[site] += buf.len() as u64;
                         let est = shards[site].update_run(site, buf);
                         buf.clear();
                         coord.absorb(site, est);
@@ -506,6 +537,7 @@ where
                         if buf.is_empty() {
                             continue;
                         }
+                        shard_inputs[sid] += buf.len() as u64;
                         let est = shards[sid].update_batch(buf);
                         buf.clear();
                         coord.absorb(sid, est);
@@ -574,6 +606,10 @@ where
                                 continue;
                             }
                             WorkBuf::Batch(std::mem::take(&mut tup_bufs[sid]))
+                        };
+                        shard_inputs[sid] += match &work {
+                            WorkBuf::Run(_, buf) => buf.len() as u64,
+                            WorkBuf::Batch(buf) => buf.len() as u64,
                         };
                         work_txs[sid % w_count]
                             .send((sid / w_count, work))
@@ -668,6 +704,7 @@ where
         let coord = &mut self.coord;
         let time = &mut self.time;
         let f = &mut self.f;
+        let shard_inputs = &mut self.shard_inputs;
 
         let chunk_of = |inputs: &'_ [In], round: usize| {
             let lo = (round * batch).min(inputs.len());
@@ -689,6 +726,7 @@ where
                     let chunk = &inputs[lo..hi];
                     let sum: i64 = chunk.iter().map(|x| x.delta_of()).sum();
                     let sid = site % s_count;
+                    shard_inputs[sid] += chunk.len() as u64;
                     let est = shards[sid].update_run(site, chunk);
                     *time += chunk.len() as Time;
                     *f += sum;
@@ -742,6 +780,7 @@ where
                             continue;
                         }
                         let sid = site % s_count;
+                        shard_inputs[sid] += (hi - lo) as u64;
                         work_txs[sid % w_count]
                             .send((sid / w_count, feed, lo, hi))
                             .expect("shard worker died");
@@ -867,6 +906,7 @@ where
         let coord = &mut self.coord;
         let time = &mut self.time;
         let f = &mut self.f;
+        let shard_inputs = &mut self.shard_inputs;
 
         /// A worker's end-of-round message: per owned shard with work
         /// this round, `(shard, end-of-round estimate, Σ delta, inputs)`.
@@ -998,9 +1038,10 @@ where
                         // ground truth, then absorb shard estimates in
                         // shard order, then audit the boundary.
                         reports.sort_unstable_by_key(|&(sid, ..)| sid);
-                        for &(_, _, sum, len) in &reports {
+                        for &(sid, _, sum, len) in &reports {
                             *f += sum;
                             *time += len as Time;
+                            shard_inputs[sid] += len;
                             n += len;
                         }
                         for &(sid, est, ..) in &reports {

@@ -34,6 +34,7 @@ pub mod runner;
 pub mod shard;
 pub mod sim;
 pub mod stats;
+pub mod transport;
 
 pub use codec::{CodecError, Dec, Enc};
 pub use ingest::{FeedFrame, IngestStats};
@@ -45,6 +46,7 @@ pub use runner::{
 pub use shard::{ShardReport, StateFrame};
 pub use sim::StarSim;
 pub use stats::CommStats;
+pub use transport::{Conn, Endpoint, Listener, TransportError, WireStats};
 
 /// Identifier of a site, in `0..k`.
 pub type SiteId = usize;

@@ -71,6 +71,11 @@ pub mod prelude {
     pub use dsv_core::single_site::SingleSiteTracker;
     pub use dsv_core::tracing::{HistorySummary, TracingRecorder};
     pub use dsv_core::variability::{Variability, VariabilityMeter};
+    #[cfg(feature = "remote")]
+    pub use dsv_engine::remote::{
+        FailoverEvent, FaultKind, FaultPlan, FaultPoint, Recovery, RemoteConfig, RemoteEngine,
+        RemoteError, RemoteTransport, SpawnMode,
+    };
     pub use dsv_engine::{
         Backpressure, CounterEngine, EngineCheckpoint, EngineConfig, EngineError, EngineReport,
         FeedError, InputDelta, ItemEngine, Partition, ShardFeed, ShardRecord, ShardedEngine,

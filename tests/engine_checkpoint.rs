@@ -236,12 +236,64 @@ fn checkpoint_traffic_is_charged_to_its_own_ledger() {
         .map(|s| (s.payload().len() as u64).div_ceil(8))
         .sum();
     assert_eq!(engine.checkpoint_stats().total_words(), payload_words);
-    // Checkpointing twice charges twice; the tracker/merge ledgers are
+    // Checkpointing again with no intervening inputs charges nothing:
+    // every shard is provably clean, so its cached serialized state is
+    // reused (the dirty-shard skip). The tracker/merge ledgers are
     // untouched either way (that is what keeps resume equivalence exact).
     let tracker_stats = engine.tracker_stats();
     let merge_stats = engine.merge_stats().clone();
-    engine.checkpoint().unwrap();
-    assert_eq!(engine.checkpoint_stats().total_messages(), 4);
+    let again = engine.checkpoint().unwrap();
+    assert_eq!(engine.checkpoint_stats().total_messages(), 2);
+    assert_eq!(again, ckpt);
     assert_eq!(engine.tracker_stats(), tracker_stats);
     assert_eq!(engine.merge_stats(), &merge_stats);
+    // New inputs re-dirty the shards they touch, and only those.
+    engine.run(&counter_stream(10, 500, 2, false)).unwrap();
+    engine.checkpoint().unwrap();
+    assert_eq!(engine.checkpoint_stats().total_messages(), 4);
+}
+
+#[test]
+fn skipped_clean_shards_still_restore_bit_identically() {
+    // 4 shards under site-affine routing; after the first checkpoint,
+    // feed only sites 0 and 2 so shards 1 and 3 stay clean. The second
+    // checkpoint must charge exactly the two dirty shards, and resuming
+    // from it (clean shards carried by cached state) must be
+    // bit-identical to the uninterrupted run.
+    let spec = TrackerSpec::new(TrackerKind::Deterministic)
+        .k(4)
+        .eps(0.1)
+        .deletions(true);
+    let cfg = EngineConfig::new(4, 250);
+    let full = counter_stream(31, 8_000, 4, true);
+    let skewed: Vec<Update> = counter_stream(32, 4_000, 2, true)
+        .into_iter()
+        .map(|u| Update::new(u.time, u.site * 2, u.delta)) // sites {0, 2} only
+        .collect();
+
+    let mut straight = ShardedEngine::counters(spec, cfg).unwrap();
+    straight.run(&full).unwrap();
+    straight.run(&skewed).unwrap();
+    let want = fingerprint(&straight);
+
+    let mut engine = ShardedEngine::counters(spec, cfg).unwrap();
+    engine.run(&full).unwrap();
+    engine.checkpoint().unwrap();
+    let base_msgs = engine.checkpoint_stats().total_messages();
+    assert_eq!(base_msgs, 4);
+    engine.run(&skewed).unwrap();
+    let ckpt = engine.checkpoint().unwrap();
+    // Only shards 0 and 2 were touched since the first capture.
+    assert_eq!(engine.checkpoint_stats().total_messages(), base_msgs + 2);
+
+    // The checkpoint (with two shard states served from cache) restores
+    // to the same fingerprint as the uninterrupted engine...
+    let restored = EngineCheckpoint::from_bytes(&ckpt.to_bytes()).unwrap();
+    let resumed = CounterEngine::resume(spec, cfg, &restored).unwrap();
+    assert_eq!(fingerprint(&resumed), want);
+    // ...including each per-shard replica state.
+    let mut fresh = ShardedEngine::counters(spec, cfg).unwrap();
+    fresh.run(&full).unwrap();
+    fresh.run(&skewed).unwrap();
+    assert_eq!(fresh.checkpoint().unwrap().states(), ckpt.states());
 }
