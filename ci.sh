@@ -2,7 +2,8 @@
 # Full local CI gate for the dsv workspace. Runs everything the tier-1
 # verify runs, plus formatting, lints, the full workspace test matrix,
 # bench/example compilation, bench smoke runs with JSON schema gates
-# (including the e17 overlap-speedup gate), and rustdoc. Fails fast on
+# (including the e17 overlap-speedup gate and the e18 fleet keys x
+# throughput gate), and rustdoc. Fails fast on
 # the first broken step, and prints a per-step wall-clock summary at the
 # end (also emitted to $GITHUB_STEP_SUMMARY under Actions) so gate-time
 # regressions are visible in PRs.
@@ -129,12 +130,14 @@ cargo test --workspace -q ${FEATURE_FLAGS[@]+"${FEATURE_FLAGS[@]}"}
 step "cargo build --release --examples"
 cargo build --release --examples ${FEATURE_FLAGS[@]+"${FEATURE_FLAGS[@]}"}
 
-step "run 7 of the 8 examples (API regressions in non-test binaries fail here)"
-# checkpoint_restore, the 8th example, runs in its own gate step below.
-# pipelined_monitor asserts run_pipelined's bit-identity to run_parted
-# and that fast feeds finish in a laggy feed's shadow, so it is a gate
-# in its own right.
-for ex in quickstart compare_trackers network_monitor history_audit inventory_audit sharded_monitor pipelined_monitor; do
+step "run 8 of the 10 examples (API regressions in non-test binaries fail here)"
+# checkpoint_restore runs in its own gate step below; remote_failover is
+# gated on the remote feature. pipelined_monitor asserts run_pipelined's
+# bit-identity to run_parted and that fast feeds finish in a laggy
+# feed's shadow, and fleet_monitor asserts per-key fleet estimates are
+# bit-identical to standalone trackers, so both are gates in their own
+# right.
+for ex in quickstart compare_trackers network_monitor history_audit inventory_audit sharded_monitor pipelined_monitor fleet_monitor; do
     printf -- '-- example %s\n' "$ex"
     cargo run -q --release ${FEATURE_FLAGS[@]+"${FEATURE_FLAGS[@]}"} --example "$ex" > /dev/null
 done
@@ -149,7 +152,7 @@ step "checkpoint/resume smoke gate (example checkpoint_restore)"
 cargo run -q --release ${FEATURE_FLAGS[@]+"${FEATURE_FLAGS[@]}"} --example checkpoint_restore
 
 case " ${DSV_FEATURES:-} " in *remote*)
-    step "remote failover smoke gate (example remote_failover, 9th example)"
+    step "remote failover smoke gate (example remote_failover, 10th example)"
     # Spawns two dsv-shard-server worker processes behind a Unix-domain
     # socket (TCP loopback off unix), SIGKILLs one mid-stream, and asserts
     # the coordinator respawns the slot, restores from the last
@@ -162,7 +165,7 @@ case " ${DSV_FEATURES:-} " in *remote*)
     ;;
 esac
 
-step "cargo bench --no-run --workspace (compile all 19 bench targets)"
+step "cargo bench --no-run --workspace (compile all 20 bench targets)"
 cargo bench --no-run --workspace ${FEATURE_FLAGS[@]+"${FEATURE_FLAGS[@]}"}
 
 step "1s smoke run of one e* bench binary"
@@ -206,6 +209,21 @@ e17_bin=$(bench_bin e17_pipeline)
 cargo run -q --release -p dsv-bench ${BENCH_FEATURE_FLAGS[@]+"${BENCH_FEATURE_FLAGS[@]}"} --bin bench_schema -- target/ci/BENCH_e17.json
 if [ -f BENCH_e17.json ]; then
     cargo run -q --release -p dsv-bench ${BENCH_FEATURE_FLAGS[@]+"${BENCH_FEATURE_FLAGS[@]}"} --bin bench_schema -- BENCH_e17.json
+fi
+
+step "e18 fleet smoke + BENCH json schema + keys x throughput gate"
+# The keyed-fleet scale experiment in --smoke mode (64k keys): exercises
+# the cold-insert and steady phases, the per-key epsilon audits, and the
+# standalone-twin bit-identity asserts. The scale gate itself (>= 1M
+# live keys at >= 1e7 updates/sec) binds on full runs; bench_schema
+# re-enforces it on the committed BENCH_e18.json, so the tracked
+# artifact can neither regress nor weaken its own gates.
+e18_bin=$(bench_bin e18_fleet)
+[ -n "$e18_bin" ] || { echo "e18 bench binary not found"; exit 1; }
+"$e18_bin" --smoke --out target/ci/BENCH_e18.json > /dev/null
+cargo run -q --release -p dsv-bench ${BENCH_FEATURE_FLAGS[@]+"${BENCH_FEATURE_FLAGS[@]}"} --bin bench_schema -- target/ci/BENCH_e18.json
+if [ -f BENCH_e18.json ]; then
+    cargo run -q --release -p dsv-bench ${BENCH_FEATURE_FLAGS[@]+"${BENCH_FEATURE_FLAGS[@]}"} --bin bench_schema -- BENCH_e18.json
 fi
 
 step "cargo doc --no-deps --workspace (warning-free)"

@@ -6,9 +6,11 @@
 //!
 //! Parses each argument as JSON and checks it against the schema its
 //! `experiment` tag names (`dsv_bench::validate_bench_doc`): non-empty
-//! stream/scenario tables, finite positive throughput numbers, and — for
-//! `e17_pipeline` — the overlap-speedup gate re-enforced on the recorded
-//! slow-feed row. Exits non-zero on the first failure, so a bench that
+//! stream/scenario/phase tables, finite positive throughput numbers, and
+//! the recorded acceptance gates re-enforced on the recorded numbers —
+//! `e17_pipeline`'s overlap speedup on the slow-feed row, `e18_fleet`'s
+//! keys × throughput floor on full runs. Exits non-zero on the first
+//! failure, so a bench that
 //! crashed mid-run, emitted NaNs, silently produced an empty sweep, or
 //! regressed below its own gate fails the pipeline instead of polluting
 //! the trajectory.
@@ -27,6 +29,7 @@ fn check(path: &str) -> Result<(), String> {
     let tables = doc
         .get("streams")
         .or_else(|| doc.get("scenarios"))
+        .or_else(|| doc.get("phases"))
         .and_then(Json::as_array)
         .unwrap_or(&[]);
     println!(

@@ -6,8 +6,8 @@
 //! small JSON subset those artifacts need: a value tree ([`Json`]), a
 //! pretty writer that refuses non-finite numbers, a strict
 //! recursive-descent parser, and the schema validators CI runs
-//! ([`validate_e16`], [`validate_e17`]) — the `bench_schema` bin
-//! dispatches on each document's `experiment` tag.
+//! ([`validate_e16`], [`validate_e17`], [`validate_e18`]) — the
+//! `bench_schema` bin dispatches on each document's `experiment` tag.
 
 use std::fmt;
 
@@ -582,12 +582,119 @@ pub fn validate_e17(doc: &Json) -> Result<(), String> {
     Ok(())
 }
 
+// ---------------------------------------------------------------------------
+// The E18 schema gate.
+// ---------------------------------------------------------------------------
+
+/// Validate a `BENCH_e18.json` document: the keyed-fleet scale
+/// experiment. Beyond shape and finiteness, the validator re-enforces
+/// the keys × throughput acceptance gate on the recorded numbers of
+/// **full** runs: `live_keys ≥ keys_gate` and `steady_updates_per_sec ≥
+/// rate_gate` — and refuses documents whose recorded gates have been
+/// weakened below the experiment's floors (1M keys, 1e7 updates/sec),
+/// so a committed artifact can neither regress nor move its own
+/// goalposts without failing CI.
+///
+/// Required shape:
+///
+/// ```json
+/// {
+///   "experiment": "e18_fleet",
+///   "smoke": bool, "n": > 0, "kind": str, "k": > 0, "eps": (0,1),
+///   "shards": > 0, "batch": > 0, "fleet_cache": > 0,
+///   "keys_gate": ≥ 1e6, "rate_gate": ≥ 1e7,
+///   "live_keys": > 0, "steady_updates_per_sec": > 0,
+///   "total_bytes": > 0, "key_violations": ≥ 0,
+///   "phases": [ non-empty, must include "steady", each:
+///     { "phase": str, "updates" > 0, "wall_s" > 0,
+///       "updates_per_sec" > 0, "boundaries" ≥ 0, "key_violations" ≥ 0 } ]
+/// }
+/// ```
+pub fn validate_e18(doc: &Json) -> Result<(), String> {
+    if field(doc, "experiment")?.as_str() != Some("e18_fleet") {
+        return Err("field 'experiment' must be \"e18_fleet\"".into());
+    }
+    let smoke = field(doc, "smoke")?
+        .as_bool()
+        .ok_or("field 'smoke' must be a bool")?;
+    pos_num(doc, "n")?;
+    field(doc, "kind")?
+        .as_str()
+        .ok_or("field 'kind' must be a string")?;
+    pos_num(doc, "k")?;
+    let eps = pos_num(doc, "eps")?;
+    if eps >= 1.0 {
+        return Err(format!("field 'eps' must be < 1, got {eps}"));
+    }
+    pos_num(doc, "shards")?;
+    pos_num(doc, "batch")?;
+    pos_num(doc, "fleet_cache")?;
+    let keys_gate = pos_num(doc, "keys_gate")?;
+    if keys_gate < 1.0e6 {
+        return Err(format!(
+            "field 'keys_gate' must be at least 1e6 (the fleet-scale floor), got {keys_gate}"
+        ));
+    }
+    let rate_gate = pos_num(doc, "rate_gate")?;
+    if rate_gate < 1.0e7 {
+        return Err(format!(
+            "field 'rate_gate' must be at least 1e7 updates/sec, got {rate_gate}"
+        ));
+    }
+    let live_keys = pos_num(doc, "live_keys")?;
+    let steady = pos_num(doc, "steady_updates_per_sec")?;
+    pos_num(doc, "total_bytes")?;
+    count(doc, "key_violations")?;
+    if !smoke {
+        if live_keys < keys_gate {
+            return Err(format!(
+                "full-run live_keys {live_keys} is below the gate {keys_gate}"
+            ));
+        }
+        if steady < rate_gate {
+            return Err(format!(
+                "full-run steady_updates_per_sec {steady:.3e} is below the gate {rate_gate:.1e}"
+            ));
+        }
+    }
+
+    let phases_field = field(doc, "phases")?;
+    let phases = phases_field
+        .as_array()
+        .ok_or("field 'phases' must be an array")?;
+    if phases.is_empty() {
+        return Err("'phases' must be non-empty".into());
+    }
+    let mut saw_steady = false;
+    for (i, phase) in phases.iter().enumerate() {
+        let ctx = |e: String| format!("phases[{i}]: {e}");
+        let name = field(phase, "phase")
+            .map_err(ctx)?
+            .as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| ctx("field 'phase' must be a string".into()))?;
+        if name == "steady" {
+            saw_steady = true;
+        }
+        pos_num(phase, "updates").map_err(ctx)?;
+        pos_num(phase, "wall_s").map_err(ctx)?;
+        pos_num(phase, "updates_per_sec").map_err(ctx)?;
+        count(phase, "boundaries").map_err(ctx)?;
+        count(phase, "key_violations").map_err(ctx)?;
+    }
+    if !saw_steady {
+        return Err("'phases' must include the gated \"steady\" phase".into());
+    }
+    Ok(())
+}
+
 /// Validate any known `BENCH_*.json` document by its `experiment` tag
 /// (the dispatch the `bench_schema` bin uses).
 pub fn validate_bench_doc(doc: &Json) -> Result<&'static str, String> {
     match doc.get("experiment").and_then(Json::as_str) {
         Some("e16_throughput") => validate_e16(doc).map(|()| "e16_throughput"),
         Some("e17_pipeline") => validate_e17(doc).map(|()| "e17_pipeline"),
+        Some("e18_fleet") => validate_e18(doc).map(|()| "e18_fleet"),
         Some(other) => Err(format!("unknown experiment tag \"{other}\"")),
         None => Err("missing string field 'experiment'".into()),
     }
@@ -815,5 +922,91 @@ mod tests {
             .replace("\"mode\": \"pipelined\"", "\"mode\": \"overlapped\"");
         let doc = Json::parse(&text).unwrap();
         assert!(validate_e17(&doc).unwrap_err().contains("mode"));
+    }
+
+    fn valid_e18_doc(smoke: bool) -> Json {
+        let phase = |name: &str, updates: f64, rate: f64| {
+            Json::obj(vec![
+                ("phase", Json::str(name)),
+                ("updates", Json::num(updates)),
+                ("wall_s", Json::num(updates / rate)),
+                ("updates_per_sec", Json::num(rate)),
+                ("boundaries", Json::num(16.0)),
+                ("key_violations", Json::num(0.0)),
+            ])
+        };
+        Json::obj(vec![
+            ("experiment", Json::str("e18_fleet")),
+            ("smoke", Json::Bool(smoke)),
+            ("n", Json::num(41_048_576.0)),
+            ("kind", Json::str("deterministic")),
+            ("k", Json::num(1.0)),
+            ("eps", Json::num(0.1)),
+            ("shards", Json::num(64.0)),
+            ("batch", Json::num(65_536.0)),
+            ("fleet_cache", Json::num(4_096.0)),
+            ("keys_gate", Json::num(1.0e6)),
+            ("rate_gate", Json::num(1.0e7)),
+            ("live_keys", Json::num(1_048_576.0)),
+            ("steady_updates_per_sec", Json::num(1.1e7)),
+            ("total_bytes", Json::num(3.6e8)),
+            ("key_violations", Json::num(0.0)),
+            (
+                "phases",
+                Json::Arr(vec![
+                    phase("cold-insert", 1_048_576.0, 3.2e5),
+                    phase("steady", 40_000_000.0, 1.1e7),
+                ]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn e18_schema_accepts_the_emitted_shape_and_dispatches() {
+        assert_eq!(validate_e18(&valid_e18_doc(false)), Ok(()));
+        assert_eq!(validate_e18(&valid_e18_doc(true)), Ok(()));
+        assert_eq!(validate_bench_doc(&valid_e18_doc(false)), Ok("e18_fleet"));
+    }
+
+    #[test]
+    fn e18_schema_enforces_the_keys_and_rate_gates_on_full_runs() {
+        // A full run below either gate is a schema failure; the same
+        // numbers pass as a smoke run (smoke is shape-checked only).
+        let starved = valid_e18_doc(false)
+            .to_string()
+            .replace("\"live_keys\": 1048576", "\"live_keys\": 900000");
+        let doc = Json::parse(&starved).unwrap();
+        assert!(validate_e18(&doc).unwrap_err().contains("live_keys"));
+        let slow = valid_e18_doc(false).to_string().replace(
+            "\"steady_updates_per_sec\": 11000000",
+            "\"steady_updates_per_sec\": 9000000",
+        );
+        let doc = Json::parse(&slow).unwrap();
+        assert!(validate_e18(&doc).unwrap_err().contains("below the gate"));
+        let doc = Json::parse(&slow.replace("\"smoke\": false", "\"smoke\": true")).unwrap();
+        assert_eq!(validate_e18(&doc), Ok(()));
+
+        // The recorded gates cannot be weakened below the floors.
+        let moved = valid_e18_doc(false)
+            .to_string()
+            .replace("\"rate_gate\": 10000000", "\"rate_gate\": 5000000")
+            .replace(
+                "\"steady_updates_per_sec\": 11000000",
+                "\"steady_updates_per_sec\": 6000000",
+            );
+        let doc = Json::parse(&moved).unwrap();
+        assert!(validate_e18(&doc).unwrap_err().contains("rate_gate"));
+        let moved = valid_e18_doc(false)
+            .to_string()
+            .replace("\"keys_gate\": 1000000", "\"keys_gate\": 1000");
+        let doc = Json::parse(&moved).unwrap();
+        assert!(validate_e18(&doc).unwrap_err().contains("keys_gate"));
+
+        // Dropping the gated phase is also a failure.
+        let text = valid_e18_doc(true)
+            .to_string()
+            .replace("\"phase\": \"steady\"", "\"phase\": \"steadyish\"");
+        let doc = Json::parse(&text).unwrap();
+        assert!(validate_e18(&doc).unwrap_err().contains("steady"));
     }
 }

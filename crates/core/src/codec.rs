@@ -109,6 +109,19 @@ impl TrackerState {
         &self.payload
     }
 
+    /// Replace the payload in place, reusing the existing allocation.
+    ///
+    /// This is the slab seam: the keyed tracker fleet
+    /// (`dsv-engine::fleet`) stores millions of per-key records as bare
+    /// payload bytes in per-shard arenas and rehydrates them through one
+    /// scratch `TrackerState` per shard — swapping payloads must not
+    /// allocate per key. The kind and site count are fixed at
+    /// construction, exactly like a snapshot's.
+    pub fn set_payload(&mut self, payload: &[u8]) {
+        self.payload.clear();
+        self.payload.extend_from_slice(payload);
+    }
+
     /// Serialize to the versioned wire form.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut enc = Enc::new();

@@ -19,6 +19,8 @@ use dsv_net::Time;
 /// | [`backpressure`](Self::backpressure) | [`Backpressure::Block`] | Full-queue policy for pipelined feeds |
 /// | [`queue_capacity`](Self::queue_capacity) | `2 × batch` | Bounded capacity of each pipelined feed queue, in inputs |
 /// | [`checkpoint_every`](Self::checkpoint_every) | `0` (off) | Auto-checkpoint sink period, in batch boundaries |
+/// | [`fleet_cache`](Self::fleet_cache) | `1024` | Live per-key trackers cached per fleet shard (fleet only) |
+/// | [`fleet_gc_bytes`](Self::fleet_gc_bytes) | `64 KiB` | Minimum per-shard arena garbage before the fleet compacts (fleet only) |
 ///
 /// **Shards vs workers.** `shards` is the *logical* partitioning: how many
 /// tracker replicas the stream is split across. It is part of the engine's
@@ -41,6 +43,8 @@ pub struct EngineConfig {
     backpressure: Backpressure,
     queue_capacity: Option<usize>,
     checkpoint_every: u64,
+    fleet_cache: Option<usize>,
+    fleet_gc_bytes: usize,
 }
 
 impl EngineConfig {
@@ -57,7 +61,33 @@ impl EngineConfig {
             backpressure: Backpressure::Block,
             queue_capacity: None,
             checkpoint_every: 0,
+            fleet_cache: None,
+            fleet_gc_bytes: 64 * 1024,
         }
+    }
+
+    /// Live per-key trackers a [`crate::TrackerFleet`] keeps materialized
+    /// per shard (default 1024). Hot keys stay live across boundaries;
+    /// cold keys are frozen back into the shard's state arena on
+    /// eviction. Purely an execution knob: fleet estimates, ledgers, and
+    /// checkpoints are bit-identical for **any** capacity ≥ 1 (the
+    /// snapshot → restore → snapshot round-trip is byte-identical), so
+    /// size it for your working set, not for correctness. Zero is
+    /// rejected by validation. Ignored by [`crate::ShardedEngine`].
+    pub fn fleet_cache(mut self, capacity: usize) -> Self {
+        self.fleet_cache = Some(capacity);
+        self
+    }
+
+    /// Minimum dead bytes in a fleet shard's state arena before it is
+    /// compacted (default 64 KiB). Freezing a key appends its fresh
+    /// record and strands the old one; a shard compacts when garbage
+    /// exceeds both this floor and the live bytes. Another pure execution
+    /// knob — compaction moves bytes, never changes them. Ignored by
+    /// [`crate::ShardedEngine`].
+    pub fn fleet_gc_bytes(mut self, bytes: usize) -> Self {
+        self.fleet_gc_bytes = bytes;
+        self
     }
 
     /// Auto-checkpoint each shard every `every` batch boundaries (default
@@ -169,6 +199,17 @@ impl EngineConfig {
         self.checkpoint_every
     }
 
+    /// The fleet's live-tracker cache capacity per shard (1024 unless
+    /// overridden).
+    pub fn fleet_cache_capacity(&self) -> usize {
+        self.fleet_cache.unwrap_or(1024)
+    }
+
+    /// The fleet's per-shard arena garbage floor before compaction.
+    pub fn fleet_gc_floor(&self) -> usize {
+        self.fleet_gc_bytes
+    }
+
     pub(crate) fn validate(&self) -> Result<(), EngineError> {
         if self.shards == 0 {
             return Err(EngineError::ZeroShards);
@@ -181,6 +222,9 @@ impl EngineConfig {
         }
         if self.queue_capacity == Some(0) {
             return Err(EngineError::ZeroQueueCapacity);
+        }
+        if self.fleet_cache == Some(0) {
+            return Err(EngineError::ZeroFleetCache);
         }
         Ok(())
     }
@@ -227,6 +271,14 @@ pub enum EngineError {
     /// A pipelined feed queue must hold at least one input
     /// ([`EngineConfig::queue_capacity`] was 0).
     ZeroQueueCapacity,
+    /// A tracker fleet needs room for at least one live tracker per
+    /// shard ([`EngineConfig::fleet_cache`] was 0).
+    ZeroFleetCache,
+    /// A fleet operation addressed a key the fleet has never seen.
+    UnknownKey {
+        /// The unknown key.
+        key: u64,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -255,6 +307,12 @@ impl std::fmt::Display for EngineError {
             EngineError::ZeroWorkers => write!(fm, "need at least one worker"),
             EngineError::ZeroQueueCapacity => {
                 write!(fm, "pipelined feed queues need capacity for at least one input")
+            }
+            EngineError::ZeroFleetCache => {
+                write!(fm, "a fleet needs room for at least one live tracker per shard")
+            }
+            EngineError::UnknownKey { key } => {
+                write!(fm, "the fleet has never seen key {key}")
             }
         }
     }
@@ -309,6 +367,21 @@ mod tests {
             .queue_capacity(1)
             .validate()
             .is_ok());
+        assert_eq!(
+            EngineConfig::new(2, 10).fleet_cache(0).validate(),
+            Err(EngineError::ZeroFleetCache)
+        );
+        assert!(EngineConfig::new(2, 10).fleet_cache(1).validate().is_ok());
+    }
+
+    #[test]
+    fn fleet_knobs_have_documented_defaults() {
+        let cfg = EngineConfig::new(4, 1_000);
+        assert_eq!(cfg.fleet_cache_capacity(), 1024);
+        assert_eq!(cfg.fleet_gc_floor(), 64 * 1024);
+        let cfg = cfg.fleet_cache(16).fleet_gc_bytes(1 << 20);
+        assert_eq!(cfg.fleet_cache_capacity(), 16);
+        assert_eq!(cfg.fleet_gc_floor(), 1 << 20);
     }
 
     #[test]

@@ -1,0 +1,1822 @@
+//! `TrackerFleet`: millions of independent keyed functions in one engine.
+//!
+//! The paper tracks a *single* distributed function `f(n)` to within
+//! `ε`. Production monitoring traffic is a different shape: millions of
+//! independent `(tenant, metric)` functions, each tiny, each wanting the
+//! exact same per-function guarantee. A fleet serves that shape without
+//! a million boxed trackers:
+//!
+//! * **Routing** — a key owns exactly one logical shard via the same
+//!   Fibonacci item hash as [`crate::Partition::ByItem`]
+//!   (`hash(key) mod S`), so per-key state never moves and the per-key
+//!   guarantee is a standalone tracker's guarantee verbatim. Routing
+//!   depends only on the key and the shard count — never on workers —
+//!   which is the rescaling invariant.
+//! * **Slab storage** — per-key state lives as compact snapshot-payload
+//!   records (the PR 4 state codec's `TrackerState` payload bytes) in a
+//!   per-shard append-only arena, indexed by an open-addressed key
+//!   table. A small per-shard cache of live trackers (clock-evicted,
+//!   [`crate::EngineConfig::fleet_cache`]) absorbs updates; cold records
+//!   rehydrate through one scratch [`TrackerState`] per shard, so the
+//!   steady state allocates nothing per key. Freezing a tracker
+//!   *snapshots* it, so cache capacity is a pure execution knob: any
+//!   capacity ≥ 1 yields bit-identical estimates, ledgers, and
+//!   checkpoint bytes.
+//! * **Keyed batching** — updates stage in per-shard chains grouped by
+//!   key and apply at batch boundaries (every
+//!   [`crate::EngineConfig::new`] `batch` updates), each key receiving
+//!   its staged run through the same `update_run`/`update_batch` fast
+//!   paths the sharded engine uses. Batch segmentation never changes
+//!   results (`tests/batch_proptests.rs` holds that for every kind), so
+//!   boundary-cut consistency survives keying.
+//! * **Fleet queries** — [`estimate`](TrackerFleet::estimate),
+//!   [`top_k`](TrackerFleet::top_k), per-key ε-audits
+//!   ([`key_audit`](TrackerFleet::key_audit)), aggregate
+//!   [`CommStats`]/memory accounting, and a versioned
+//!   [`FleetCheckpoint`] (`b"DSVF"`) for checkpoint → resume → rescale
+//!   that is bit-identical in estimates and ledgers.
+//!
+//! Every key is built from the **same** spec (same seeds included):
+//! the fleet's contract is that key `x` behaves exactly like one
+//! standalone tracker fed `x`'s substream, and `tests/fleet_equivalence.rs`
+//! holds that bit-identically for all ten registry kinds.
+//!
+//! Estimates are *boundary* values, like the sharded engine's
+//! coordinator estimate: queries between boundaries report the last cut,
+//! and [`flush`](TrackerFleet::flush) forces one.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dsv_core::api::{BuildError, ItemTracker, RunError, Tracker, TrackerKind, TrackerSpec};
+use dsv_core::codec::{kind_from_tag, kind_tag, CodecError, Dec, Enc, TrackerState};
+use dsv_net::{relative_error, CommStats, IngestStats, SiteId, Time};
+
+use crate::config::{EngineConfig, EngineError};
+use crate::ingest::{FleetFeed, Ring};
+use crate::partition::{hash_item, InputDelta};
+
+/// Magic bytes opening a serialized [`FleetCheckpoint`].
+pub const FLEET_MAGIC: [u8; 4] = *b"DSVF";
+
+/// Current fleet-checkpoint format version. Bump on **any** layout
+/// change (and see `MIGRATION.md`); nested tracker payloads carry their
+/// own `DSVT` version independently.
+pub const FLEET_VERSION: u16 = 1;
+
+/// Niche marker for "no slot / no cache entry / no staged successor".
+const NONE_U32: u32 = u32::MAX;
+
+/// Arena-length sentinel: this slot has no frozen bytes (brand new, or
+/// its live tracker owns the state).
+const FRESH: u32 = u32::MAX;
+
+/// Open-addressed key → slot index (linear probing, power-of-two
+/// capacity, load kept ≤ 1/2). `SipHash` through a std map is the wrong
+/// tool at tens of millions of lookups per second; the probe hash is a
+/// second Fibonacci-style multiply, deliberately decorrelated from the
+/// key → shard routing hash so a shard's resident keys (which all agree
+/// on `hash(key) mod S`) do not cluster into probe chains.
+struct KeyIndex {
+    keys: Vec<u64>,
+    /// `slot + 1`; 0 marks an empty cell (keys may legitimately be 0).
+    vals: Vec<u32>,
+    len: usize,
+}
+
+impl KeyIndex {
+    fn new() -> Self {
+        KeyIndex {
+            keys: vec![0; 16],
+            vals: vec![0; 16],
+            len: 0,
+        }
+    }
+
+    fn mask(&self) -> usize {
+        self.vals.len() - 1
+    }
+
+    fn start(&self, key: u64) -> usize {
+        (key.wrapping_mul(0xD6E8_FEB8_6659_FD93) >> 32) as usize & self.mask()
+    }
+
+    fn get(&self, key: u64) -> Option<u32> {
+        let mask = self.mask();
+        let mut i = self.start(key);
+        loop {
+            let v = self.vals[i];
+            if v == 0 {
+                return None;
+            }
+            if self.keys[i] == key {
+                return Some(v - 1);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn insert(&mut self, key: u64, slot: u32) {
+        if (self.len + 1) * 2 > self.vals.len() {
+            self.grow();
+        }
+        let mask = self.mask();
+        let mut i = self.start(key);
+        while self.vals[i] != 0 {
+            debug_assert_ne!(self.keys[i], key, "duplicate fleet key insert");
+            i = (i + 1) & mask;
+        }
+        self.keys[i] = key;
+        self.vals[i] = slot + 1;
+        self.len += 1;
+    }
+
+    fn grow(&mut self) {
+        let cap = self.vals.len() * 2;
+        let old_keys = std::mem::replace(&mut self.keys, vec![0; cap]);
+        let old_vals = std::mem::replace(&mut self.vals, vec![0; cap]);
+        for (key, v) in old_keys.into_iter().zip(old_vals) {
+            if v == 0 {
+                continue;
+            }
+            let mask = self.mask();
+            let mut i = self.start(key);
+            while self.vals[i] != 0 {
+                i = (i + 1) & mask;
+            }
+            self.keys[i] = key;
+            self.vals[i] = v;
+        }
+    }
+
+    fn bytes(&self) -> usize {
+        self.keys.len() * 8 + self.vals.len() * 4
+    }
+}
+
+/// One keyed function's record: where its frozen state lives, whether a
+/// live tracker currently owns it, its staged chain, and its audited
+/// scalars. 64 bytes — the per-key footprint besides the state payload.
+struct Slot {
+    key: u64,
+    /// Frozen state location in the shard arena (valid iff `len != FRESH`).
+    off: usize,
+    len: u32,
+    /// Cache entry owning this slot's live tracker (`NONE_U32` if frozen).
+    cached: u32,
+    /// Staged-update chain (indices into the shard's staging buffer).
+    head: u32,
+    tail: u32,
+    /// Last boundary estimate `f̂(t)` for this key.
+    estimate: i64,
+    /// Ground truth `f(t)` for this key (the audit's reference).
+    f: i64,
+    updates: u64,
+    violations: u64,
+}
+
+/// One staged keyed update: a link in its slot's arrival-order chain.
+struct Staged<In> {
+    site: u32,
+    input: In,
+    next: u32,
+}
+
+/// A live tracker absorbing one slot's updates until evicted.
+struct CacheEntry<T> {
+    tracker: T,
+    /// Owning slot (`NONE_U32` between freeze and reuse).
+    slot: u32,
+    /// Second-chance bit for the clock hand.
+    hot: bool,
+}
+
+/// What one shard's boundary application reports back for reconciliation
+/// (merged into fleet scalars in shard order, so worker placement never
+/// shows in any ledger).
+struct ApplyOut {
+    f_delta: i64,
+    est_delta: i64,
+    updates: u64,
+    violations: u64,
+    max_err: f64,
+    stats_delta: CommStats,
+}
+
+impl ApplyOut {
+    fn new() -> Self {
+        ApplyOut {
+            f_delta: 0,
+            est_delta: 0,
+            updates: 0,
+            violations: 0,
+            max_err: 0.0,
+            stats_delta: CommStats::new(),
+        }
+    }
+}
+
+/// One logical shard: the slab (index + slots + arena), the live-tracker
+/// cache, and the staging area for the current batch.
+struct ShardSlab<T, In> {
+    index: KeyIndex,
+    slots: Vec<Slot>,
+    /// Frozen state payloads, append-only between compactions.
+    arena: Vec<u8>,
+    /// Bytes in `arena` no longer referenced by any slot.
+    garbage: usize,
+    cache: Vec<CacheEntry<T>>,
+    /// Clock hand for second-chance eviction.
+    clock: usize,
+    staged: Vec<Staged<In>>,
+    /// Slots with a non-empty staged chain, in first-touch order.
+    touched: Vec<u32>,
+    /// Scratch for rehydrating frozen payloads without allocating.
+    scratch: TrackerState,
+    run_buf: Vec<In>,
+    site_buf: Vec<u32>,
+    tup_buf: Vec<(SiteId, In)>,
+}
+
+impl<T, In> ShardSlab<T, In>
+where
+    T: Tracker<In>,
+    In: InputDelta,
+{
+    fn new(kind: TrackerKind, k: usize) -> Self {
+        ShardSlab {
+            index: KeyIndex::new(),
+            slots: Vec::new(),
+            arena: Vec::new(),
+            garbage: 0,
+            cache: Vec::new(),
+            clock: 0,
+            staged: Vec::new(),
+            touched: Vec::new(),
+            scratch: TrackerState::new(kind, k, Vec::new()),
+            run_buf: Vec::new(),
+            site_buf: Vec::new(),
+            tup_buf: Vec::new(),
+        }
+    }
+
+    /// The slot for `key`, creating an empty (fresh) one on first sight.
+    fn slot_for(&mut self, key: u64) -> u32 {
+        if let Some(sid) = self.index.get(key) {
+            return sid;
+        }
+        let sid = self.slots.len() as u32;
+        self.slots.push(Slot {
+            key,
+            off: 0,
+            len: FRESH,
+            cached: NONE_U32,
+            head: NONE_U32,
+            tail: NONE_U32,
+            estimate: 0,
+            f: 0,
+            updates: 0,
+            violations: 0,
+        });
+        self.index.insert(key, sid);
+        sid
+    }
+
+    /// Stage one update in its slot's arrival-order chain; returns the
+    /// slot id so bursty callers can route follow-ups via
+    /// [`stage_at`](Self::stage_at) without re-probing the index.
+    fn stage(&mut self, key: u64, site: SiteId, input: In) -> u32 {
+        let sid = self.slot_for(key);
+        self.stage_at(sid, site, input);
+        sid
+    }
+
+    /// Stage one update for an already-resolved slot.
+    fn stage_at(&mut self, sid: u32, site: SiteId, input: In) {
+        let at = self.staged.len() as u32;
+        self.staged.push(Staged {
+            site: site as u32,
+            input,
+            next: NONE_U32,
+        });
+        let slot = &mut self.slots[sid as usize];
+        if slot.head == NONE_U32 {
+            slot.head = at;
+            self.touched.push(sid);
+        } else {
+            self.staged[slot.tail as usize].next = at;
+        }
+        self.slots[sid as usize].tail = at;
+    }
+
+    /// Snapshot cache entry `ci`'s tracker into the arena, releasing the
+    /// entry for reuse. The frozen bytes equal what a checkpoint would
+    /// record, which is why eviction never shows in results.
+    fn freeze(&mut self, ci: usize) -> Result<(), EngineError> {
+        let owner = self.cache[ci].slot;
+        if owner == NONE_U32 {
+            return Ok(());
+        }
+        let state = self.cache[ci]
+            .tracker
+            .snapshot()
+            .map_err(EngineError::Codec)?;
+        let bytes = state.payload();
+        let slot = &mut self.slots[owner as usize];
+        slot.off = self.arena.len();
+        slot.len = bytes.len() as u32;
+        slot.cached = NONE_U32;
+        self.arena.extend_from_slice(bytes);
+        self.cache[ci].slot = NONE_U32;
+        Ok(())
+    }
+
+    /// A live tracker for slot `sid`: the cached one if present, else a
+    /// (possibly evicted) cache entry rehydrated from the slot's frozen
+    /// bytes — or from the shared fresh prototype for a never-applied key.
+    fn materialize(
+        &mut self,
+        sid: u32,
+        factory: &dyn Fn() -> Result<T, BuildError>,
+        proto: &TrackerState,
+        cap: usize,
+    ) -> Result<usize, EngineError> {
+        if self.slots[sid as usize].cached != NONE_U32 {
+            let ci = self.slots[sid as usize].cached as usize;
+            self.cache[ci].hot = true;
+            return Ok(ci);
+        }
+        let ci = if self.cache.len() < cap {
+            let tracker = factory().map_err(EngineError::Build)?;
+            self.cache.push(CacheEntry {
+                tracker,
+                slot: NONE_U32,
+                hot: false,
+            });
+            self.cache.len() - 1
+        } else {
+            loop {
+                if self.clock >= self.cache.len() {
+                    self.clock = 0;
+                }
+                if self.cache[self.clock].hot {
+                    self.cache[self.clock].hot = false;
+                    self.clock += 1;
+                } else {
+                    break;
+                }
+            }
+            let victim = self.clock;
+            self.clock += 1;
+            self.freeze(victim)?;
+            victim
+        };
+        let slot = &mut self.slots[sid as usize];
+        if slot.len == FRESH {
+            self.cache[ci]
+                .tracker
+                .restore(proto)
+                .map_err(EngineError::Codec)?;
+        } else {
+            self.scratch
+                .set_payload(&self.arena[slot.off..slot.off + slot.len as usize]);
+            self.cache[ci]
+                .tracker
+                .restore(&self.scratch)
+                .map_err(EngineError::Codec)?;
+            // The live tracker owns the state now; the frozen copy is
+            // stale the moment an update lands.
+            self.garbage += slot.len as usize;
+            slot.len = FRESH;
+        }
+        slot.cached = ci as u32;
+        self.cache[ci].slot = sid;
+        self.cache[ci].hot = true;
+        Ok(ci)
+    }
+
+    /// Apply every staged chain at a batch boundary: group-by-key is the
+    /// chain itself, and each key's run goes through the same
+    /// `update_run` / `update_batch` fast paths as the sharded engine.
+    fn apply(
+        &mut self,
+        eps: f64,
+        factory: &dyn Fn() -> Result<T, BuildError>,
+        proto: &TrackerState,
+        proto_stats: &CommStats,
+        cap: usize,
+        gc_floor: usize,
+    ) -> Result<ApplyOut, EngineError> {
+        let mut out = ApplyOut::new();
+        let touched = std::mem::take(&mut self.touched);
+        for &sid in &touched {
+            self.run_buf.clear();
+            self.site_buf.clear();
+            let mut cursor = self.slots[sid as usize].head;
+            let mut delta = 0i64;
+            while cursor != NONE_U32 {
+                let st = &self.staged[cursor as usize];
+                delta += st.input.delta_of();
+                self.run_buf.push(st.input);
+                self.site_buf.push(st.site);
+                cursor = st.next;
+            }
+            // A key's first-ever application charges the build-time
+            // traffic its standalone twin would have on the ledger.
+            if self.slots[sid as usize].len == FRESH && self.slots[sid as usize].cached == NONE_U32
+            {
+                out.stats_delta.merge(proto_stats);
+            }
+            let ci = self.materialize(sid, factory, proto, cap)?;
+            let first = self.site_buf[0];
+            let uniform = self.site_buf.iter().all(|&s| s == first);
+            self.tup_buf.clear();
+            if !uniform {
+                self.tup_buf.extend(
+                    self.site_buf
+                        .iter()
+                        .zip(self.run_buf.iter())
+                        .map(|(&s, &x)| (s as usize, x)),
+                );
+            }
+            let entry = &mut self.cache[ci];
+            let before = entry.tracker.stats().clone();
+            let est = if uniform {
+                entry.tracker.update_run(first as usize, &self.run_buf)
+            } else {
+                entry.tracker.update_batch(&self.tup_buf)
+            };
+            out.stats_delta.merge(&entry.tracker.stats().since(&before));
+            let slot = &mut self.slots[sid as usize];
+            slot.f += delta;
+            slot.updates += self.run_buf.len() as u64;
+            out.f_delta += delta;
+            out.updates += self.run_buf.len() as u64;
+            out.est_delta += est - slot.estimate;
+            slot.estimate = est;
+            slot.head = NONE_U32;
+            slot.tail = NONE_U32;
+            // Per-key ε-audit at the boundary, with the same float slack
+            // as the engine's RunAudit.
+            let err = relative_error(slot.f, est);
+            if err > out.max_err {
+                out.max_err = err;
+            }
+            if err > eps * (1.0 + 1e-12) {
+                slot.violations += 1;
+                out.violations += 1;
+            }
+        }
+        self.staged.clear();
+        self.touched = touched;
+        self.touched.clear();
+        self.maybe_compact(gc_floor);
+        Ok(out)
+    }
+
+    /// Reclaim arena garbage once it exceeds both the live bytes and the
+    /// configured floor ([`EngineConfig::fleet_gc_bytes`]): one ordered
+    /// copy of every referenced payload, amortized O(1) per freeze.
+    fn maybe_compact(&mut self, gc_floor: usize) {
+        let live = self.arena.len() - self.garbage;
+        if self.garbage <= gc_floor || self.garbage <= live {
+            return;
+        }
+        let mut fresh = Vec::with_capacity(live);
+        for slot in &mut self.slots {
+            if slot.len == FRESH {
+                continue;
+            }
+            let off = fresh.len();
+            fresh.extend_from_slice(&self.arena[slot.off..slot.off + slot.len as usize]);
+            slot.off = off;
+        }
+        self.arena = fresh;
+        self.garbage = 0;
+    }
+
+    /// Serialize every slot for a checkpoint. Cached trackers snapshot in
+    /// place (without eviction), frozen slots reuse their arena bytes, so
+    /// the records are independent of cache capacity and worker count.
+    fn records(&self, proto: &TrackerState) -> Result<Vec<SlotRecord>, EngineError> {
+        let mut out = Vec::with_capacity(self.slots.len());
+        for slot in &self.slots {
+            let state = if slot.cached != NONE_U32 {
+                self.cache[slot.cached as usize]
+                    .tracker
+                    .snapshot()
+                    .map_err(EngineError::Codec)?
+                    .payload()
+                    .to_vec()
+            } else if slot.len != FRESH {
+                self.arena[slot.off..slot.off + slot.len as usize].to_vec()
+            } else {
+                proto.payload().to_vec()
+            };
+            out.push(SlotRecord {
+                key: slot.key,
+                f: slot.f,
+                updates: slot.updates,
+                violations: slot.violations,
+                estimate: slot.estimate,
+                state,
+            });
+        }
+        Ok(out)
+    }
+
+    fn memory_into(&self, mem: &mut FleetMemory) {
+        mem.keys += self.slots.len() as u64;
+        mem.arena_bytes += self.arena.len() as u64;
+        mem.arena_garbage += self.garbage as u64;
+        mem.slot_bytes += (self.slots.capacity() * std::mem::size_of::<Slot>()) as u64;
+        mem.index_bytes += self.index.bytes() as u64;
+        mem.cached_trackers += self.cache.len() as u64;
+        mem.staged_inputs += self.staged.len() as u64;
+    }
+}
+
+/// A per-key audit line: the key's ground truth, boundary estimate, and
+/// ε-violation history.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KeyAudit {
+    /// The audited key.
+    pub key: u64,
+    /// Ground truth `f(t)` of this key's substream.
+    pub f: i64,
+    /// The key's estimate as of the last batch boundary.
+    pub estimate: i64,
+    /// Updates this key has absorbed.
+    pub updates: u64,
+    /// Boundary audits where this key's relative error exceeded ε.
+    pub violations: u64,
+}
+
+/// Fleet memory accounting, in bytes and object counts, summed over
+/// shards.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FleetMemory {
+    /// Live keys (slots) across the fleet.
+    pub keys: u64,
+    /// Arena bytes holding frozen per-key state payloads.
+    pub arena_bytes: u64,
+    /// Arena bytes pending compaction.
+    pub arena_garbage: u64,
+    /// Bytes of per-key slot records (64 per key, capacity included).
+    pub slot_bytes: u64,
+    /// Bytes of the key → slot hash indexes.
+    pub index_bytes: u64,
+    /// Live (cached) trackers resident across all shards.
+    pub cached_trackers: u64,
+    /// Updates currently staged for the next boundary.
+    pub staged_inputs: u64,
+}
+
+impl FleetMemory {
+    /// Total accounted bytes (slabs only; cached trackers are opaque).
+    pub fn total_bytes(&self) -> u64 {
+        self.arena_bytes + self.slot_bytes + self.index_bytes
+    }
+}
+
+/// What one fleet run did: scalars over the run's window, cumulative
+/// ledgers, and throughput.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Updates applied by this run.
+    pub n: u64,
+    /// Batch boundaries cut by this run.
+    pub boundaries: u64,
+    /// Live keys in the fleet after the run.
+    pub live_keys: u64,
+    /// Logical shards.
+    pub shards: usize,
+    /// Workers used at boundaries.
+    pub workers: usize,
+    /// Batch size (updates per boundary).
+    pub batch: usize,
+    /// Fleet-wide ground truth Σ_key f_key after the run.
+    pub final_f: i64,
+    /// Fleet-wide Σ_key boundary estimates after the run.
+    pub final_estimate: i64,
+    /// Per-key boundary ε-violations during this run.
+    pub key_violations: u64,
+    /// Aggregate (Σf vs Σf̂) boundary ε-violations during this run.
+    pub aggregate_violations: u64,
+    /// Worst per-key boundary relative error over the fleet's lifetime.
+    pub max_rel_err: f64,
+    /// Cumulative in-protocol traffic, summed over every key's tracker.
+    pub tracker_stats: CommStats,
+    /// Cumulative pipelined-ingestion ledger (empty for synchronous runs).
+    pub ingest_stats: IngestStats,
+    /// Wall-clock time of this run.
+    pub elapsed: Duration,
+}
+
+impl FleetReport {
+    /// Updates per second of wall-clock time for this run.
+    pub fn updates_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.n as f64 / secs
+        }
+    }
+}
+
+/// One slot's checkpointed record: identity, audited scalars, and the
+/// state payload (kind and site count live once in the header).
+#[derive(Debug, Clone, PartialEq)]
+struct SlotRecord {
+    key: u64,
+    f: i64,
+    updates: u64,
+    violations: u64,
+    estimate: i64,
+    state: Vec<u8>,
+}
+
+/// A versioned snapshot of a whole fleet (`b"DSVF"`, currently
+/// [`FLEET_VERSION`]): fleet scalars, the aggregate ledger, and one
+/// compact record per key. Taking one cuts a batch boundary first (staged
+/// updates are applied, so a checkpoint is always a boundary state).
+///
+/// The wire form is produced by [`to_bytes`](Self::to_bytes) and read by
+/// [`from_bytes`](Self::from_bytes); truncated, corrupted, version-skewed
+/// or internally inconsistent payloads decode to typed [`CodecError`]s,
+/// never panics (held by `tests/codec_robustness.rs`). Checkpoint bytes
+/// are bit-identical across worker counts *and* cache capacities.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetCheckpoint {
+    kind: TrackerKind,
+    k: usize,
+    time: Time,
+    f: i64,
+    boundaries: u64,
+    key_violations: u64,
+    agg_violations: u64,
+    max_err: f64,
+    tracker_stats: CommStats,
+    shards: Vec<Vec<SlotRecord>>,
+}
+
+impl FleetCheckpoint {
+    /// The checkpointed tracker kind.
+    pub fn kind(&self) -> TrackerKind {
+        self.kind
+    }
+
+    /// Sites per keyed tracker.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Logical shard count (must match the resuming config).
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Live keys captured.
+    pub fn keys(&self) -> usize {
+        self.shards.iter().map(Vec::len).sum()
+    }
+
+    /// Updates applied when the checkpoint was cut.
+    pub fn time(&self) -> Time {
+        self.time
+    }
+
+    /// Fleet-wide ground truth at the checkpoint.
+    pub fn f(&self) -> i64 {
+        self.f
+    }
+
+    /// Serialize to the versioned wire form.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut enc = Enc::new();
+        enc.magic(FLEET_MAGIC, FLEET_VERSION);
+        enc.u8(kind_tag(self.kind));
+        enc.usize(self.k);
+        enc.u64(self.time);
+        enc.i64(self.f);
+        enc.u64(self.boundaries);
+        enc.u64(self.key_violations);
+        enc.u64(self.agg_violations);
+        enc.f64(self.max_err);
+        self.tracker_stats.encode(&mut enc);
+        enc.seq_len(self.shards.len());
+        for records in &self.shards {
+            enc.seq_len(records.len());
+            for rec in records {
+                enc.u64(rec.key);
+                enc.i64(rec.f);
+                enc.u64(rec.updates);
+                enc.u64(rec.violations);
+                enc.i64(rec.estimate);
+                enc.blob(&rec.state);
+            }
+        }
+        enc.into_bytes()
+    }
+
+    /// Decode the versioned wire form, requiring exact consumption and
+    /// internal consistency (shard and state shapes, update accounting).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut dec = Dec::new(bytes);
+        dec.magic(FLEET_MAGIC, FLEET_VERSION)?;
+        let tag = dec.u8()?;
+        let kind = kind_from_tag(tag).ok_or(CodecError::BadTag {
+            what: "fleet tracker kind",
+            tag: tag as u64,
+        })?;
+        let k = dec.usize()?;
+        if k == 0 {
+            return Err(CodecError::BadValue {
+                what: "fleet site count",
+            });
+        }
+        let time = dec.u64()?;
+        let f = dec.i64()?;
+        let boundaries = dec.u64()?;
+        let key_violations = dec.u64()?;
+        let agg_violations = dec.u64()?;
+        let max_err = dec.f64()?;
+        if max_err.is_nan() || max_err < 0.0 {
+            return Err(CodecError::BadValue {
+                what: "fleet max relative error",
+            });
+        }
+        let tracker_stats = CommStats::decode(&mut dec)?;
+        let n_shards = dec.seq_len("fleet shards", 8)?;
+        if n_shards == 0 {
+            return Err(CodecError::BadValue {
+                what: "fleet shard count",
+            });
+        }
+        let mut shards = Vec::with_capacity(n_shards);
+        let mut total_updates: u64 = 0;
+        for _ in 0..n_shards {
+            let n_slots = dec.seq_len("fleet slots", 48)?;
+            let mut records = Vec::with_capacity(n_slots);
+            for _ in 0..n_slots {
+                let key = dec.u64()?;
+                let fk = dec.i64()?;
+                let updates = dec.u64()?;
+                let violations = dec.u64()?;
+                let estimate = dec.i64()?;
+                let state = dec.blob()?.to_vec();
+                if state.is_empty() {
+                    return Err(CodecError::BadValue {
+                        what: "fleet slot state",
+                    });
+                }
+                total_updates = total_updates.saturating_add(updates);
+                records.push(SlotRecord {
+                    key,
+                    f: fk,
+                    updates,
+                    violations,
+                    estimate,
+                    state,
+                });
+            }
+            shards.push(records);
+        }
+        dec.finish()?;
+        // Every applied update belongs to exactly one key, so the
+        // per-key counts must re-sum to the fleet clock.
+        if total_updates != time {
+            return Err(CodecError::Mismatch {
+                what: "fleet per-key update total vs time",
+                expected: time,
+                found: total_updates,
+            });
+        }
+        Ok(FleetCheckpoint {
+            kind,
+            k,
+            time,
+            f,
+            boundaries,
+            key_violations,
+            agg_violations,
+            max_err,
+            tracker_stats,
+            shards,
+        })
+    }
+}
+
+/// Scalars snapshotted at run start so reports cover just the run.
+struct Mark {
+    time: Time,
+    boundaries: u64,
+    key_violations: u64,
+    agg_violations: u64,
+}
+
+/// A multi-tenant fleet of keyed trackers: every key gets the exact
+/// per-function behavior of a standalone tracker built from the same
+/// spec, and the fleet serves updates, queries, audits, checkpoints, and
+/// pipelined ingestion over all of them at once. See the module docs for
+/// the slab/batching design.
+pub struct TrackerFleet<T, In: Copy> {
+    cfg: EngineConfig,
+    factory: Arc<dyn Fn() -> Result<T, BuildError> + Send + Sync>,
+    /// Snapshot of a fresh tracker: the rehydration source for keys that
+    /// have never applied an update.
+    proto: Arc<TrackerState>,
+    /// A fresh tracker's ledger, charged once per key on first apply.
+    proto_stats: Arc<CommStats>,
+    kind: TrackerKind,
+    k: usize,
+    deletions_ok: bool,
+    shards: Vec<ShardSlab<T, In>>,
+    /// Updates applied (the fleet clock; staged updates not included).
+    time: Time,
+    /// Fleet-wide ground truth Σ_key f_key.
+    f: i64,
+    /// Fleet-wide Σ_key boundary estimates.
+    agg_estimate: i64,
+    boundaries: u64,
+    key_violations: u64,
+    agg_violations: u64,
+    max_err: f64,
+    tracker_stats: CommStats,
+    ingest_stats: IngestStats,
+    staged_total: usize,
+    /// Last staged key's routing, so bursty streams skip the shard hash
+    /// and index probe. Never stale: a key's shard is pure in `(key, S)`
+    /// and slot ids are append-only. `memo_slot == NONE_U32` means empty.
+    memo_key: u64,
+    memo_shard: u32,
+    memo_slot: u32,
+}
+
+/// A fleet of counter trackers (`i64` deltas per key).
+pub type CounterFleet = TrackerFleet<Box<dyn Tracker + Send>, i64>;
+
+/// A fleet of item-frequency trackers (`(item, delta)` inputs per key).
+pub type ItemFleet = TrackerFleet<Box<dyn ItemTracker + Send>, (u64, i64)>;
+
+impl<T, In> TrackerFleet<T, In>
+where
+    T: Tracker<In> + Send,
+    In: InputDelta + Send,
+{
+    /// Build a fleet whose keys each track with a tracker from `factory`.
+    ///
+    /// The factory is keyless on purpose: every key must behave exactly
+    /// like the same standalone tracker (same spec, same seeds), which is
+    /// the fleet's bit-identity contract. `cfg.shards` fixes the key →
+    /// shard routing for the fleet's lifetime; `cfg.workers` and
+    /// `cfg.fleet_cache` are pure execution knobs.
+    pub fn with_factory<F>(cfg: EngineConfig, factory: F) -> Result<Self, EngineError>
+    where
+        F: Fn() -> Result<T, BuildError> + Send + Sync + 'static,
+    {
+        cfg.validate()?;
+        let factory: Arc<dyn Fn() -> Result<T, BuildError> + Send + Sync> = Arc::new(factory);
+        let prototype = factory().map_err(EngineError::Build)?;
+        let proto = Arc::new(prototype.snapshot().map_err(EngineError::Codec)?);
+        let proto_stats = Arc::new(prototype.stats().clone());
+        let kind = prototype.kind();
+        let k = prototype.k();
+        let shards = (0..cfg.shards_count())
+            .map(|_| ShardSlab::new(kind, k))
+            .collect();
+        Ok(TrackerFleet {
+            cfg,
+            factory,
+            proto,
+            proto_stats,
+            kind,
+            k,
+            deletions_ok: kind.supports_deletions(),
+            shards,
+            time: 0,
+            f: 0,
+            agg_estimate: 0,
+            boundaries: 0,
+            key_violations: 0,
+            agg_violations: 0,
+            max_err: 0.0,
+            tracker_stats: CommStats::new(),
+            ingest_stats: IngestStats::new(),
+            staged_total: 0,
+            memo_key: 0,
+            memo_shard: 0,
+            memo_slot: NONE_U32,
+        })
+    }
+
+    /// Rebuild a fleet from a [`FleetCheckpoint`]: `factory` must
+    /// reproduce the original build (same spec — kind, k, ε, seeds), and
+    /// `cfg` must agree on the **logical** shard count. The worker count
+    /// and cache capacity are free — resuming onto different ones is the
+    /// rescaling seam, and is exact.
+    pub fn with_factory_resume<F>(
+        cfg: EngineConfig,
+        ckpt: &FleetCheckpoint,
+        factory: F,
+    ) -> Result<Self, EngineError>
+    where
+        F: Fn() -> Result<T, BuildError> + Send + Sync + 'static,
+    {
+        if cfg.shards_count() != ckpt.shards() {
+            return Err(EngineError::CheckpointMismatch {
+                what: "logical shard count",
+                expected: cfg.shards_count() as u64,
+                found: ckpt.shards() as u64,
+            });
+        }
+        let mut fleet = Self::with_factory(cfg, factory)?;
+        if fleet.kind != ckpt.kind {
+            return Err(EngineError::CheckpointMismatch {
+                what: "tracker kind tag",
+                expected: kind_tag(fleet.kind) as u64,
+                found: kind_tag(ckpt.kind) as u64,
+            });
+        }
+        if fleet.k != ckpt.k {
+            return Err(EngineError::CheckpointMismatch {
+                what: "site count",
+                expected: fleet.k as u64,
+                found: ckpt.k as u64,
+            });
+        }
+        let n_shards = fleet.shards.len() as u64;
+        for (s, records) in ckpt.shards.iter().enumerate() {
+            for rec in records {
+                let route = hash_item(rec.key) % n_shards;
+                if route != s as u64 {
+                    return Err(EngineError::CheckpointMismatch {
+                        what: "key → shard routing",
+                        expected: s as u64,
+                        found: route,
+                    });
+                }
+                let shard = &mut fleet.shards[s];
+                if shard.index.get(rec.key).is_some() {
+                    return Err(EngineError::CheckpointMismatch {
+                        what: "unique fleet keys per shard",
+                        expected: 1,
+                        found: 2,
+                    });
+                }
+                let sid = shard.slots.len() as u32;
+                shard.slots.push(Slot {
+                    key: rec.key,
+                    off: shard.arena.len(),
+                    len: rec.state.len() as u32,
+                    cached: NONE_U32,
+                    head: NONE_U32,
+                    tail: NONE_U32,
+                    estimate: rec.estimate,
+                    f: rec.f,
+                    updates: rec.updates,
+                    violations: rec.violations,
+                });
+                shard.arena.extend_from_slice(&rec.state);
+                shard.index.insert(rec.key, sid);
+                fleet.agg_estimate += rec.estimate;
+            }
+        }
+        fleet.time = ckpt.time;
+        fleet.f = ckpt.f;
+        fleet.boundaries = ckpt.boundaries;
+        fleet.key_violations = ckpt.key_violations;
+        fleet.agg_violations = ckpt.agg_violations;
+        fleet.max_err = ckpt.max_err;
+        fleet.tracker_stats = ckpt.tracker_stats.clone();
+        Ok(fleet)
+    }
+
+    /// The fleet configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// The tracker kind every key runs.
+    pub fn kind(&self) -> TrackerKind {
+        self.kind
+    }
+
+    /// Sites per keyed tracker.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Updates applied (staged updates not yet included).
+    pub fn time(&self) -> Time {
+        self.time
+    }
+
+    /// Fleet-wide ground truth Σ_key f_key.
+    pub fn f(&self) -> i64 {
+        self.f
+    }
+
+    /// Fleet-wide Σ_key boundary estimates.
+    pub fn aggregate_estimate(&self) -> i64 {
+        self.agg_estimate
+    }
+
+    /// Live keys across the fleet.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.slots.len()).sum()
+    }
+
+    /// True before the first key is seen.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.slots.is_empty())
+    }
+
+    /// Batch boundaries cut so far.
+    pub fn boundaries(&self) -> u64 {
+        self.boundaries
+    }
+
+    /// Per-key boundary ε-violations so far.
+    pub fn key_violations(&self) -> u64 {
+        self.key_violations
+    }
+
+    /// Aggregate (Σf vs Σf̂) boundary ε-violations so far.
+    pub fn aggregate_violations(&self) -> u64 {
+        self.agg_violations
+    }
+
+    /// Worst per-key boundary relative error seen so far.
+    pub fn max_rel_err(&self) -> f64 {
+        self.max_err
+    }
+
+    /// Cumulative in-protocol traffic, summed over every key's tracker —
+    /// exactly Σ_key of what each key's standalone twin would report.
+    pub fn comm_stats(&self) -> &CommStats {
+        &self.tracker_stats
+    }
+
+    /// Cumulative pipelined-ingestion ledger.
+    pub fn ingest_stats(&self) -> &IngestStats {
+        &self.ingest_stats
+    }
+
+    /// The logical shard owning `key` — a pure function of the key and
+    /// the shard count, stable across workers, rescaling, and resume.
+    pub fn shard_of(&self, key: u64) -> usize {
+        (hash_item(key) % self.shards.len() as u64) as usize
+    }
+
+    /// Memory accounting summed over shards.
+    pub fn memory(&self) -> FleetMemory {
+        let mut mem = FleetMemory::default();
+        for shard in &self.shards {
+            shard.memory_into(&mut mem);
+        }
+        mem
+    }
+
+    /// Stage one update for `key` at site 0 (single-site convenience).
+    pub fn update(&mut self, key: u64, input: In) -> Result<(), EngineError> {
+        self.update_at(key, 0, input)
+    }
+
+    /// Stage one update for `key` arriving at `site`, cutting a batch
+    /// boundary automatically once `cfg.batch` updates are staged.
+    pub fn update_at(&mut self, key: u64, site: SiteId, input: In) -> Result<(), EngineError> {
+        if site >= self.k {
+            return Err(RunError::SiteOutOfRange {
+                site,
+                k: self.k,
+                time: self.time + self.staged_total as u64 + 1,
+            }
+            .into());
+        }
+        if !self.deletions_ok && input.delta_of() < 0 {
+            return Err(RunError::DeletionUnsupported {
+                kind: self.kind,
+                time: self.time + self.staged_total as u64 + 1,
+            }
+            .into());
+        }
+        if self.memo_slot != NONE_U32 && key == self.memo_key {
+            self.shards[self.memo_shard as usize].stage_at(self.memo_slot, site, input);
+        } else {
+            let s = self.shard_of(key);
+            let sid = self.shards[s].stage(key, site, input);
+            self.memo_key = key;
+            self.memo_shard = s as u32;
+            self.memo_slot = sid;
+        }
+        self.staged_total += 1;
+        if self.staged_total >= self.cfg.batch_size() {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Cut a batch boundary now: apply every staged chain, audit every
+    /// touched key (and the fleet aggregate) against ε, and advance the
+    /// clock. A no-op when nothing is staged.
+    pub fn flush(&mut self) -> Result<(), EngineError> {
+        if self.staged_total == 0 {
+            return Ok(());
+        }
+        let n = self.staged_total as u64;
+        let workers = self.cfg.workers_count().min(self.shards.len()).max(1);
+        let eps = self.cfg.eps_value();
+        let cap = self.cfg.fleet_cache_capacity();
+        let gc_floor = self.cfg.fleet_gc_floor();
+        let factory = Arc::clone(&self.factory);
+        let proto = Arc::clone(&self.proto);
+        let proto_stats = Arc::clone(&self.proto_stats);
+        let mut outs: Vec<(usize, ApplyOut)> = Vec::new();
+        if workers <= 1 {
+            for (sid, shard) in self.shards.iter_mut().enumerate() {
+                if shard.touched.is_empty() {
+                    continue;
+                }
+                outs.push((
+                    sid,
+                    shard.apply(eps, &*factory, &proto, &proto_stats, cap, gc_floor)?,
+                ));
+            }
+        } else {
+            let mut groups: Vec<Vec<(usize, &mut ShardSlab<T, In>)>> =
+                (0..workers).map(|_| Vec::new()).collect();
+            for (sid, shard) in self.shards.iter_mut().enumerate() {
+                if shard.touched.is_empty() {
+                    continue;
+                }
+                groups[sid % workers].push((sid, shard));
+            }
+            let results = std::thread::scope(|scope| {
+                let handles: Vec<_> = groups
+                    .into_iter()
+                    .filter(|g| !g.is_empty())
+                    .map(|group| {
+                        let factory = Arc::clone(&factory);
+                        let proto = Arc::clone(&proto);
+                        let proto_stats = Arc::clone(&proto_stats);
+                        scope.spawn(move || -> Result<Vec<(usize, ApplyOut)>, EngineError> {
+                            let mut outs = Vec::with_capacity(group.len());
+                            for (sid, shard) in group {
+                                outs.push((
+                                    sid,
+                                    shard.apply(
+                                        eps,
+                                        &*factory,
+                                        &proto,
+                                        &proto_stats,
+                                        cap,
+                                        gc_floor,
+                                    )?,
+                                ));
+                            }
+                            Ok(outs)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("fleet worker panicked"))
+                    .collect::<Vec<_>>()
+            });
+            for r in results {
+                outs.extend(r?);
+            }
+        }
+        // Reconcile in shard order so worker placement never shows in
+        // any scalar or ledger.
+        outs.sort_unstable_by_key(|&(sid, _)| sid);
+        for (_, out) in &outs {
+            self.f += out.f_delta;
+            self.agg_estimate += out.est_delta;
+            self.key_violations += out.violations;
+            if out.max_err > self.max_err {
+                self.max_err = out.max_err;
+            }
+            self.tracker_stats.merge(&out.stats_delta);
+        }
+        self.time += n;
+        self.staged_total = 0;
+        self.boundaries += 1;
+        // Aggregate ε-audit: the fleet-wide Σf̂ versus Σf. Each term is
+        // ε-accurate, so the sum of one-signed truths is too; the audit
+        // records when mixed-sign cancellation breaks that.
+        if relative_error(self.f, self.agg_estimate) > eps * (1.0 + 1e-12) {
+            self.agg_violations += 1;
+        }
+        Ok(())
+    }
+
+    /// The key's estimate as of the last batch boundary (`None` for a
+    /// never-seen key; 0 for a key staged but not yet flushed).
+    pub fn estimate(&self, key: u64) -> Option<i64> {
+        let shard = &self.shards[self.shard_of(key)];
+        shard
+            .index
+            .get(key)
+            .map(|sid| shard.slots[sid as usize].estimate)
+    }
+
+    /// The key's full audit line (`None` for a never-seen key).
+    pub fn key_audit(&self, key: u64) -> Option<KeyAudit> {
+        let shard = &self.shards[self.shard_of(key)];
+        shard.index.get(key).map(|sid| {
+            let slot = &shard.slots[sid as usize];
+            KeyAudit {
+                key: slot.key,
+                f: slot.f,
+                estimate: slot.estimate,
+                updates: slot.updates,
+                violations: slot.violations,
+            }
+        })
+    }
+
+    /// The `k` keys with the largest boundary estimates, descending, ties
+    /// broken toward the smaller key. One heap pass over the slots —
+    /// `O(keys · log k)`, no per-key tracker is touched.
+    pub fn top_k(&self, k: usize) -> Vec<(u64, i64)> {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        if k == 0 {
+            return Vec::new();
+        }
+        let mut heap: BinaryHeap<Reverse<(i64, Reverse<u64>)>> = BinaryHeap::with_capacity(k + 1);
+        for shard in &self.shards {
+            for slot in &shard.slots {
+                heap.push(Reverse((slot.estimate, Reverse(slot.key))));
+                if heap.len() > k {
+                    heap.pop();
+                }
+            }
+        }
+        let mut out: Vec<(u64, i64)> = heap
+            .into_iter()
+            .map(|Reverse((est, Reverse(key)))| (key, est))
+            .collect();
+        out.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Change the worker count for subsequent boundaries. Workers are a
+    /// pure execution knob: estimates, audits, ledgers, and checkpoint
+    /// bytes are bit-identical for any count ≥ 1.
+    pub fn rescale(&mut self, workers: usize) -> Result<(), EngineError> {
+        if workers == 0 {
+            return Err(EngineError::ZeroWorkers);
+        }
+        self.cfg = self.cfg.workers(workers);
+        Ok(())
+    }
+
+    /// Run a keyed stream synchronously: stage every `(key, input)` at
+    /// site 0 in order, cut the final boundary, and report.
+    pub fn run(&mut self, stream: &[(u64, In)]) -> Result<FleetReport, EngineError> {
+        let started = Instant::now();
+        let mark = self.mark();
+        for &(key, input) in stream {
+            self.update_at(key, 0, input)?;
+        }
+        self.flush()?;
+        Ok(self.finish_report(mark, started))
+    }
+
+    /// Checkpoint the whole fleet. Cuts a boundary first (staged updates
+    /// are applied — a checkpoint mid-batch is an early boundary), then
+    /// serializes every key without disturbing the cache.
+    pub fn checkpoint(&mut self) -> Result<FleetCheckpoint, EngineError> {
+        self.flush()?;
+        let mut shards = Vec::with_capacity(self.shards.len());
+        for shard in &self.shards {
+            shards.push(shard.records(&self.proto)?);
+        }
+        Ok(FleetCheckpoint {
+            kind: self.kind,
+            k: self.k,
+            time: self.time,
+            f: self.f,
+            boundaries: self.boundaries,
+            key_violations: self.key_violations,
+            agg_violations: self.agg_violations,
+            max_err: self.max_err,
+            tracker_stats: self.tracker_stats.clone(),
+            shards,
+        })
+    }
+
+    /// Run with pipelined keyed ingestion: one bounded queue per feed,
+    /// the feeder closure producing `(key, input)` pushes on the caller
+    /// thread while a driver drains feeds in index order, one batch-sized
+    /// round per feed per cycle (so the boundary schedule is a pure
+    /// function of the pushed sequences — bit-identical to [`Self::run`] for a
+    /// single feed). `sites[i]` is the site feed `i`'s traffic arrives
+    /// at. Dropping or closing every handle ends the run; handles are
+    /// force-closed after the feeder returns.
+    pub fn run_pipelined<F>(
+        &mut self,
+        sites: &[SiteId],
+        feeder: F,
+    ) -> Result<FleetReport, EngineError>
+    where
+        F: FnOnce(Vec<FleetFeed<In>>),
+    {
+        let started = Instant::now();
+        for &site in sites {
+            if site >= self.k {
+                return Err(RunError::SiteOutOfRange {
+                    site,
+                    k: self.k,
+                    time: self.time,
+                }
+                .into());
+            }
+        }
+        let mark = self.mark();
+        let batch = self.cfg.batch_size();
+        let queue_cap = self.cfg.queue_capacity_value();
+        let policy = self.cfg.backpressure_policy();
+        let deletions_ok = self.deletions_ok;
+        let rings: Vec<Arc<Ring<(u64, In)>>> = sites
+            .iter()
+            .map(|_| Arc::new(Ring::new(queue_cap)))
+            .collect();
+        let handles: Vec<FleetFeed<In>> = rings
+            .iter()
+            .enumerate()
+            .map(|(i, ring)| FleetFeed::new(Arc::clone(ring), i, policy, deletions_ok))
+            .collect();
+        let fleet = &mut *self;
+        let outcome = std::thread::scope(|scope| {
+            let rings = &rings;
+            let driver = scope.spawn(move || -> Result<(), EngineError> {
+                let mut buf: Vec<(u64, In)> = Vec::with_capacity(batch);
+                let mut done = vec![false; rings.len()];
+                let drive = (|| -> Result<(), EngineError> {
+                    loop {
+                        let mut any = false;
+                        for fi in 0..rings.len() {
+                            if done[fi] {
+                                continue;
+                            }
+                            buf.clear();
+                            rings[fi].pop_round(&mut buf, batch);
+                            if buf.len() < batch {
+                                done[fi] = true;
+                            }
+                            if buf.is_empty() {
+                                continue;
+                            }
+                            any = true;
+                            let site = sites[fi];
+                            for &(key, input) in buf.iter() {
+                                fleet.update_at(key, site, input)?;
+                            }
+                        }
+                        if !any {
+                            return Ok(());
+                        }
+                    }
+                })();
+                let result = drive.and_then(|()| fleet.flush());
+                if result.is_err() {
+                    // Unblock any feeder still pushing before surfacing
+                    // the error.
+                    for ring in rings.iter() {
+                        ring.close();
+                    }
+                }
+                result
+            });
+            feeder(handles);
+            for ring in rings.iter() {
+                ring.close();
+            }
+            driver.join().expect("fleet pipeline driver panicked")
+        });
+        for ring in &rings {
+            ring.drain_stats(&mut self.ingest_stats);
+        }
+        outcome?;
+        Ok(self.finish_report(mark, started))
+    }
+
+    fn mark(&self) -> Mark {
+        Mark {
+            time: self.time,
+            boundaries: self.boundaries,
+            key_violations: self.key_violations,
+            agg_violations: self.agg_violations,
+        }
+    }
+
+    fn finish_report(&self, mark: Mark, started: Instant) -> FleetReport {
+        FleetReport {
+            n: self.time - mark.time,
+            boundaries: self.boundaries - mark.boundaries,
+            live_keys: self.len() as u64,
+            shards: self.cfg.shards_count(),
+            workers: self.cfg.workers_count(),
+            batch: self.cfg.batch_size(),
+            final_f: self.f,
+            final_estimate: self.agg_estimate,
+            key_violations: self.key_violations - mark.key_violations,
+            aggregate_violations: self.agg_violations - mark.agg_violations,
+            max_rel_err: self.max_err,
+            tracker_stats: self.tracker_stats.clone(),
+            ingest_stats: self.ingest_stats.clone(),
+            elapsed: started.elapsed(),
+        }
+    }
+}
+
+impl CounterFleet {
+    /// A fleet of counter trackers, every key built from `spec`.
+    pub fn counters(spec: TrackerSpec, cfg: EngineConfig) -> Result<Self, EngineError> {
+        Self::with_factory(cfg, move || spec.build())
+    }
+
+    /// Resume a counter fleet from a checkpoint taken under `spec`.
+    pub fn resume(
+        spec: TrackerSpec,
+        cfg: EngineConfig,
+        ckpt: &FleetCheckpoint,
+    ) -> Result<Self, EngineError> {
+        Self::with_factory_resume(cfg, ckpt, move || spec.build())
+    }
+}
+
+impl ItemFleet {
+    /// A fleet of item-frequency trackers, every key built from `spec`.
+    pub fn items(spec: TrackerSpec, cfg: EngineConfig) -> Result<Self, EngineError> {
+        Self::with_factory(cfg, move || spec.build_item())
+    }
+
+    /// Resume an item fleet from a checkpoint taken under `spec`.
+    pub fn resume(
+        spec: TrackerSpec,
+        cfg: EngineConfig,
+        ckpt: &FleetCheckpoint,
+    ) -> Result<Self, EngineError> {
+        Self::with_factory_resume(cfg, ckpt, move || spec.build_item())
+    }
+}
+
+impl<T> TrackerFleet<T, (u64, i64)>
+where
+    T: ItemTracker + Send,
+{
+    /// The key's per-item frequency estimate as of the last boundary.
+    /// Materializes the key's tracker (possibly evicting another), which
+    /// is why this takes `&mut self`; results are unaffected.
+    pub fn estimate_item(&mut self, key: u64, item: u64) -> Result<i64, EngineError> {
+        let cap = self.cfg.fleet_cache_capacity();
+        let s = self.shard_of(key);
+        let factory = Arc::clone(&self.factory);
+        let proto = Arc::clone(&self.proto);
+        let shard = &mut self.shards[s];
+        let Some(sid) = shard.index.get(key) else {
+            return Err(EngineError::UnknownKey { key });
+        };
+        let ci = shard.materialize(sid, &*factory, proto.as_ref(), cap)?;
+        Ok(shard.cache[ci].tracker.estimate_item(item))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> TrackerSpec {
+        TrackerSpec::new(TrackerKind::Deterministic).eps(0.1)
+    }
+
+    fn cfg() -> EngineConfig {
+        EngineConfig::new(4, 8).eps(0.1)
+    }
+
+    #[test]
+    fn key_index_handles_growth_and_key_zero() {
+        let mut idx = KeyIndex::new();
+        for i in 0..1000u64 {
+            idx.insert(i * 7, i as u32);
+        }
+        for i in 0..1000u64 {
+            assert_eq!(idx.get(i * 7), Some(i as u32), "key {}", i * 7);
+        }
+        assert_eq!(idx.get(1), None);
+        assert_eq!(idx.get(0), Some(0));
+    }
+
+    #[test]
+    fn fleet_tracks_many_keys_with_per_key_truth() {
+        let mut fleet = CounterFleet::counters(spec(), cfg()).unwrap();
+        for round in 0..10 {
+            for key in 0..50u64 {
+                fleet.update(key, 1 + (key as i64 % 3)).unwrap();
+            }
+            let _ = round;
+        }
+        fleet.flush().unwrap();
+        assert_eq!(fleet.len(), 50);
+        assert_eq!(fleet.time(), 500);
+        for key in 0..50u64 {
+            let audit = fleet.key_audit(key).unwrap();
+            assert_eq!(audit.f, 10 * (1 + (key as i64 % 3)));
+            assert_eq!(audit.updates, 10);
+            assert_eq!(audit.violations, 0, "key {key} violated ε");
+        }
+        assert_eq!(
+            fleet.f(),
+            (0..50u64).map(|k| 10 * (1 + (k as i64 % 3))).sum::<i64>()
+        );
+        assert_eq!(fleet.key_violations(), 0);
+        assert!(fleet.max_rel_err() <= 0.1 * (1.0 + 1e-12));
+        assert_eq!(fleet.estimate(999), None);
+        assert!(fleet.key_audit(999).is_none());
+    }
+
+    #[test]
+    fn tiny_cache_matches_large_cache_bit_for_bit() {
+        let run = |cache: usize| {
+            let mut fleet = CounterFleet::counters(spec(), cfg().fleet_cache(cache)).unwrap();
+            let mut state = 0x9E37u64;
+            for t in 0..600 {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let key = (state >> 33) % 37;
+                fleet.update(key, 1 + (t % 4)).unwrap();
+            }
+            fleet.flush().unwrap();
+            (
+                (0..37u64).map(|k| fleet.estimate(k)).collect::<Vec<_>>(),
+                fleet.comm_stats().clone(),
+                fleet.checkpoint().unwrap().to_bytes(),
+            )
+        };
+        let tiny = run(1);
+        let large = run(1024);
+        assert_eq!(tiny.0, large.0, "estimates differ across cache sizes");
+        assert_eq!(tiny.1, large.1, "ledgers differ across cache sizes");
+        assert_eq!(
+            tiny.2, large.2,
+            "checkpoint bytes differ across cache sizes"
+        );
+    }
+
+    #[test]
+    fn worker_count_is_invisible_in_results() {
+        let run = |workers: usize| {
+            let mut fleet = CounterFleet::counters(spec(), cfg().workers(workers)).unwrap();
+            for t in 0..400u64 {
+                fleet.update(t % 23, 2).unwrap();
+            }
+            fleet.flush().unwrap();
+            fleet.checkpoint().unwrap().to_bytes()
+        };
+        assert_eq!(run(1), run(3));
+        assert_eq!(run(1), run(8));
+    }
+
+    #[test]
+    fn rescale_mid_stream_is_exact() {
+        let mut straight = CounterFleet::counters(spec(), cfg()).unwrap();
+        let mut rescaled = CounterFleet::counters(spec(), cfg()).unwrap();
+        for t in 0..150u64 {
+            straight.update(t % 11, 1).unwrap();
+            rescaled.update(t % 11, 1).unwrap();
+            if t == 70 {
+                rescaled.rescale(5).unwrap();
+            }
+        }
+        straight.flush().unwrap();
+        rescaled.flush().unwrap();
+        assert_eq!(
+            straight.checkpoint().unwrap().to_bytes(),
+            rescaled.checkpoint().unwrap().to_bytes()
+        );
+        assert!(matches!(rescaled.rescale(0), Err(EngineError::ZeroWorkers)));
+    }
+
+    #[test]
+    fn checkpoint_resume_continues_bit_identically() {
+        let mut fleet = CounterFleet::counters(spec(), cfg()).unwrap();
+        for t in 0..300u64 {
+            fleet.update(t % 17, 1 + (t as i64 % 2)).unwrap();
+        }
+        let ckpt = fleet.checkpoint().unwrap();
+        let bytes = ckpt.to_bytes();
+        let back = FleetCheckpoint::from_bytes(&bytes).unwrap();
+        assert_eq!(back, ckpt);
+        assert_eq!(back.keys(), 17);
+
+        let mut resumed = CounterFleet::resume(spec(), cfg().workers(4), &back).unwrap();
+        assert_eq!(resumed.time(), fleet.time());
+        assert_eq!(resumed.f(), fleet.f());
+        for t in 300..500u64 {
+            fleet.update(t % 17, 1 + (t as i64 % 2)).unwrap();
+            resumed.update(t % 17, 1 + (t as i64 % 2)).unwrap();
+        }
+        fleet.flush().unwrap();
+        resumed.flush().unwrap();
+        for key in 0..17u64 {
+            assert_eq!(resumed.estimate(key), fleet.estimate(key), "key {key}");
+            assert_eq!(resumed.key_audit(key), fleet.key_audit(key), "key {key}");
+        }
+        assert_eq!(resumed.comm_stats(), fleet.comm_stats());
+        assert_eq!(
+            resumed.checkpoint().unwrap().to_bytes(),
+            fleet.checkpoint().unwrap().to_bytes()
+        );
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_shape() {
+        let mut fleet = CounterFleet::counters(spec(), cfg()).unwrap();
+        fleet.update(1, 1).unwrap();
+        let ckpt = fleet.checkpoint().unwrap();
+        assert!(matches!(
+            CounterFleet::resume(spec(), EngineConfig::new(8, 8).eps(0.1), &ckpt),
+            Err(EngineError::CheckpointMismatch {
+                what: "logical shard count",
+                ..
+            })
+        ));
+        assert!(matches!(
+            CounterFleet::resume(TrackerSpec::new(TrackerKind::Naive).eps(0.1), cfg(), &ckpt),
+            Err(EngineError::CheckpointMismatch {
+                what: "tracker kind tag",
+                ..
+            })
+        ));
+        assert!(matches!(
+            CounterFleet::resume(
+                TrackerSpec::new(TrackerKind::Deterministic).k(2).eps(0.1),
+                cfg(),
+                &ckpt
+            ),
+            Err(EngineError::CheckpointMismatch {
+                what: "site count",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn top_k_orders_by_estimate_then_smaller_key() {
+        let mut fleet = CounterFleet::counters(spec(), cfg()).unwrap();
+        for (key, n) in [(5u64, 30i64), (9, 30), (2, 50), (7, 10)] {
+            for _ in 0..n {
+                fleet.update(key, 1).unwrap();
+            }
+        }
+        fleet.flush().unwrap();
+        let top = fleet.top_k(3);
+        assert_eq!(top.len(), 3);
+        assert_eq!(top[0].0, 2);
+        assert_eq!(top[1].0, 5, "tie must break toward the smaller key");
+        assert_eq!(top[2].0, 9);
+        assert!(top[0].1 >= top[1].1 && top[1].1 >= top[2].1);
+        assert_eq!(fleet.top_k(0), Vec::new());
+        assert_eq!(fleet.top_k(10).len(), 4);
+    }
+
+    #[test]
+    fn item_fleet_estimates_per_key_items() {
+        let spec = TrackerSpec::new(TrackerKind::ExactFreq)
+            .k(2)
+            .eps(0.25)
+            .universe(64);
+        let mut fleet = ItemFleet::items(spec, cfg()).unwrap();
+        for _ in 0..20 {
+            fleet.update_at(10, 0, (3, 1)).unwrap();
+            fleet.update_at(20, 1, (3, 1)).unwrap();
+            fleet.update_at(20, 1, (3, 1)).unwrap();
+        }
+        fleet.flush().unwrap();
+        let a = fleet.estimate_item(10, 3).unwrap();
+        let b = fleet.estimate_item(20, 3).unwrap();
+        assert_eq!(a, 20);
+        assert_eq!(b, 40);
+        assert!(matches!(
+            fleet.estimate_item(99, 3),
+            Err(EngineError::UnknownKey { key: 99 })
+        ));
+    }
+
+    #[test]
+    fn deletions_are_gated_by_kind() {
+        let mut mono =
+            CounterFleet::counters(TrackerSpec::new(TrackerKind::CmyMonotone).eps(0.1), cfg())
+                .unwrap();
+        assert!(matches!(
+            mono.update(1, -1),
+            Err(EngineError::Run(RunError::DeletionUnsupported { .. }))
+        ));
+        let mut fleet = CounterFleet::counters(
+            TrackerSpec::new(TrackerKind::Naive)
+                .eps(0.1)
+                .deletions(true),
+            cfg(),
+        )
+        .unwrap();
+        fleet.update(1, 5).unwrap();
+        fleet.update(1, -2).unwrap();
+        fleet.flush().unwrap();
+        assert_eq!(fleet.key_audit(1).unwrap().f, 3);
+        assert!(matches!(
+            fleet.update_at(1, 9, 1),
+            Err(EngineError::Run(RunError::SiteOutOfRange { site: 9, .. }))
+        ));
+    }
+
+    #[test]
+    fn pipelined_single_feed_matches_synchronous_run() {
+        let stream: Vec<(u64, i64)> = (0..500u64).map(|t| (t % 29, 1 + (t as i64 % 3))).collect();
+        let mut sync = CounterFleet::counters(spec(), cfg()).unwrap();
+        sync.run(&stream).unwrap();
+        let sync_ckpt = sync.checkpoint().unwrap().to_bytes();
+
+        let mut piped = CounterFleet::counters(spec(), cfg()).unwrap();
+        let report = piped
+            .run_pipelined(&[0], |mut feeds| {
+                let mut feed = feeds.pop().unwrap();
+                for &(key, input) in &stream {
+                    feed.push(key, input).unwrap();
+                }
+            })
+            .unwrap();
+        assert_eq!(piped.checkpoint().unwrap().to_bytes(), sync_ckpt);
+        assert_eq!(report.n, 500);
+        assert_eq!(report.ingest_stats.items, 500);
+        // Keyed counter deltas are two words each on the wire.
+        assert_eq!(report.ingest_stats.words, 1000);
+        assert_eq!(report.ingest_stats.dropped, 0);
+    }
+
+    #[test]
+    fn checkpoint_codec_rejects_corruption() {
+        let mut fleet = CounterFleet::counters(spec(), cfg()).unwrap();
+        for t in 0..64u64 {
+            fleet.update(t % 5, 1).unwrap();
+        }
+        let bytes = fleet.checkpoint().unwrap().to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(
+                FleetCheckpoint::from_bytes(&bytes[..cut]).is_err(),
+                "cut at {cut} decoded"
+            );
+        }
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert_eq!(
+            FleetCheckpoint::from_bytes(&trailing),
+            Err(CodecError::Trailing { left: 1 })
+        );
+        let mut skew = bytes.clone();
+        skew[4] = (FLEET_VERSION + 1) as u8;
+        assert!(matches!(
+            FleetCheckpoint::from_bytes(&skew),
+            Err(CodecError::UnsupportedVersion { .. })
+        ));
+        let mut bad_kind = bytes;
+        bad_kind[6] = 200;
+        assert!(matches!(
+            FleetCheckpoint::from_bytes(&bad_kind),
+            Err(CodecError::BadTag { tag: 200, .. })
+        ));
+    }
+
+    #[test]
+    fn memory_accounts_slabs_and_gc_compacts() {
+        let mut fleet =
+            CounterFleet::counters(spec(), cfg().fleet_cache(1).fleet_gc_bytes(64)).unwrap();
+        let mut state = 7u64;
+        for _ in 0..4000 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            fleet.update((state >> 40) % 200, 1).unwrap();
+        }
+        fleet.flush().unwrap();
+        let mem = fleet.memory();
+        assert_eq!(mem.keys, fleet.len() as u64);
+        assert!(mem.arena_bytes > 0);
+        assert!(mem.total_bytes() > 0);
+        assert_eq!(mem.staged_inputs, 0);
+        // With a one-entry cache and a 64-byte floor, eviction churn must
+        // have compacted: garbage stays bounded by live bytes + floor.
+        assert!(
+            mem.arena_garbage <= mem.arena_bytes,
+            "garbage {} exceeds arena {}",
+            mem.arena_garbage,
+            mem.arena_bytes
+        );
+    }
+}

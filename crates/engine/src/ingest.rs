@@ -563,6 +563,172 @@ impl<In: Copy> Drop for ShardFeed<In> {
     }
 }
 
+/// The producer handle for one feed of a pipelined **fleet** run: push
+/// `(key, input)` deltas into a bounded queue drained by the fleet
+/// driver ([`crate::TrackerFleet::run_pipelined`]).
+///
+/// Same discipline as [`ShardFeed`]: one handle per feed, single
+/// producer by ownership (not `Clone`), dropping closes, and the
+/// configured [`Backpressure`] policy applies when the queue fills.
+/// Unlike a [`ShardFeed`], a fleet feed is not tied to a site or shard —
+/// the key routes each delta to its shard on the consumer side, which is
+/// why the traffic is charged as *keyed* frames
+/// ([`FeedFrame::for_keyed_chunk`]: every input ships its routing key as
+/// one extra word) to the fleet's [`IngestStats`] ledger.
+#[derive(Debug)]
+pub struct FleetFeed<In: Copy> {
+    ring: Arc<Ring<(u64, In)>>,
+    feed: usize,
+    policy: Backpressure,
+    deletions_ok: bool,
+    closed: bool,
+}
+
+impl<In: InputDelta> FleetFeed<In> {
+    pub(crate) fn new(
+        ring: Arc<Ring<(u64, In)>>,
+        feed: usize,
+        policy: Backpressure,
+        deletions_ok: bool,
+    ) -> Self {
+        FleetFeed {
+            ring,
+            feed,
+            policy,
+            deletions_ok,
+            closed: false,
+        }
+    }
+
+    /// This feed's index among the run's feeds (drain order).
+    pub fn feed(&self) -> usize {
+        self.feed
+    }
+
+    /// The queue's capacity in keyed inputs.
+    pub fn capacity(&self) -> usize {
+        self.ring.cap
+    }
+
+    /// Keyed inputs currently resident in the queue (racy snapshot).
+    pub fn occupancy(&self) -> u64 {
+        self.ring.occupancy()
+    }
+
+    fn check_open(&self, pushed: usize) -> Result<(), FeedError> {
+        if self.closed || self.ring.is_closed() {
+            Err(FeedError::Closed { pushed })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Charge one keyed frame of `items` enqueued inputs.
+    fn charge(&self, items: usize) {
+        let frame = FeedFrame::for_keyed_chunk(self.feed, items, In::WORDS);
+        let r = &self.ring;
+        r.items.fetch_add(frame.items as u64, Ordering::Relaxed);
+        r.words.fetch_add(frame.words as u64, Ordering::Relaxed);
+        let occupancy = r.occupancy();
+        r.frames.fetch_add(1, Ordering::Relaxed);
+        r.occ_sum.fetch_add(occupancy, Ordering::Relaxed);
+        r.occ_samples.fetch_add(1, Ordering::Relaxed);
+        r.high_water.fetch_max(occupancy, Ordering::Relaxed);
+    }
+
+    /// Push one keyed delta, honoring the configured [`Backpressure`]
+    /// policy when the queue is full.
+    pub fn push(&mut self, key: u64, input: In) -> Result<(), FeedError> {
+        self.push_batch(&[(key, input)])
+    }
+
+    /// Push one keyed delta without ever waiting, regardless of policy:
+    /// [`FeedError::Full`] if the queue has no space right now.
+    pub fn try_push(&mut self, key: u64, input: In) -> Result<(), FeedError> {
+        self.check_open(0)?;
+        if !self.deletions_ok && input.delta_of() < 0 {
+            return Err(FeedError::DeletionUnsupported { at: 0 });
+        }
+        if self.ring.push_some(&[(key, input)]) == 1 {
+            self.charge(1);
+            Ok(())
+        } else {
+            Err(FeedError::Full { pushed: 0 })
+        }
+    }
+
+    /// Push a chunk of keyed deltas in order; identical contract to
+    /// [`ShardFeed::push_batch`] (validated before transport, `pushed`
+    /// counts the landed prefix on error).
+    pub fn push_batch(&mut self, xs: &[(u64, In)]) -> Result<(), FeedError> {
+        self.check_open(0)?;
+        if !self.deletions_ok {
+            if let Some(at) = xs.iter().position(|&(_, x)| x.delta_of() < 0) {
+                return Err(FeedError::DeletionUnsupported { at });
+            }
+        }
+        let mut pushed = 0;
+        let mut stalled = false;
+        while pushed < xs.len() {
+            if let Err(e) = self.check_open(pushed) {
+                if pushed > 0 {
+                    self.charge(pushed);
+                }
+                return Err(e);
+            }
+            let n = self.ring.push_some(&xs[pushed..]);
+            pushed += n;
+            if pushed == xs.len() {
+                break;
+            }
+            match self.policy {
+                Backpressure::Error => {
+                    if pushed > 0 {
+                        self.charge(pushed);
+                    }
+                    return Err(FeedError::Full { pushed });
+                }
+                Backpressure::Yield => {
+                    if !stalled {
+                        stalled = true;
+                        self.ring.push_stalls.fetch_add(1, Ordering::Relaxed);
+                    }
+                    std::thread::yield_now();
+                }
+                Backpressure::Block => {
+                    if !stalled {
+                        stalled = true;
+                        self.ring.push_stalls.fetch_add(1, Ordering::Relaxed);
+                    }
+                    self.ring.wait_not_full();
+                }
+            }
+        }
+        if pushed > 0 {
+            self.charge(pushed);
+        }
+        Ok(())
+    }
+
+    /// Close the feed: the fleet drains what was pushed and stops
+    /// expecting data. Idempotent; also performed on drop.
+    pub fn close(&mut self) {
+        if !self.closed {
+            self.closed = true;
+            self.ring.close();
+        }
+    }
+}
+
+impl<In: Copy> Drop for FleetFeed<In> {
+    fn drop(&mut self) {
+        if !self.closed {
+            self.closed = true;
+            self.ring.close();
+        }
+    }
+}
+
 #[cfg(feature = "async-ingest")]
 mod async_feed {
     //! Runtime-agnostic async pushes (`async-ingest` feature): plain
@@ -835,6 +1001,33 @@ mod tests {
             cons.pop_round(&mut out, 500);
             assert_eq!(out.len(), 500);
         });
+    }
+
+    #[test]
+    fn fleet_feed_charges_keyed_frames_and_validates_deletions() {
+        let ring: Arc<Ring<(u64, i64)>> = Arc::new(Ring::new(16));
+        let mut feed = FleetFeed::new(Arc::clone(&ring), 3, Backpressure::Error, false);
+        assert_eq!(feed.feed(), 3);
+        assert_eq!(feed.capacity(), 16);
+        feed.push(7, 1).unwrap();
+        feed.push_batch(&[(7, 2), (9, 1)]).unwrap();
+        assert_eq!(
+            feed.push_batch(&[(1, 1), (2, -1)]),
+            Err(FeedError::DeletionUnsupported { at: 1 })
+        );
+        assert_eq!(feed.occupancy(), 3);
+        let mut out = Vec::new();
+        ring.pop_round(&mut out, 3);
+        assert_eq!(out, vec![(7, 1), (7, 2), (9, 1)]);
+        let mut stats = IngestStats::new();
+        ring.drain_stats(&mut stats);
+        assert_eq!(stats.frames, 2);
+        assert_eq!(stats.items, 3);
+        // Keyed counter deltas are two words each: key + delta.
+        assert_eq!(stats.words, 6);
+        feed.close();
+        assert_eq!(feed.push(1, 1), Err(FeedError::Closed { pushed: 0 }));
+        assert_eq!(feed.try_push(1, 1), Err(FeedError::Closed { pushed: 0 }));
     }
 
     #[test]

@@ -45,6 +45,13 @@
 //! bit-identical to `run_parted`). The optional `async-ingest` feature
 //! adds runtime-agnostic `push_async` futures to the feed handles.
 //!
+//! For multi-tenant workloads — millions of independent `(tenant,
+//! metric)` functions rather than one big one — the [`fleet`] module's
+//! [`TrackerFleet`] serves keyed trackers out of per-shard state slabs
+//! with the same boundary discipline, per-key ε-audits, fleet-wide
+//! queries ([`TrackerFleet::top_k`]), keyed pipelined ingestion
+//! ([`FleetFeed`]), and a versioned [`FleetCheckpoint`].
+//!
 //! ```
 //! use dsv_core::api::{TrackerKind, TrackerSpec};
 //! use dsv_engine::{EngineConfig, ShardedEngine};
@@ -65,6 +72,7 @@
 
 mod checkpoint;
 mod config;
+pub mod fleet;
 pub mod ingest;
 mod merge;
 mod partition;
@@ -75,7 +83,11 @@ mod sharded;
 
 pub use checkpoint::{EngineCheckpoint, CHECKPOINT_MAGIC, CHECKPOINT_VERSION};
 pub use config::{EngineConfig, EngineError};
-pub use ingest::{Backpressure, FeedError, ShardFeed};
+pub use fleet::{
+    CounterFleet, FleetCheckpoint, FleetMemory, FleetReport, ItemFleet, KeyAudit, TrackerFleet,
+    FLEET_MAGIC, FLEET_VERSION,
+};
+pub use ingest::{Backpressure, FeedError, FleetFeed, ShardFeed};
 pub use partition::{InputDelta, Partition, ShardRecord};
 pub use report::EngineReport;
 pub use sharded::{CounterEngine, ItemEngine, ShardedEngine};

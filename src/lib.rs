@@ -77,8 +77,10 @@ pub mod prelude {
         RemoteError, RemoteTransport, SpawnMode,
     };
     pub use dsv_engine::{
-        Backpressure, CounterEngine, EngineCheckpoint, EngineConfig, EngineError, EngineReport,
-        FeedError, InputDelta, ItemEngine, Partition, ShardFeed, ShardRecord, ShardedEngine,
+        Backpressure, CounterEngine, CounterFleet, EngineCheckpoint, EngineConfig, EngineError,
+        EngineReport, FeedError, FleetCheckpoint, FleetFeed, FleetMemory, FleetReport, InputDelta,
+        ItemEngine, ItemFleet, KeyAudit, Partition, ShardFeed, ShardRecord, ShardedEngine,
+        TrackerFleet,
     };
     pub use dsv_gen::{
         assign_updates, prefix_values, AdversarialGen, DeltaGen, FlipFamilyGen, HashAssign,

@@ -179,3 +179,76 @@ fn engine_checkpoints_survive_the_same_gauntlet() {
     ));
     assert!(!err.to_string().is_empty());
 }
+
+#[test]
+fn fleet_checkpoints_survive_the_same_gauntlet() {
+    let spec = TrackerSpec::new(TrackerKind::Deterministic)
+        .k(2)
+        .eps(0.15)
+        .deletions(true);
+    let mut fleet = CounterFleet::counters(spec, EngineConfig::new(4, 64).eps(0.15)).unwrap();
+    let mut s = 19u64;
+    for _ in 0..1_024 {
+        let key = lcg(&mut s) % 31;
+        let site = (lcg(&mut s) % 2) as usize;
+        let delta = if lcg(&mut s).is_multiple_of(6) { -1 } else { 1 };
+        fleet.update_at(key, site, delta).unwrap();
+    }
+    let bytes = fleet.checkpoint().unwrap().to_bytes();
+
+    // Every-byte truncation is a typed error, never a panic.
+    for cut in 0..bytes.len() {
+        assert!(
+            FleetCheckpoint::from_bytes(&bytes[..cut]).is_err(),
+            "cut at {cut} decoded"
+        );
+    }
+    // Every-byte corruption must not panic or blow up allocation; a flip
+    // may land in a scalar and decode, which is fine.
+    for i in 0..bytes.len() {
+        let mut evil = bytes.clone();
+        evil[i] ^= 0xA5;
+        let _ = FleetCheckpoint::from_bytes(&evil);
+    }
+    // Envelope flips (magic, version, kind tag) are always rejected.
+    for i in 0..7 {
+        let mut evil = bytes.clone();
+        evil[i] ^= 0xA5;
+        assert!(
+            FleetCheckpoint::from_bytes(&evil).is_err(),
+            "fleet envelope flip at byte {i} was accepted"
+        );
+    }
+    // Version skew and trailing garbage are the specific typed errors.
+    let mut future = bytes.clone();
+    future[4] = 0x7F;
+    future[5] = 0x01;
+    assert!(matches!(
+        FleetCheckpoint::from_bytes(&future),
+        Err(CodecError::UnsupportedVersion { .. })
+    ));
+    let mut trailing = bytes.clone();
+    trailing.extend_from_slice(&[9, 9]);
+    assert!(matches!(
+        FleetCheckpoint::from_bytes(&trailing),
+        Err(CodecError::Trailing { left: 2 })
+    ));
+
+    // The round-trip itself is exact, and shape disagreements at resume
+    // are typed engine errors.
+    let restored = FleetCheckpoint::from_bytes(&bytes).unwrap();
+    assert_eq!(restored.kind(), TrackerKind::Deterministic);
+    assert_eq!(restored.shards(), 4);
+    let err = match CounterFleet::resume(spec, EngineConfig::new(5, 64).eps(0.15), &restored) {
+        Err(e) => e,
+        Ok(_) => panic!("resume onto a disagreeing shard count was accepted"),
+    };
+    assert!(matches!(
+        err,
+        EngineError::CheckpointMismatch {
+            what: "logical shard count",
+            ..
+        }
+    ));
+    assert!(!err.to_string().is_empty());
+}
