@@ -15,12 +15,17 @@
 #   ./ci.sh                            # default features
 #   DSV_FEATURES=async-ingest ./ci.sh  # the async-ingest feature seam
 #   DSV_FEATURES=remote ./ci.sh        # distributed shards + failover
+#   DSV_FEATURES=async-ingest,remote ./ci.sh  # both seams combined
+#
+# DSV_STEP_BUDGET_SECS=<n> (default off) fails an otherwise-green run if
+# any single step took longer than n seconds — the per-step wall clocks
+# are also written to target/ci/ci_times.json for machine consumption.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 # Cargo feature flags for this run (the workflow matrix sets
-# DSV_FEATURES; empty means default features). The dsv facade forwards
-# each feature to the member crates that implement it.
+# DSV_FEATURES; empty means default features, commas combine seams). The
+# dsv facade forwards each feature to the member crates that implement it.
 # Possibly-empty arrays are expanded with the ${arr[@]+"${arr[@]}"}
 # idiom throughout: plain "${arr[@]}" on an empty array trips set -u on
 # bash < 4.4 (e.g. the stock macOS /bin/bash 3.2). The %N in the timing
@@ -30,11 +35,19 @@ FEATURE_FLAGS=()
 # reach the seam through dependency syntax — keeping their feature
 # resolution identical to the workspace-wide steps (no mid-gate feature
 # flip, no redundant rebuild, and the bench/schema gates actually
-# exercise the matrix job's configuration).
+# exercise the matrix job's configuration). Each comma-separated entry
+# maps to its own dsv-engine/<feature> (a bare "a,b" would make cargo
+# look for a feature "b" on dsv-bench itself).
 BENCH_FEATURE_FLAGS=()
 if [ -n "${DSV_FEATURES:-}" ]; then
     FEATURE_FLAGS=(--features "$DSV_FEATURES")
-    BENCH_FEATURE_FLAGS=(--features "dsv-engine/${DSV_FEATURES}")
+    BENCH_FEATURES=""
+    IFS=',' read -ra _dsv_feats <<< "$DSV_FEATURES"
+    for _f in "${_dsv_feats[@]}"; do
+        [ -n "$_f" ] || continue
+        BENCH_FEATURES="${BENCH_FEATURES:+$BENCH_FEATURES,}dsv-engine/$_f"
+    done
+    BENCH_FEATURE_FLAGS=(--features "$BENCH_FEATURES")
 fi
 
 # ---------------------------------------------------------------------------
@@ -82,6 +95,33 @@ print_timings() {
             done
             printf '| **TOTAL%s** | **%s** |\n' "$([ "$rc" -ne 0 ] && echo ' (failed)')" "$total"
         } >> "$GITHUB_STEP_SUMMARY"
+    fi
+    # Machine-readable mirror of the table (step names are fixed strings
+    # with no JSON-special characters). Written even on failure, so a
+    # timing regression that kills the run still leaves its evidence.
+    mkdir -p target/ci
+    {
+        printf '{"features": "%s", "failed": %s, "total_secs": %s, "steps": [' \
+            "${DSV_FEATURES:-default}" "$([ "$rc" -ne 0 ] && echo true || echo false)" "$total"
+        sep=""
+        for i in ${STEP_NAMES[@]+"${!STEP_NAMES[@]}"}; do
+            printf '%s{"name": "%s", "secs": %s}' "$sep" "${STEP_NAMES[$i]}" "${STEP_SECS[$i]}"
+            sep=", "
+        done
+        printf ']}\n'
+    } > target/ci/ci_times.json
+    # Optional per-step wall-clock budget: an otherwise-green run fails
+    # if any single step exceeded DSV_STEP_BUDGET_SECS (default off), so
+    # gate-time regressions break the build instead of creeping.
+    if [ "$rc" -eq 0 ] && [ -n "${DSV_STEP_BUDGET_SECS:-}" ]; then
+        for i in ${STEP_NAMES[@]+"${!STEP_NAMES[@]}"}; do
+            if awk -v s="${STEP_SECS[$i]}" -v b="$DSV_STEP_BUDGET_SECS" \
+                'BEGIN { exit !(s > b) }'; then
+                printf 'ci.sh: STEP BUDGET EXCEEDED — "%s" took %ss (budget %ss)\n' \
+                    "${STEP_NAMES[$i]}" "${STEP_SECS[$i]}" "$DSV_STEP_BUDGET_SECS" >&2
+                exit 1
+            fi
+        done
     fi
 }
 trap print_timings EXIT
@@ -181,11 +221,14 @@ if [ "$rc" -ne 0 ] && [ "$rc" -ne 124 ]; then
     exit 1
 fi
 
-step "e16 throughput smoke + BENCH json schema gate"
+step "e16 throughput smoke + consolidation gate + BENCH json schema gate"
 # Full e16 sweep in --smoke mode (400k updates) writing machine-readable
 # results, then the schema gate: non-empty stream/row tables, finite
-# positive throughput numbers. The committed BENCH_e16.json (full 10M
-# run) is validated too, so the tracked perf trajectory stays parseable.
+# positive throughput numbers. The binary itself enforces the
+# consolidation gate (S=8 monotone consolidated/parted >= 1.3x) on full
+# runs before writing any JSON; bench_schema re-enforces the recorded
+# gate on the committed BENCH_e16.json (full 10M run), so the artifact
+# can neither regress below the floor nor weaken it.
 e16_bin=$(bench_bin e16_throughput)
 [ -n "$e16_bin" ] || { echo "e16 bench binary not found"; exit 1; }
 mkdir -p target/ci
@@ -225,6 +268,13 @@ cargo run -q --release -p dsv-bench ${BENCH_FEATURE_FLAGS[@]+"${BENCH_FEATURE_FL
 if [ -f BENCH_e18.json ]; then
     cargo run -q --release -p dsv-bench ${BENCH_FEATURE_FLAGS[@]+"${BENCH_FEATURE_FLAGS[@]}"} --bin bench_schema -- BENCH_e18.json
 fi
+
+step "bench_schema --all (every committed BENCH_*.json)"
+# Safety net over the per-experiment steps above: glob-validate every
+# committed artifact at the repo root in one pass, so a newly added
+# BENCH_*.json is schema- and gate-checked from the moment it lands even
+# if its dedicated ci.sh step is forgotten.
+cargo run -q --release -p dsv-bench ${BENCH_FEATURE_FLAGS[@]+"${BENCH_FEATURE_FLAGS[@]}"} --bin bench_schema -- --all
 
 step "cargo doc --no-deps --workspace (warning-free)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace ${FEATURE_FLAGS[@]+"${FEATURE_FLAGS[@]}"}

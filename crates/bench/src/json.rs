@@ -399,7 +399,12 @@ fn count(j: &Json, key: &str) -> Result<f64, String> {
 }
 
 /// Validate a `BENCH_e16.json` document: the schema CI enforces so perf
-/// regressions stay visible in the benchmark trajectory.
+/// regressions stay visible in the benchmark trajectory. Beyond shape
+/// and finiteness, the validator re-enforces the consolidation gate on
+/// the recorded numbers of full runs: `consolidation_speedup` must meet
+/// the document's `consolidate_gate`, and the gate itself cannot be
+/// weakened below 1.3× — so the committed artifact can neither regress
+/// nor quietly lower its own floor.
 ///
 /// Required shape:
 ///
@@ -407,11 +412,13 @@ fn count(j: &Json, key: &str) -> Result<f64, String> {
 /// {
 ///   "experiment": "e16_throughput",
 ///   "smoke": bool, "n": > 0, "kind": str, "k": > 0, "eps": (0,1),
+///   "consolidate_gate": ≥ 1.3, "consolidation_speedup": finite > 0
+///     (≥ consolidate_gate when smoke is false),
 ///   "streams": [ non-empty, each:
 ///     { "stream": str, "baseline_updates_per_sec": finite > 0,
 ///       "rows": [ non-empty, each:
-///         { "mode": "routed" | "parted", "shards" ≥ 1, "batch" ≥ 1,
-///           "updates_per_sec" finite > 0, "speedup" finite > 0,
+///         { "mode": "routed" | "parted" | "consolidated", "shards" ≥ 1,
+///           "batch" ≥ 1, "updates_per_sec" finite > 0, "speedup" finite > 0,
 ///           "boundary_violations" ≥ 0, "messages" ≥ 0 } ] } ]
 /// }
 /// ```
@@ -419,7 +426,7 @@ pub fn validate_e16(doc: &Json) -> Result<(), String> {
     if field(doc, "experiment")?.as_str() != Some("e16_throughput") {
         return Err("field 'experiment' must be \"e16_throughput\"".into());
     }
-    field(doc, "smoke")?
+    let smoke = field(doc, "smoke")?
         .as_bool()
         .ok_or("field 'smoke' must be a bool")?;
     pos_num(doc, "n")?;
@@ -430,6 +437,18 @@ pub fn validate_e16(doc: &Json) -> Result<(), String> {
     let eps = pos_num(doc, "eps")?;
     if eps >= 1.0 {
         return Err(format!("field 'eps' must be < 1, got {eps}"));
+    }
+    let gate = pos_num(doc, "consolidate_gate")?;
+    if gate < 1.3 {
+        return Err(format!(
+            "field 'consolidate_gate' must be at least 1.3 (the consolidation floor), got {gate}"
+        ));
+    }
+    let cons_speedup = pos_num(doc, "consolidation_speedup")?;
+    if !smoke && cons_speedup < gate {
+        return Err(format!(
+            "full-run consolidation_speedup {cons_speedup:.2} is below the gate {gate:.2}"
+        ));
     }
 
     let streams_field = field(doc, "streams")?;
@@ -460,9 +479,9 @@ pub fn validate_e16(doc: &Json) -> Result<(), String> {
                 .as_str()
                 .map(str::to_owned)
                 .ok_or_else(|| ctx("field 'mode' must be a string".into()))?;
-            if mode != "routed" && mode != "parted" {
+            if mode != "routed" && mode != "parted" && mode != "consolidated" {
                 return Err(ctx(format!(
-                    "field 'mode' must be \"routed\" or \"parted\", got \"{mode}\""
+                    "field 'mode' must be \"routed\", \"parted\", or \"consolidated\", got \"{mode}\""
                 )));
             }
             pos_num(row, "shards").map_err(ctx)?;
@@ -770,6 +789,17 @@ mod tests {
     }
 
     fn valid_doc() -> Json {
+        let row = |mode: &str, ups: f64| {
+            Json::obj(vec![
+                ("mode", Json::str(mode)),
+                ("shards", Json::num(8.0)),
+                ("batch", Json::num(65_536.0)),
+                ("updates_per_sec", Json::num(ups)),
+                ("speedup", Json::num(ups / 5.0e6)),
+                ("boundary_violations", Json::num(0.0)),
+                ("messages", Json::num(1234.0)),
+            ])
+        };
         Json::obj(vec![
             ("experiment", Json::str("e16_throughput")),
             ("smoke", Json::Bool(true)),
@@ -777,6 +807,8 @@ mod tests {
             ("kind", Json::str("deterministic")),
             ("k", Json::num(8.0)),
             ("eps", Json::num(0.1)),
+            ("consolidate_gate", Json::num(1.3)),
+            ("consolidation_speedup", Json::num(1.9)),
             (
                 "streams",
                 Json::Arr(vec![Json::obj(vec![
@@ -784,15 +816,7 @@ mod tests {
                     ("baseline_updates_per_sec", Json::num(5.0e6)),
                     (
                         "rows",
-                        Json::Arr(vec![Json::obj(vec![
-                            ("mode", Json::str("parted")),
-                            ("shards", Json::num(8.0)),
-                            ("batch", Json::num(65_536.0)),
-                            ("updates_per_sec", Json::num(4.1e7)),
-                            ("speedup", Json::num(8.2)),
-                            ("boundary_violations", Json::num(0.0)),
-                            ("messages", Json::num(1234.0)),
-                        ])]),
+                        Json::Arr(vec![row("parted", 4.1e7), row("consolidated", 7.8e7)]),
                     ),
                 ])]),
             ),
@@ -802,6 +826,34 @@ mod tests {
     #[test]
     fn e16_schema_accepts_the_emitted_shape() {
         assert_eq!(validate_e16(&valid_doc()), Ok(()));
+    }
+
+    #[test]
+    fn e16_schema_enforces_the_consolidation_gate_on_full_runs() {
+        // A smoke artifact may sit below the gate; a full run may not.
+        let below = valid_doc().to_string().replace(
+            "\"consolidation_speedup\": 1.9",
+            "\"consolidation_speedup\": 1.1",
+        );
+        let doc = Json::parse(&below).unwrap();
+        assert_eq!(validate_e16(&doc), Ok(()));
+        let full = below.replace("\"smoke\": true", "\"smoke\": false");
+        let doc = Json::parse(&full).unwrap();
+        assert!(validate_e16(&doc).unwrap_err().contains("below the gate"));
+
+        // The artifact cannot weaken its own floor either.
+        let weak = valid_doc()
+            .to_string()
+            .replace("\"consolidate_gate\": 1.3", "\"consolidate_gate\": 1.05");
+        let doc = Json::parse(&weak).unwrap();
+        assert!(validate_e16(&doc).unwrap_err().contains("at least 1.3"));
+
+        // And unknown modes stay rejected.
+        let bad = valid_doc()
+            .to_string()
+            .replace("\"mode\": \"consolidated\"", "\"mode\": \"turbo\"");
+        let doc = Json::parse(&bad).unwrap();
+        assert!(validate_e16(&doc).unwrap_err().contains("turbo"));
     }
 
     #[test]

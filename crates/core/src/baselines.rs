@@ -110,6 +110,21 @@ impl CmySite {
             eps,
         }
     }
+
+    /// Largest count that stays quiet under the `(1+ε)·last` report
+    /// threshold (u64→f64 is exact below 2^53, so the integer compare
+    /// equals `on_update`'s float compare bit for bit). `n_i ≤ last` is
+    /// also quiet regardless of the band.
+    fn quiet_qmax(&self) -> u64 {
+        let threshold = (1.0 + self.eps) * self.last as f64;
+        let trunc = threshold as u64;
+        let below_band = if (trunc as f64) < threshold {
+            trunc
+        } else {
+            trunc.saturating_sub(1)
+        };
+        below_band.max(self.last)
+    }
 }
 
 /// Coordinator of the CMY-style counter.
@@ -148,32 +163,67 @@ impl SiteNode for CmySite {
 
     fn absorb_quiet(&mut self, _t0: Time, inputs: &[i64]) -> usize {
         // The `(1+ε)·last` report threshold is constant between messages;
-        // convert it once into the largest count that stays quiet
-        // (u64→f64 is exact below 2^53, so the integer compare equals
-        // `on_update`'s float compare bit for bit), leaving one add and
-        // one compare per update in the loop.
-        let threshold = (1.0 + self.eps) * self.last as f64;
-        let trunc = threshold as u64;
-        let below_band = if (trunc as f64) < threshold {
-            trunc
-        } else {
-            trunc.saturating_sub(1)
-        };
-        // `n_i ≤ last` is also quiet regardless of the band.
-        let qmax = below_band.max(self.last);
+        // convert it once into the largest count that stays quiet (see
+        // `quiet_qmax`). The stream is insert-only, so partial sums are
+        // monotone and a chunk is quiet iff its *last* sum is — the scan
+        // runs in 64-wide chunks (one all-non-negative check plus one sum
+        // per chunk, both branch-free over the lanes) and only the chunk
+        // that crosses the threshold is rescanned scalar for the exact
+        // stop index. Negative deltas and u64 overflow drop to the scalar
+        // loop so the insert-only assert fires exactly where the
+        // per-update path would have fired it.
+        let qmax = self.quiet_qmax();
         let mut acc = self.n_i;
         let mut n = 0;
-        for &delta in inputs {
-            assert!(delta >= 0, "CMY counter is insert-only (monotone streams)");
-            let next = acc + delta as u64;
-            if next > qmax {
-                break;
+        for chunk in inputs.chunks(64) {
+            let fast = chunk.iter().all(|&d| d >= 0);
+            let sum = if fast {
+                chunk
+                    .iter()
+                    .map(|&d| d as u64)
+                    .try_fold(acc, u64::checked_add)
+            } else {
+                None
+            };
+            match sum {
+                Some(next) if next <= qmax => {
+                    acc = next;
+                    n += chunk.len();
+                }
+                _ => {
+                    // Crossing (or irregular) chunk: finish per-update.
+                    for &delta in chunk {
+                        assert!(delta >= 0, "CMY counter is insert-only (monotone streams)");
+                        let next = acc + delta as u64;
+                        if next > qmax {
+                            self.n_i = acc;
+                            return n;
+                        }
+                        acc = next;
+                        n += 1;
+                    }
+                    break;
+                }
             }
-            acc = next;
-            n += 1;
         }
         self.n_i = acc;
         n
+    }
+
+    fn absorb_quiet_run(&mut self, _t0: Time, v: i64, n: u64) -> u64 {
+        // Monotone closed form: a run of `n` copies of `v ≥ 0` stays quiet
+        // for exactly `(qmax − n_i) / v` steps. O(1) per RLE segment.
+        assert!(v >= 0, "CMY counter is insert-only (monotone streams)");
+        let qmax = self.quiet_qmax();
+        if self.n_i > qmax {
+            return 0;
+        }
+        if v == 0 {
+            return n;
+        }
+        let j = ((qmax - self.n_i) / v as u64).min(n);
+        self.n_i += j * v as u64;
+        j
     }
 
     fn save_state(&self, enc: &mut Enc) -> bool {

@@ -1,0 +1,207 @@
+//! Columnar quiet-prefix kernels shared by the `absorb_quiet` rewrites.
+//!
+//! Every counter-kind quiet condition in this crate is (or contains) a
+//! *band* check: a running sum must stay inside a fixed interval
+//! `[lo, hi]` for the update to be provably message-free. The helpers here
+//! evaluate that check over whole slices and whole `(value, count)` runs
+//! instead of one update at a time:
+//!
+//! * [`in_band_prefix`] — chunked prefix-sum with running min/max, so the
+//!   in-band check compiles to straight-line arithmetic over 64-element
+//!   chunks (autovectorizable) and only the chunk that leaves the band is
+//!   rescanned scalar to find the exact stop index;
+//! * [`run_in_band`] — the run-length special case: for a run of `n`
+//!   copies of `v` the partial sums are an arithmetic progression, so the
+//!   longest in-band prefix has a closed form and costs O(1).
+//!
+//! Both are *exact*: they absorb precisely the updates the per-update
+//! scalar loop would have absorbed, never more — which is what keeps the
+//! columnar path bit-identical to the oracle.
+
+/// Chunk width for the vector-friendly prefix scan. 64 × i64 = one page of
+/// registers on AVX-512, four unrolled iterations on 128-bit NEON/SSE —
+/// small enough to keep the out-of-band rescans cheap, large enough that
+/// the in-band fast path dominates.
+const CHUNK: usize = 64;
+
+/// Longest prefix of `deltas` whose running sum (seeded with `start`)
+/// stays inside `[lo, hi]` **at every step**, returned as
+/// `(len, final_sum)` where `final_sum` is the running sum after `len`
+/// steps (`start` if `len == 0`).
+///
+/// Exactly equivalent to the scalar loop
+/// `while acc + d in [lo, hi] { acc += d }` — including on overflow, where
+/// both paths wrap in release builds and panic in debug builds — but scans
+/// in 64-wide blocks: a block whose running min/max stay in band is
+/// absorbed wholesale; the first block that leaves the band is rescanned
+/// scalar to the exact stop index.
+///
+/// `start` itself is not checked against the band (the caller's state is
+/// presumed valid); only post-update sums are.
+pub fn in_band_prefix(start: i64, deltas: &[i64], lo: i64, hi: i64) -> (usize, i64) {
+    debug_assert!(lo <= hi);
+    let mut acc = start;
+    let mut n = 0usize;
+    for chunk in deltas.chunks(CHUNK) {
+        // Straight-line pass: prefix sums + running min/max. No branches
+        // inside the loop body, so the compiler can vectorize it.
+        let mut sum = acc;
+        let mut min = i64::MAX;
+        let mut max = i64::MIN;
+        for &d in chunk {
+            sum = sum.wrapping_add(d);
+            min = min.min(sum);
+            max = max.max(sum);
+        }
+        if min >= lo && max <= hi {
+            acc = sum;
+            n += chunk.len();
+            continue;
+        }
+        // This chunk leaves the band somewhere: rescan it scalar for the
+        // exact stop index, matching the per-update loop step for step.
+        for &d in chunk {
+            let next = acc.wrapping_add(d);
+            if next < lo || next > hi {
+                return (n, acc);
+            }
+            acc = next;
+            n += 1;
+        }
+        // Unreachable when min/max said the chunk leaves the band, but a
+        // wrapping_add overflow can make them disagree with the scalar
+        // walk; falling through and stopping here is the safe answer.
+        return (n, acc);
+    }
+    (n, acc)
+}
+
+/// Longest prefix of a run of `n` copies of `v` whose running sum (seeded
+/// with `start`) stays inside `[lo, hi]` at every step, returned as
+/// `(len, final_sum)`.
+///
+/// The partial sums `start + i·v` are monotone in `i`, so the answer is a
+/// single division: O(1) per run segment regardless of `n`. All interior
+/// arithmetic is `i128`, so there is no overflow for any `i64` inputs.
+pub fn run_in_band(start: i64, v: i64, n: u64, lo: i64, hi: i64) -> (u64, i64) {
+    debug_assert!(lo <= hi);
+    if n == 0 {
+        return (0, start);
+    }
+    if v == 0 {
+        // Every step re-lands on `start`; quiet iff `start` is in band.
+        return if start >= lo && start <= hi {
+            (n, start)
+        } else {
+            (0, start)
+        };
+    }
+    let (start, v, lo, hi) = (start as i128, v as i128, lo as i128, hi as i128);
+    let j = if v > 0 {
+        if start + v > hi {
+            0
+        } else {
+            // Largest j with start + j·v ≤ hi (the minimum over the
+            // prefix is start + v ≥ lo is implied for j ≥ 1 only if
+            // start + v ≥ lo; check it explicitly).
+            if start + v < lo {
+                0
+            } else {
+                (((hi - start) / v) as u64).min(n)
+            }
+        }
+    } else {
+        // v < 0: sums decrease; the binding constraint is `lo`.
+        if start + v < lo || start + v > hi {
+            0
+        } else {
+            (((start - lo) / (-v)) as u64).min(n)
+        }
+    };
+    (j, (start + j as i128 * v) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The per-update oracle both kernels must match exactly.
+    fn scalar(start: i64, deltas: &[i64], lo: i64, hi: i64) -> (usize, i64) {
+        let mut acc = start;
+        let mut n = 0;
+        for &d in deltas {
+            let next = acc.wrapping_add(d);
+            if next < lo || next > hi {
+                break;
+            }
+            acc = next;
+            n += 1;
+        }
+        (n, acc)
+    }
+
+    #[test]
+    fn prefix_matches_scalar_on_band_hugging_streams() {
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for &(lo, hi) in &[(-5i64, 5i64), (0, 0), (-1, 3), (-1000, 1000), (3, 9)] {
+            for len in [0usize, 1, 63, 64, 65, 130, 1000] {
+                let start = (lo + hi) / 2;
+                let deltas: Vec<i64> = (0..len).map(|_| (rng() % 7) as i64 - 3).collect();
+                assert_eq!(
+                    in_band_prefix(start, &deltas, lo, hi),
+                    scalar(start, &deltas, lo, hi),
+                    "lo={lo} hi={hi} len={len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_stops_mid_chunk_exactly() {
+        // 100 ones into a band of width 70: stops at exactly 70 - start.
+        let deltas = vec![1i64; 100];
+        assert_eq!(in_band_prefix(0, &deltas, -70, 70), (70, 70));
+        assert_eq!(in_band_prefix(5, &deltas, -70, 70), (65, 70));
+        // Alternating ±1 never leaves a width-1 band.
+        let alt: Vec<i64> = (0..257).map(|i| if i % 2 == 0 { 1 } else { -1 }).collect();
+        assert_eq!(in_band_prefix(0, &alt, 0, 1), (257, 1));
+        assert_eq!(in_band_prefix(0, &alt, -1, 0), (0, 0));
+    }
+
+    #[test]
+    fn run_matches_expansion() {
+        for &(start, v, n, lo, hi) in &[
+            (0i64, 1i64, 100u64, -70i64, 70i64),
+            (0, -1, 100, -70, 70),
+            (5, 0, 42, -70, 70),
+            (80, 0, 42, -70, 70),
+            (0, 3, 1000, -10, 10),
+            (0, -3, 1000, -10, 10),
+            (10, 1, 0, -70, 70),
+            (-70, -1, 5, -70, 70),
+            (70, 1, 5, -70, 70),
+            (i64::MAX - 5, 1, 3, i64::MIN, i64::MAX),
+            (i64::MIN + 5, -1, 3, i64::MIN, i64::MAX),
+        ] {
+            let expanded: Vec<i64> = std::iter::repeat_n(v, n as usize).collect();
+            let (sn, sacc) = scalar(start, &expanded, lo, hi);
+            let (rn, racc) = run_in_band(start, v, n, lo, hi);
+            assert_eq!((rn, racc), (sn as u64, sacc), "start={start} v={v} n={n}");
+        }
+    }
+
+    #[test]
+    fn run_extremes_do_not_overflow() {
+        // Would overflow i64 intermediates without the i128 widening.
+        let (j, end) = run_in_band(0, i64::MAX, 3, i64::MIN, i64::MAX);
+        assert_eq!((j, end), (1, i64::MAX));
+        let (j, _) = run_in_band(i64::MAX, i64::MAX, 3, i64::MIN, i64::MAX);
+        assert_eq!(j, 0);
+    }
+}

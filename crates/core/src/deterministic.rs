@@ -98,6 +98,28 @@ impl DetSite {
             self.delta.unsigned_abs() as f64 >= self.eps * (1u64 << self.r) as f64
         }
     }
+
+    /// Largest `|δ_i|` that keeps [`condition`](Self::condition) false —
+    /// the integer form of the `ε·2^r` drift band.
+    ///
+    /// quiet ⟺ (|δ| as f64) < ε·2^r (the exact `condition()` compare).
+    /// u64→f64 conversion is exact below 2^53, so the float predicate
+    /// equals the integer predicate |δ| ≤ qmax with qmax the largest
+    /// integer strictly below the band. (Radii that push the band past
+    /// 2^53 would need |f| > 9e15 — unreachable with i64 deltas.)
+    fn quiet_qmax(&self) -> u64 {
+        if self.r == 0 {
+            0 // r = 0 blocks are exact: quiet only while δ_i returns to 0
+        } else {
+            let band = self.eps * (1u64 << self.r) as f64;
+            let trunc = band as u64;
+            if (trunc as f64) < band {
+                trunc
+            } else {
+                trunc.saturating_sub(1)
+            }
+        }
+    }
 }
 
 impl SiteNode for DetSite {
@@ -135,47 +157,40 @@ impl SiteNode for DetSite {
     fn absorb_quiet(&mut self, _t0: Time, inputs: &[i64]) -> usize {
         // Both §3.3 thresholds are constant between messages (the radius
         // and the block counter's target only change via `on_down`), so
-        // hoist them out of the inner loop: the partition counter has
+        // hoist them out of the scan: the partition counter has
         // `until_fire` updates of headroom, and the drift band `ε·2^r` is
         // converted once into the largest integer `|δ_i|` that stays
-        // quiet. The inner loop is one add and one integer compare per
-        // update — the batched engine's hot loop — and the absorbed state
-        // change is applied in O(1) afterwards.
+        // quiet. The scan itself is the shared columnar band kernel —
+        // chunked prefix sums with running min/max, so the engine's hot
+        // loop autovectorizes — and the absorbed state change is applied
+        // in O(1) afterwards.
         let cap = (self.blocks.until_fire() as usize).min(inputs.len());
         if cap == 0 {
             return 0;
         }
-        // quiet ⟺ (|δ| as f64) < ε·2^r (the exact `condition()` compare).
-        // u64→f64 conversion is exact below 2^53, so the float predicate
-        // equals the integer predicate |δ| ≤ qmax with qmax the largest
-        // integer strictly below the band. (Radii that push the band past
-        // 2^53 would need |f| > 9e15 — unreachable with i64 deltas.)
-        let qmax = if self.r == 0 {
-            0 // r = 0 blocks are exact: quiet only while δ_i returns to 0
-        } else {
-            let band = self.eps * (1u64 << self.r) as f64;
-            let trunc = band as u64;
-            if (trunc as f64) < band {
-                trunc
-            } else {
-                trunc.saturating_sub(1)
-            }
-        };
+        let hi = self.quiet_qmax().min(i64::MAX as u64) as i64;
         let start = self.delta;
-        let mut acc = start;
-        let mut n = 0;
-        while n < cap {
-            let next = acc + inputs[n];
-            if next.unsigned_abs() > qmax {
-                break;
-            }
-            acc = next;
-            n += 1;
-        }
+        let (n, acc) = crate::columnar::in_band_prefix(start, &inputs[..cap], -hi, hi);
         self.blocks.absorb_run(n as u64, acc - start);
         self.d += acc - start;
         self.delta = acc;
         n
+    }
+
+    fn absorb_quiet_run(&mut self, _t0: Time, v: i64, n: u64) -> u64 {
+        // Same band as `absorb_quiet`, but for a run of identical deltas
+        // the longest quiet prefix is a closed form: O(1) per RLE segment.
+        let cap = self.blocks.until_fire().min(n);
+        if cap == 0 {
+            return 0;
+        }
+        let hi = self.quiet_qmax().min(i64::MAX as u64) as i64;
+        let start = self.delta;
+        let (j, acc) = crate::columnar::run_in_band(start, v, cap, -hi, hi);
+        self.blocks.absorb_run(j, acc - start);
+        self.d += acc - start;
+        self.delta = acc;
+        j
     }
 
     fn save_state(&self, enc: &mut Enc) -> bool {

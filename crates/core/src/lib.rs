@@ -10,6 +10,7 @@
 //! |--------|---------------|----------|
 //! | [`api`] | — (engineering) | unified front door: `Tracker` trait, `TrackerSpec` builder, `Driver` runner |
 //! | [`codec`] | — (engineering) | snapshot/restore seam: versioned `TrackerState`, binary codec |
+//! | [`columnar`] | — (engineering) | chunked band-check kernels behind the `absorb_quiet` fast paths |
 //! | [`variability`] | §2 | `v(n)` meter, Thm 2.1/2.2/2.4 bounds |
 //! | [`blocks`] | §3.1 | constant-variability time partitioning |
 //! | [`deterministic`] | §3.3 | `O((k/ε)·v)`-message deterministic tracker |
@@ -31,6 +32,7 @@ pub mod api;
 pub mod baselines;
 pub mod blocks;
 pub mod codec;
+pub mod columnar;
 pub mod deterministic;
 pub mod expand;
 pub mod frequencies;

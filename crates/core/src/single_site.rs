@@ -43,6 +43,86 @@ impl SsSite {
     pub fn f(&self) -> i64 {
         self.f
     }
+
+    /// The refresh predicate from `on_update`, as a pure function of the
+    /// candidate value: `x` is *quiet* iff updating `f` to `x` would not
+    /// send a message.
+    #[inline]
+    fn quiet(&self, x: i64) -> bool {
+        ((x - self.fhat).unsigned_abs() as f64) <= self.eps * x.unsigned_abs() as f64
+    }
+
+    /// The quiet set as an exact integer interval `[lo, hi]`, when it
+    /// provably is one.
+    ///
+    /// Moving `x` away from `f̂` raises `|x − f̂|` by exactly 1 per step
+    /// while `ε·|x|` changes by at most `ε < 1` (plus float rounding), so
+    /// the loudness margin is strictly increasing away from `f̂` — loud
+    /// stays loud and the quiet set is a contiguous interval containing
+    /// `f̂` — *provided* the rounding jitter of the `ε·|x|` product stays
+    /// below the `1 − ε` slack. The guards below enforce that regime
+    /// (`|f̂| < 2^50`, candidate magnitudes < 2^51 so every `u64→f64`
+    /// conversion is exact, jitter `< 1 − ε`); outside it we return `None`
+    /// and the caller keeps the per-update scalar loop. The endpoints are
+    /// then found by bisecting the *exact* `on_update` predicate, so the
+    /// interval matches the scalar loop point for point.
+    fn quiet_band(&self) -> Option<(i64, i64)> {
+        let fa = self.fhat.unsigned_abs();
+        if fa >= 1 << 50 {
+            return None;
+        }
+        // Any quiet x satisfies |x|·(1−ε) ≤ |f̂| (triangle inequality), so
+        // ±limit bounds the search and quiet(±(limit + 1)) is false.
+        let limit_f = (fa as f64 / (1.0 - self.eps)).ceil() + 2.0;
+        if !limit_f.is_finite() || limit_f >= (1u64 << 51) as f64 {
+            return None;
+        }
+        // Monotonicity slack: per-step product rounding ≤ 2·ulp(ε·limit)
+        // ≤ limit·2^-51 must stay below 1 − ε.
+        if 1.0 - self.eps <= limit_f * (2.0f64).powi(-51) {
+            return None;
+        }
+        let limit = limit_f as i64;
+        debug_assert!(self.quiet(self.fhat) && !self.quiet(limit + 1) && !self.quiet(-limit - 1));
+        // Bisect the exact predicate on each side of f̂.
+        let mut q = self.fhat; // quiet
+        let mut l = limit + 1; // loud
+        while l - q > 1 {
+            let mid = q + (l - q) / 2;
+            if self.quiet(mid) {
+                q = mid;
+            } else {
+                l = mid;
+            }
+        }
+        let hi = q;
+        let mut q = self.fhat;
+        let mut l = -limit - 1;
+        while q - l > 1 {
+            let mid = l + (q - l) / 2;
+            if self.quiet(mid) {
+                q = mid;
+            } else {
+                l = mid;
+            }
+        }
+        Some((q, hi))
+    }
+
+    /// The original per-update quiet-prefix loop — the exact fallback (and
+    /// bit-identity oracle) for the columnar band path.
+    fn absorb_quiet_scalar(&mut self, inputs: &[i64]) -> usize {
+        let mut n = 0;
+        for &delta in inputs {
+            let next = self.f + delta;
+            if !self.quiet(next) {
+                break;
+            }
+            self.f = next;
+            n += 1;
+        }
+        n
+    }
 }
 
 impl SiteNode for SsSite {
@@ -64,21 +144,43 @@ impl SiteNode for SsSite {
     fn on_down(&mut self, _t: Time, _msg: &(), _is_request: bool, _out: &mut Outbox<SsUp>) {}
 
     fn absorb_quiet(&mut self, _t0: Time, inputs: &[i64]) -> usize {
-        // The refresh rule depends only on site-local state, so the whole
-        // quiet prefix — every update after which `|f − f̂| ≤ ε·|f|` still
-        // holds — runs as a tight add-and-compare loop without touching
-        // the network machinery (same float comparison as `on_update`).
-        let mut n = 0;
-        for &delta in inputs {
-            let next = self.f + delta;
-            let err = (next - self.fhat).unsigned_abs() as f64;
-            if err > self.eps * next.unsigned_abs() as f64 {
-                break;
+        // The refresh rule depends only on site-local state, and between
+        // messages f̂ is fixed — so the quiet set is a fixed integer
+        // interval around f̂ (see `quiet_band`) and the whole prefix scan
+        // is the shared columnar band kernel: chunked prefix sums with
+        // running min/max, two float-free compares per chunk. When the
+        // interval derivation is out of its proven regime we fall back to
+        // the per-update float loop, which is always exact.
+        match self.quiet_band() {
+            Some((lo, hi)) => {
+                let (n, acc) = crate::columnar::in_band_prefix(self.f, inputs, lo, hi);
+                self.f = acc;
+                n
             }
-            self.f = next;
-            n += 1;
+            None => self.absorb_quiet_scalar(inputs),
         }
-        n
+    }
+
+    fn absorb_quiet_run(&mut self, _t0: Time, v: i64, n: u64) -> u64 {
+        match self.quiet_band() {
+            Some((lo, hi)) => {
+                let (j, acc) = crate::columnar::run_in_band(self.f, v, n, lo, hi);
+                self.f = acc;
+                j
+            }
+            None => {
+                let mut j = 0;
+                while j < n {
+                    let next = self.f + v;
+                    if !self.quiet(next) {
+                        break;
+                    }
+                    self.f = next;
+                    j += 1;
+                }
+                j
+            }
+        }
     }
 
     fn save_state(&self, enc: &mut Enc) -> bool {
@@ -215,6 +317,44 @@ mod tests {
         assert_eq!(report.violations, 0);
         assert_eq!(report.final_f, 0);
         assert_eq!(report.final_estimate, 0);
+    }
+
+    #[test]
+    fn columnar_band_matches_scalar_oracle() {
+        // The columnar band path and the per-update float loop must agree
+        // bit for bit: same absorbed count, same resulting f.
+        let mut state = 0x243f6a8885a308d3u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for eps in [0.01, 0.1, 0.5, 0.9, 0.999] {
+            for fhat in [0i64, 1, -1, 7, 1000, -123_456, 1 << 40] {
+                let mut cols = SsSite::new(eps);
+                cols.f = fhat;
+                cols.fhat = fhat;
+                let mut scal = cols.clone();
+                for _ in 0..50 {
+                    let deltas: Vec<i64> = (0..97).map(|_| (rng() % 5) as i64 - 2).collect();
+                    let n_c = cols.absorb_quiet(0, &deltas);
+                    let n_s = scal.absorb_quiet_scalar(&deltas);
+                    assert_eq!((n_c, cols.f), (n_s, scal.f), "eps={eps} fhat={fhat}");
+                    // Run form against the same oracle.
+                    let v = (rng() % 3) as i64 - 1;
+                    let n_c = cols.absorb_quiet_run(0, v, 64);
+                    let n_s = scal.absorb_quiet_scalar(&[v; 64]) as u64;
+                    assert_eq!((n_c, cols.f), (n_s, scal.f), "eps={eps} fhat={fhat} v={v}");
+                    if n_c < 64 {
+                        // The next update would send: mirror the refresh so
+                        // the walk keeps exploring instead of pinning.
+                        cols.fhat = cols.f;
+                        scal.fhat = scal.f;
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -21,6 +21,7 @@ use dsv_net::Time;
 /// | [`checkpoint_every`](Self::checkpoint_every) | `0` (off) | Auto-checkpoint sink period, in batch boundaries |
 /// | [`fleet_cache`](Self::fleet_cache) | `1024` | Live per-key trackers cached per fleet shard (fleet only) |
 /// | [`fleet_gc_bytes`](Self::fleet_gc_bytes) | `64 KiB` | Minimum per-shard arena garbage before the fleet compacts (fleet only) |
+/// | [`consolidate`](Self::consolidate) | `false` | Pre-aggregate same-site runs (RLE / sort-merge) before ingestion |
 ///
 /// **Shards vs workers.** `shards` is the *logical* partitioning: how many
 /// tracker replicas the stream is split across. It is part of the engine's
@@ -45,6 +46,7 @@ pub struct EngineConfig {
     checkpoint_every: u64,
     fleet_cache: Option<usize>,
     fleet_gc_bytes: usize,
+    consolidate: bool,
 }
 
 impl EngineConfig {
@@ -63,7 +65,21 @@ impl EngineConfig {
             checkpoint_every: 0,
             fleet_cache: None,
             fleet_gc_bytes: 64 * 1024,
+            consolidate: false,
         }
+    }
+
+    /// Pre-aggregate each same-site run before the shard's tracker sees
+    /// it (default off): counter runs are run-length encoded and absorbed
+    /// segment-at-a-time, item runs are sorted with duplicate items
+    /// merged — see [`crate::Consolidator`]. Purely an execution knob:
+    /// estimates, ε-audits, `CommStats`, and checkpoint bytes are
+    /// bit-identical with it on or off (held by
+    /// `tests/consolidation_equivalence.rs` for all ten kinds); it only
+    /// changes how fast a batch is chewed through.
+    pub fn consolidate(mut self, on: bool) -> Self {
+        self.consolidate = on;
+        self
     }
 
     /// Live per-key trackers a [`crate::TrackerFleet`] keeps materialized
@@ -208,6 +224,11 @@ impl EngineConfig {
     /// The fleet's per-shard arena garbage floor before compaction.
     pub fn fleet_gc_floor(&self) -> usize {
         self.fleet_gc_bytes
+    }
+
+    /// Whether same-site runs are consolidated before ingestion.
+    pub fn consolidate_enabled(&self) -> bool {
+        self.consolidate
     }
 
     pub(crate) fn validate(&self) -> Result<(), EngineError> {

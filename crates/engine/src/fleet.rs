@@ -53,8 +53,9 @@ use dsv_core::codec::{kind_from_tag, kind_tag, CodecError, Dec, Enc, TrackerStat
 use dsv_net::{relative_error, CommStats, IngestStats, SiteId, Time};
 
 use crate::config::{EngineConfig, EngineError};
+use crate::consolidate::{ConsolidateInput, Consolidator};
 use crate::ingest::{FleetFeed, Ring};
-use crate::partition::{hash_item, InputDelta};
+use crate::partition::hash_item;
 
 /// Magic bytes opening a serialized [`FleetCheckpoint`].
 pub const FLEET_MAGIC: [u8; 4] = *b"DSVF";
@@ -236,12 +237,14 @@ struct ShardSlab<T, In> {
     run_buf: Vec<In>,
     site_buf: Vec<u32>,
     tup_buf: Vec<(SiteId, In)>,
+    /// Consolidation scratch for the uniform-site chain collapse.
+    cons: Consolidator,
 }
 
 impl<T, In> ShardSlab<T, In>
 where
     T: Tracker<In>,
-    In: InputDelta,
+    In: ConsolidateInput,
 {
     fn new(kind: TrackerKind, k: usize) -> Self {
         ShardSlab {
@@ -257,6 +260,7 @@ where
             run_buf: Vec::new(),
             site_buf: Vec::new(),
             tup_buf: Vec::new(),
+            cons: Consolidator::new(),
         }
     }
 
@@ -398,6 +402,7 @@ where
     /// Apply every staged chain at a batch boundary: group-by-key is the
     /// chain itself, and each key's run goes through the same
     /// `update_run` / `update_batch` fast paths as the sharded engine.
+    #[allow(clippy::too_many_arguments)]
     fn apply(
         &mut self,
         eps: f64,
@@ -406,6 +411,7 @@ where
         proto_stats: &CommStats,
         cap: usize,
         gc_floor: usize,
+        consolidate: bool,
     ) -> Result<ApplyOut, EngineError> {
         let mut out = ApplyOut::new();
         let touched = std::mem::take(&mut self.touched);
@@ -442,7 +448,16 @@ where
             let entry = &mut self.cache[ci];
             let before = entry.tracker.stats().clone();
             let est = if uniform {
-                entry.tracker.update_run(first as usize, &self.run_buf)
+                if consolidate {
+                    In::update_consolidated(
+                        &mut entry.tracker,
+                        first as usize,
+                        &self.run_buf,
+                        &mut self.cons,
+                    )
+                } else {
+                    entry.tracker.update_run(first as usize, &self.run_buf)
+                }
             } else {
                 entry.tracker.update_batch(&self.tup_buf)
             };
@@ -863,7 +878,7 @@ pub type ItemFleet = TrackerFleet<Box<dyn ItemTracker + Send>, (u64, i64)>;
 impl<T, In> TrackerFleet<T, In>
 where
     T: Tracker<In> + Send,
-    In: InputDelta + Send,
+    In: ConsolidateInput + Send,
 {
     /// Build a fleet whose keys each track with a tracker from `factory`.
     ///
@@ -1130,6 +1145,7 @@ where
         let eps = self.cfg.eps_value();
         let cap = self.cfg.fleet_cache_capacity();
         let gc_floor = self.cfg.fleet_gc_floor();
+        let consolidate = self.cfg.consolidate_enabled();
         let factory = Arc::clone(&self.factory);
         let proto = Arc::clone(&self.proto);
         let proto_stats = Arc::clone(&self.proto_stats);
@@ -1141,7 +1157,15 @@ where
                 }
                 outs.push((
                     sid,
-                    shard.apply(eps, &*factory, &proto, &proto_stats, cap, gc_floor)?,
+                    shard.apply(
+                        eps,
+                        &*factory,
+                        &proto,
+                        &proto_stats,
+                        cap,
+                        gc_floor,
+                        consolidate,
+                    )?,
                 ));
             }
         } else {
@@ -1173,6 +1197,7 @@ where
                                         &proto_stats,
                                         cap,
                                         gc_floor,
+                                        consolidate,
                                     )?,
                                 ));
                             }

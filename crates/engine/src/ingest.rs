@@ -33,6 +33,16 @@
 //! available parks the producer while the worker waits on `i`. One
 //! producer thread per feed (the deployment shape) cannot deadlock.
 //!
+//! ## Consolidation
+//!
+//! Feeds carry raw per-site inputs; batch consolidation
+//! ([`EngineConfig::consolidate`](crate::EngineConfig::consolidate)) is
+//! applied by the *consuming* worker after it drains a round — each
+//! worker owns a [`Consolidator`](crate::Consolidator) of reused scratch
+//! buffers — so the queue protocol, the [`FeedFrame`] word charges, and
+//! the boundary cut are byte-for-byte the same with the knob on or off,
+//! and producers never pay the sort/RLE cost on their threads.
+//!
 //! ## The `async-ingest` feature
 //!
 //! With the `async-ingest` feature the handles additionally expose

@@ -72,6 +72,7 @@
 
 mod checkpoint;
 mod config;
+mod consolidate;
 pub mod fleet;
 pub mod ingest;
 mod merge;
@@ -83,6 +84,7 @@ mod sharded;
 
 pub use checkpoint::{EngineCheckpoint, CHECKPOINT_MAGIC, CHECKPOINT_VERSION};
 pub use config::{EngineConfig, EngineError};
+pub use consolidate::{ConsolidateInput, Consolidator};
 pub use fleet::{
     CounterFleet, FleetCheckpoint, FleetMemory, FleetReport, ItemFleet, KeyAudit, TrackerFleet,
     FLEET_MAGIC, FLEET_VERSION,

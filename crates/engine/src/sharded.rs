@@ -2,9 +2,10 @@
 
 use crate::checkpoint::EngineCheckpoint;
 use crate::config::{EngineConfig, EngineError};
+use crate::consolidate::{ConsolidateInput, Consolidator};
 use crate::ingest::{Ring, RingConsumer, ShardFeed};
 use crate::merge::MergeCoordinator;
-use crate::partition::{hash_item, InputDelta, Partition, ShardRecord};
+use crate::partition::{hash_item, Partition, ShardRecord};
 use crate::report::EngineReport;
 use dsv_core::api::{ItemTracker, RunError, Tracker, TrackerKind, TrackerSpec};
 use dsv_core::codec::{Dec, Enc, TrackerState};
@@ -66,6 +67,28 @@ where
         .into());
     }
     Ok(delta)
+}
+
+/// Feed a same-site run to a shard replica, through the consolidation
+/// stage when the engine has one (`scratch` is `Some` iff
+/// [`EngineConfig::consolidate`] is on). Both paths are bit-identical;
+/// the consolidated one pre-aggregates the run (RLE for counter inputs,
+/// sort-merge for item inputs) so the tracker's closed-form absorb
+/// kernels see whole segments instead of every ±1.
+fn ingest_run<T, In>(
+    tracker: &mut T,
+    site: SiteId,
+    run: &[In],
+    scratch: Option<&mut Consolidator>,
+) -> i64
+where
+    T: Tracker<In> + ?Sized,
+    In: ConsolidateInput,
+{
+    match scratch {
+        Some(s) => In::update_consolidated(tracker, site, run, s),
+        None => tracker.update_run(site, run),
+    }
 }
 
 /// Route one batch into per-site run buffers (`shard == site`; valid
@@ -454,6 +477,7 @@ where
     pub fn run<R>(&mut self, stream: &[R]) -> Result<EngineReport, EngineError>
     where
         R: ShardRecord<In = In>,
+        In: ConsolidateInput,
     {
         let started = Instant::now();
         let cfg = self.cfg;
@@ -503,6 +527,7 @@ where
             // One worker (any shard count): batched, but inline — no
             // thread machinery. Same state trajectory as the threaded
             // path, since replica state never depends on worker placement.
+            let mut scratch = cfg.consolidate_enabled().then(Consolidator::new);
             for batch in stream.chunks(cfg.batch_size()) {
                 let df = if use_runs {
                     fill_runs(batch, k, kind, deletions_ok, &mut run_bufs)?
@@ -528,7 +553,7 @@ where
                             continue;
                         }
                         shard_inputs[site] += buf.len() as u64;
-                        let est = shards[site].update_run(site, buf);
+                        let est = ingest_run(&mut shards[site], site, buf, scratch.as_mut());
                         buf.clear();
                         coord.absorb(site, est);
                     }
@@ -555,17 +580,23 @@ where
                     groups[sid % w_count].push(tracker);
                 }
                 let mut work_txs = Vec::with_capacity(w_count);
+                let consolidate = cfg.consolidate_enabled();
                 for (w, mut group) in groups.into_iter().enumerate() {
                     let bound = group.len().max(1);
                     let (tx, rx) = mpsc::sync_channel::<(usize, WorkBuf<In>)>(bound);
                     let res_tx = res_tx.clone();
                     work_txs.push(tx);
                     scope.spawn(move || {
+                        // Per-worker consolidation scratch, reused across
+                        // rounds — no allocation in the steady state.
+                        let mut scratch = consolidate.then(Consolidator::new);
                         while let Ok((slot, work)) = rx.recv() {
                             let tracker = &mut *group[slot];
                             let est = match &work {
                                 WorkBuf::Batch(buf) => tracker.update_batch(buf),
-                                WorkBuf::Run(site, buf) => tracker.update_run(*site, buf),
+                                WorkBuf::Run(site, buf) => {
+                                    ingest_run(tracker, *site, buf, scratch.as_mut())
+                                }
                             };
                             let sid = slot * w_count + w;
                             if res_tx.send((sid, est, work)).is_err() {
@@ -659,7 +690,7 @@ where
     /// guarantee and the boundary audit are unchanged.
     pub fn run_parted(&mut self, feeds: &[(SiteId, &[In])]) -> Result<EngineReport, EngineError>
     where
-        In: crate::InputDelta + Sync,
+        In: ConsolidateInput + Sync,
     {
         let started = Instant::now();
         let cfg = self.cfg;
@@ -716,6 +747,7 @@ where
             // Absorb once per shard per round (the shard's end-of-round
             // estimate), exactly like the threaded path — worker count
             // must never show in the merge ledger.
+            let mut scratch = cfg.consolidate_enabled().then(Consolidator::new);
             let mut finals: Vec<Option<i64>> = vec![None; s_count];
             for round in 0..rounds {
                 for &(site, inputs) in feeds {
@@ -727,7 +759,7 @@ where
                     let sum: i64 = chunk.iter().map(|x| x.delta_of()).sum();
                     let sid = site % s_count;
                     shard_inputs[sid] += chunk.len() as u64;
-                    let est = shards[sid].update_run(site, chunk);
+                    let est = ingest_run(&mut shards[sid], site, chunk, scratch.as_mut());
                     *time += chunk.len() as Time;
                     *f += sum;
                     finals[sid] = Some(est);
@@ -750,18 +782,20 @@ where
                     groups[sid % w_count].push(tracker);
                 }
                 let mut work_txs = Vec::with_capacity(w_count);
+                let consolidate = cfg.consolidate_enabled();
                 for (w, mut group) in groups.into_iter().enumerate() {
                     let bound = feeds.len().max(1);
                     let (tx, rx) = mpsc::sync_channel::<(usize, usize, usize, usize)>(bound);
                     let res_tx = res_tx.clone();
                     work_txs.push(tx);
                     scope.spawn(move || {
+                        let mut scratch = consolidate.then(Consolidator::new);
                         while let Ok((slot, feed, lo, hi)) = rx.recv() {
                             let (site, inputs) = feeds[feed];
                             let chunk = &inputs[lo..hi];
                             let sum: i64 = chunk.iter().map(|x| x.delta_of()).sum();
                             let tracker = &mut *group[slot];
-                            let est = tracker.update_run(site, chunk);
+                            let est = ingest_run(tracker, site, chunk, scratch.as_mut());
                             let sid = slot * w_count + w;
                             if res_tx.send((sid, est, sum, chunk.len())).is_err() {
                                 break;
@@ -847,7 +881,7 @@ where
         feeder: F,
     ) -> Result<EngineReport, EngineError>
     where
-        In: InputDelta + Send + Sync,
+        In: ConsolidateInput + Send + Sync,
         F: FnOnce(Vec<ShardFeed<In>>),
     {
         let started = Instant::now();
@@ -928,9 +962,11 @@ where
                 groups[sid % w_count].push(tracker);
             }
 
+            let consolidate = cfg.consolidate_enabled();
             for ((w, mut group), shard_feeds) in groups.into_iter().enumerate().zip(consumers) {
                 let res_tx = res_tx.clone();
                 scope.spawn(move || {
+                    let mut scratch = consolidate.then(Consolidator::new);
                     // The worker's shards with feeds, ascending sid.
                     let mut owned: Vec<OwnedShard<In>> = shard_feeds
                         .into_iter()
@@ -972,7 +1008,12 @@ where
                                 }
                                 sum += fs.buf.iter().map(|x| x.delta_of()).sum::<i64>();
                                 len += fs.buf.len() as u64;
-                                est = group[shard.slot].update_run(fs.consumer.site, &fs.buf);
+                                est = ingest_run(
+                                    &mut *group[shard.slot],
+                                    fs.consumer.site,
+                                    &fs.buf,
+                                    scratch.as_mut(),
+                                );
                                 any = true;
                             }
                             if any {

@@ -39,7 +39,7 @@ pub mod transport;
 pub use codec::{CodecError, Dec, Enc};
 pub use ingest::{FeedFrame, IngestStats};
 pub use message::{MsgKind, MsgRecord, WireSize};
-pub use protocol::{CoordOutbox, CoordinatorNode, DownMsg, Outbox, SiteNode};
+pub use protocol::{CoordOutbox, CoordinatorNode, DownMsg, MergedEntry, Outbox, SiteNode};
 pub use runner::{
     relative_error, relative_error_floored, ConfigError, ErrorProbe, RunReport, TrackerRunner,
 };

@@ -1,0 +1,461 @@
+//! Consolidated ingestion ≡ per-update ingestion (ISSUE 8).
+//!
+//! The consolidation contract: pre-aggregating a same-site run — RLE for
+//! counter kinds, sort-and-merge for frequency kinds — and feeding it
+//! through the columnar `absorb_quiet_run` / `absorb_quiet_merged`
+//! kernels is **bit-identical** to the per-update `step` loop for every
+//! registry kind: estimates, per-item frequencies, `CommStats` ledgers,
+//! and serialized snapshot bytes alike. The engine-level knob
+//! (`EngineConfig::consolidate`) must therefore be invisible to every
+//! report field and checkpoint byte across `run`, `run_parted`, and the
+//! fleet, on pathological batch shapes included: all-quiet monotone
+//! runs, alternating-sign walks, and duplicate-heavy item runs.
+
+use dsv::net::{ItemUpdate, Update};
+use dsv::prelude::*;
+use proptest::prelude::*;
+
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+fn counter_stream(seed: u64, n: u64, k: usize, deletions: bool) -> Vec<Update> {
+    let mut s = seed;
+    (1..=n)
+        .map(|t| {
+            let site = lcg(&mut s) as usize % k;
+            let delta = if deletions && lcg(&mut s).is_multiple_of(3) {
+                -1
+            } else {
+                1
+            };
+            Update::new(t, site, delta)
+        })
+        .collect()
+}
+
+fn item_stream(seed: u64, n: u64, k: usize, universe: u64) -> Vec<ItemUpdate> {
+    let mut s = seed;
+    let mut counts = vec![0i64; universe as usize];
+    (1..=n)
+        .map(|t| {
+            let site = lcg(&mut s) as usize % k;
+            let item = lcg(&mut s) % universe;
+            let delta = if counts[item as usize] > 0 && lcg(&mut s).is_multiple_of(3) {
+                -1
+            } else {
+                1
+            };
+            counts[item as usize] += delta;
+            ItemUpdate::new(t, site, item, delta)
+        })
+        .collect()
+}
+
+/// Everything the bit-identity claim covers, bundled for comparison.
+#[derive(Debug, PartialEq)]
+struct Fingerprint {
+    time: u64,
+    estimate: i64,
+    shard_estimates: Vec<i64>,
+    tracker_stats: CommStats,
+    merge_stats: CommStats,
+    checkpoint: Vec<u8>,
+}
+
+fn fingerprint<T: Tracker<In> + Send, In: Copy + Send>(
+    e: &mut ShardedEngine<T, In>,
+) -> Fingerprint {
+    Fingerprint {
+        time: e.time(),
+        estimate: e.estimate(),
+        shard_estimates: e.shard_estimates(),
+        tracker_stats: e.tracker_stats(),
+        merge_stats: e.merge_stats().clone(),
+        checkpoint: e.checkpoint().unwrap().to_bytes(),
+    }
+}
+
+fn part_counters(updates: &[Update], k: usize) -> Vec<Vec<i64>> {
+    let mut feeds: Vec<Vec<i64>> = (0..k).map(|_| Vec::new()).collect();
+    for u in updates {
+        feeds[u.site].push(u.delta);
+    }
+    feeds
+}
+
+fn part_items(updates: &[ItemUpdate], k: usize) -> Vec<Vec<(u64, i64)>> {
+    let mut feeds: Vec<Vec<(u64, i64)>> = (0..k).map(|_| Vec::new()).collect();
+    for u in updates {
+        feeds[u.site].push((u.item, u.delta));
+    }
+    feeds
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// RLE consolidation through the columnar run kernels equals the
+    /// `step` loop for every counter kind, on segment-structured streams
+    /// (long all-quiet runs, alternating signs, mixed magnitudes) —
+    /// estimate, ledger, and snapshot bytes alike.
+    #[test]
+    fn consolidated_counter_runs_match_step_loop(
+        segs in prop::collection::vec(
+            (prop_oneof![Just(1i64), Just(-1i64), Just(2), Just(-3)], 1usize..90),
+            1..30,
+        ),
+        k in 1usize..4,
+        eps in 0.05f64..0.4,
+        seed in 0u64..10_000,
+    ) {
+        for kind in TrackerKind::COUNTERS {
+            let k_eff = if kind == TrackerKind::SingleSite { 1 } else { k };
+            let mut s = seed ^ 0xD1CE;
+            // One same-site run per proptest segment group: each run is a
+            // few RLE segments, so the consolidated path sees both long
+            // uniform stretches and sign crossings inside one call.
+            let runs: Vec<(usize, Vec<i64>)> = segs
+                .chunks(3)
+                .map(|group| {
+                    let site = lcg(&mut s) as usize % k_eff;
+                    let run: Vec<i64> = group
+                        .iter()
+                        .flat_map(|&(v, n)| {
+                            let v = if kind.supports_deletions() { v } else { v.abs() };
+                            std::iter::repeat_n(v, n)
+                        })
+                        .collect();
+                    (site, run)
+                })
+                .collect();
+
+            let spec = TrackerSpec::new(kind).k(k_eff).eps(eps).seed(seed);
+            let mut a = spec.build().unwrap();
+            let mut b = spec.build().unwrap();
+            let mut scratch = Consolidator::new();
+            for (site, run) in &runs {
+                let mut last_a = 0;
+                for &d in run {
+                    last_a = a.step(*site, d);
+                }
+                let last_b =
+                    <i64 as ConsolidateInput>::update_consolidated(&mut *b, *site, run, &mut scratch);
+                prop_assert_eq!(last_b, last_a, "{} returned estimate", kind.label());
+            }
+            prop_assert_eq!(b.estimate(), a.estimate(), "{} estimate", kind.label());
+            prop_assert_eq!(b.stats(), a.stats(), "{} stats", kind.label());
+            prop_assert_eq!(
+                b.snapshot().unwrap().to_bytes(),
+                a.snapshot().unwrap().to_bytes(),
+                "{} serialized state",
+                kind.label()
+            );
+        }
+    }
+
+    /// Sort-and-merge consolidation through `absorb_quiet_merged` equals
+    /// the `step` loop for every frequency kind on duplicate-heavy runs
+    /// (universe 8, so every run nets many repeats per item), including
+    /// per-item estimates and RNG positions via snapshot bytes.
+    #[test]
+    fn consolidated_item_runs_match_step_loop(
+        ops in prop::collection::vec((0u64..8, any::<bool>()), 1..500),
+        k in 1usize..4,
+        eps in 0.1f64..0.5,
+        seed in 0u64..10_000,
+    ) {
+        let mut counts = [0i64; 8];
+        let stream: Vec<(u64, i64)> = ops
+            .iter()
+            .map(|&(item, del)| {
+                let delta = if del && counts[item as usize] > 0 { -1 } else { 1 };
+                counts[item as usize] += delta;
+                (item, delta)
+            })
+            .collect();
+        // Bursty same-site runs of 1..=80 updates so the merged form
+        // carries real nets (and cancellations) per distinct item.
+        let mut s = seed ^ 0xFACE;
+        let mut runs: Vec<(usize, Vec<(u64, i64)>)> = Vec::new();
+        let mut at = 0;
+        while at < stream.len() {
+            let site = lcg(&mut s) as usize % k;
+            let len = (lcg(&mut s) as usize % 80 + 1).min(stream.len() - at);
+            runs.push((site, stream[at..at + len].to_vec()));
+            at += len;
+        }
+
+        for kind in TrackerKind::FREQUENCIES {
+            let spec = TrackerSpec::new(kind).k(k).eps(eps).seed(seed).universe(8);
+            let mut a = spec.build_item().unwrap();
+            let mut b = spec.build_item().unwrap();
+            let mut scratch = Consolidator::new();
+            for (site, run) in &runs {
+                for &input in run {
+                    a.step(*site, input);
+                }
+                <(u64, i64) as ConsolidateInput>::update_consolidated(
+                    &mut *b, *site, run, &mut scratch,
+                );
+            }
+            prop_assert_eq!(b.estimate(), a.estimate(), "{} F1", kind.label());
+            prop_assert_eq!(b.stats(), a.stats(), "{} stats", kind.label());
+            for item in 0..8u64 {
+                prop_assert_eq!(
+                    b.estimate_item(item),
+                    a.estimate_item(item),
+                    "{} item {}",
+                    kind.label(),
+                    item
+                );
+            }
+            prop_assert_eq!(
+                b.snapshot().unwrap().to_bytes(),
+                a.snapshot().unwrap().to_bytes(),
+                "{} serialized state",
+                kind.label()
+            );
+        }
+    }
+}
+
+/// The engine knob is invisible for every counter kind across shard
+/// counts and both ingestion shapes: same reports, same ledgers, same
+/// checkpoint bytes. Streams cover the all-quiet monotone extreme and
+/// sign-alternating walks.
+#[test]
+fn engine_consolidate_knob_is_bit_identical_for_counter_kinds() {
+    for kind in TrackerKind::COUNTERS {
+        let k = if kind == TrackerKind::SingleSite {
+            1
+        } else {
+            4
+        };
+        let del = kind.supports_deletions();
+        let spec = TrackerSpec::new(kind)
+            .k(k)
+            .eps(0.15)
+            .seed(31)
+            .deletions(del);
+        let streams: Vec<Vec<Update>> = vec![
+            // All-quiet extreme: every site sees a pure +1 run.
+            MonotoneGen::ones().updates(12_000, RoundRobin::new(k)),
+            counter_stream(900 + kind as u64, 12_000, k, del),
+        ];
+        for (si, stream) in streams.iter().enumerate() {
+            let feeds = part_counters(stream, k);
+            let slices: Vec<(usize, &[i64])> = feeds
+                .iter()
+                .enumerate()
+                .map(|(s, v)| (s, v.as_slice()))
+                .collect();
+            for shards in [1usize, 2, 4] {
+                let cfg = EngineConfig::new(shards, 768).eps(0.15);
+
+                let mut plain = ShardedEngine::counters(spec, cfg).unwrap();
+                let rp = plain.run(stream).unwrap();
+                let mut cons = ShardedEngine::counters(spec, cfg.consolidate(true)).unwrap();
+                let rc = cons.run(stream).unwrap();
+                assert_eq!(
+                    rc.final_estimate,
+                    rp.final_estimate,
+                    "{} S={shards} stream {si}: run estimate",
+                    kind.label()
+                );
+                assert_eq!(rc.final_f, rp.final_f);
+                assert_eq!(rc.boundary_violations, rp.boundary_violations);
+                assert_eq!(rc.max_boundary_rel_err, rp.max_boundary_rel_err);
+                assert_eq!(
+                    fingerprint(&mut cons),
+                    fingerprint(&mut plain),
+                    "{} S={shards} stream {si}: run fingerprint",
+                    kind.label()
+                );
+
+                let mut plain = ShardedEngine::counters(spec, cfg).unwrap();
+                plain.run_parted(&slices).unwrap();
+                let mut cons = ShardedEngine::counters(spec, cfg.consolidate(true)).unwrap();
+                cons.run_parted(&slices).unwrap();
+                assert_eq!(
+                    fingerprint(&mut cons),
+                    fingerprint(&mut plain),
+                    "{} S={shards} stream {si}: run_parted fingerprint",
+                    kind.label()
+                );
+            }
+        }
+    }
+}
+
+/// Same invisibility for every frequency kind, on duplicate-heavy item
+/// streams (universe 48), per-item estimates included.
+#[test]
+fn engine_consolidate_knob_is_bit_identical_for_frequency_kinds() {
+    for kind in TrackerKind::FREQUENCIES {
+        let k = 3;
+        let universe = 48u64;
+        let spec = TrackerSpec::new(kind)
+            .k(k)
+            .eps(0.2)
+            .seed(77)
+            .universe(universe as usize);
+        let stream = item_stream(400 + kind as u64, 12_000, k, universe);
+        let feeds = part_items(&stream, k);
+        let slices: Vec<(usize, &[(u64, i64)])> = feeds
+            .iter()
+            .enumerate()
+            .map(|(s, v)| (s, v.as_slice()))
+            .collect();
+        for shards in [1usize, 2, 4] {
+            let cfg = EngineConfig::new(shards, 640).eps(0.2);
+
+            let mut plain = ShardedEngine::items(spec, cfg).unwrap();
+            plain.run(&stream).unwrap();
+            let mut cons = ShardedEngine::items(spec, cfg.consolidate(true)).unwrap();
+            cons.run(&stream).unwrap();
+            for item in 0..universe {
+                assert_eq!(
+                    cons.estimate_item(item),
+                    plain.estimate_item(item),
+                    "{} S={shards} item {item}",
+                    kind.label()
+                );
+            }
+            assert_eq!(
+                fingerprint(&mut cons),
+                fingerprint(&mut plain),
+                "{} S={shards}: run fingerprint",
+                kind.label()
+            );
+
+            let mut plain = ShardedEngine::items(spec, cfg).unwrap();
+            plain.run_parted(&slices).unwrap();
+            let mut cons = ShardedEngine::items(spec, cfg.consolidate(true)).unwrap();
+            cons.run_parted(&slices).unwrap();
+            assert_eq!(
+                fingerprint(&mut cons),
+                fingerprint(&mut plain),
+                "{} S={shards}: run_parted fingerprint",
+                kind.label()
+            );
+        }
+    }
+}
+
+/// `run_pipelined` with the knob on matches `run_parted` with the knob
+/// off — consolidation happens per worker inside the pipeline, so the
+/// boundary cut and every ledger still line up.
+#[test]
+fn pipelined_consolidation_matches_unconsolidated_parted() {
+    let k = 4;
+    let spec = TrackerSpec::new(TrackerKind::Deterministic)
+        .k(k)
+        .eps(0.1)
+        .seed(11)
+        .deletions(true);
+    let stream = counter_stream(5_005, 20_000, k, true);
+    let feeds = part_counters(&stream, k);
+    let slices: Vec<(usize, &[i64])> = feeds
+        .iter()
+        .enumerate()
+        .map(|(s, v)| (s, v.as_slice()))
+        .collect();
+    let sites: Vec<usize> = (0..k).collect();
+    let cfg = EngineConfig::new(4, 512).eps(0.1);
+
+    let mut parted = ShardedEngine::counters(spec, cfg).unwrap();
+    parted.run_parted(&slices).unwrap();
+    let want = fingerprint(&mut parted);
+
+    for workers in [4usize, 2, 1] {
+        let mut piped =
+            ShardedEngine::counters(spec, cfg.workers(workers).consolidate(true)).unwrap();
+        piped
+            .run_pipelined(&sites, |handles| {
+                std::thread::scope(|s| {
+                    for (mut handle, data) in handles.into_iter().zip(&feeds) {
+                        s.spawn(move || {
+                            for chunk in data.chunks(113) {
+                                handle.push_batch(chunk).unwrap();
+                            }
+                        });
+                    }
+                });
+            })
+            .unwrap();
+        assert_eq!(
+            fingerprint(&mut piped),
+            want,
+            "W={workers}: consolidated pipeline diverged"
+        );
+    }
+}
+
+/// The fleet's uniform-site chain collapse goes through the same
+/// consolidated kernels: per-key estimates, the fleet ledger, and the
+/// checkpoint bytes are unchanged by the knob, for counter and item
+/// fleets alike.
+#[test]
+fn fleet_consolidate_knob_is_bit_identical() {
+    let cfg = EngineConfig::new(4, 96).eps(0.2);
+    let keys = 9u64;
+
+    let spec = TrackerSpec::new(TrackerKind::CmyMonotone).k(3).eps(0.2);
+    let mut plain = CounterFleet::counters(spec, cfg).unwrap();
+    let mut cons = CounterFleet::counters(spec, cfg.consolidate(true)).unwrap();
+    let mut s = 21u64;
+    // Long same-key same-site chains so flush() collapses them into
+    // uniform runs — the path the consolidator feeds.
+    for _ in 0..500 {
+        let key = lcg(&mut s) % keys;
+        let site = (lcg(&mut s) % 3) as usize;
+        let len = lcg(&mut s) % 24 + 1;
+        for _ in 0..len {
+            plain.update_at(key, site, 1).unwrap();
+            cons.update_at(key, site, 1).unwrap();
+        }
+    }
+    plain.flush().unwrap();
+    cons.flush().unwrap();
+    for key in 0..keys {
+        assert_eq!(cons.estimate(key), plain.estimate(key), "key {key}");
+    }
+    assert_eq!(cons.comm_stats(), plain.comm_stats());
+    assert_eq!(
+        cons.checkpoint().unwrap().to_bytes(),
+        plain.checkpoint().unwrap().to_bytes()
+    );
+
+    let spec = TrackerSpec::new(TrackerKind::CountMinFreq)
+        .k(3)
+        .eps(0.25)
+        .seed(3)
+        .universe(32);
+    let mut plain = ItemFleet::items(spec, cfg).unwrap();
+    let mut cons = ItemFleet::items(spec, cfg.consolidate(true)).unwrap();
+    let mut s = 77u64;
+    for _ in 0..500 {
+        let key = lcg(&mut s) % keys;
+        let site = (lcg(&mut s) % 3) as usize;
+        let len = lcg(&mut s) % 24 + 1;
+        for _ in 0..len {
+            let item = lcg(&mut s) % 32;
+            plain.update_at(key, site, (item, 1)).unwrap();
+            cons.update_at(key, site, (item, 1)).unwrap();
+        }
+    }
+    plain.flush().unwrap();
+    cons.flush().unwrap();
+    for key in 0..keys {
+        assert_eq!(cons.estimate(key), plain.estimate(key), "item key {key}");
+    }
+    assert_eq!(cons.comm_stats(), plain.comm_stats());
+    assert_eq!(
+        cons.checkpoint().unwrap().to_bytes(),
+        plain.checkpoint().unwrap().to_bytes()
+    );
+}
