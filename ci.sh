@@ -2,8 +2,9 @@
 # Full local CI gate for the dsv workspace. Runs everything the tier-1
 # verify runs, plus formatting, lints, the full workspace test matrix,
 # bench/example compilation, bench smoke runs with JSON schema gates
-# (including the e17 overlap-speedup gate and the e18 fleet keys x
-# throughput gate), and rustdoc. Fails fast on
+# (including the e17 overlap-speedup gate, the e18 fleet keys x
+# throughput gate, and the e19 quiet-stream delta-shrink gate), and
+# rustdoc. Fails fast on
 # the first broken step, and prints a per-step wall-clock summary at the
 # end (also emitted to $GITHUB_STEP_SUMMARY under Actions) so gate-time
 # regressions are visible in PRs.
@@ -170,14 +171,15 @@ cargo test --workspace -q ${FEATURE_FLAGS[@]+"${FEATURE_FLAGS[@]}"}
 step "cargo build --release --examples"
 cargo build --release --examples ${FEATURE_FLAGS[@]+"${FEATURE_FLAGS[@]}"}
 
-step "run 8 of the 10 examples (API regressions in non-test binaries fail here)"
+step "run 9 of the 11 examples (API regressions in non-test binaries fail here)"
 # checkpoint_restore runs in its own gate step below; remote_failover is
 # gated on the remote feature. pipelined_monitor asserts run_pipelined's
 # bit-identity to run_parted and that fast feeds finish in a laggy
-# feed's shadow, and fleet_monitor asserts per-key fleet estimates are
-# bit-identical to standalone trackers, so both are gates in their own
-# right.
-for ex in quickstart compare_trackers network_monitor history_audit inventory_audit sharded_monitor pipelined_monitor fleet_monitor; do
+# feed's shadow, fleet_monitor asserts per-key fleet estimates are
+# bit-identical to standalone trackers, and delta_checkpoint asserts the
+# quiet-stream >= 10x shrink plus bit-identical mid-chain resume, so all
+# three are gates in their own right.
+for ex in quickstart compare_trackers network_monitor history_audit inventory_audit sharded_monitor pipelined_monitor fleet_monitor delta_checkpoint; do
     printf -- '-- example %s\n' "$ex"
     cargo run -q --release ${FEATURE_FLAGS[@]+"${FEATURE_FLAGS[@]}"} --example "$ex" > /dev/null
 done
@@ -205,7 +207,7 @@ case " ${DSV_FEATURES:-} " in *remote*)
     ;;
 esac
 
-step "cargo bench --no-run --workspace (compile all 20 bench targets)"
+step "cargo bench --no-run --workspace (compile all 21 bench targets)"
 cargo bench --no-run --workspace ${FEATURE_FLAGS[@]+"${FEATURE_FLAGS[@]}"}
 
 step "1s smoke run of one e* bench binary"
@@ -267,6 +269,22 @@ e18_bin=$(bench_bin e18_fleet)
 cargo run -q --release -p dsv-bench ${BENCH_FEATURE_FLAGS[@]+"${BENCH_FEATURE_FLAGS[@]}"} --bin bench_schema -- target/ci/BENCH_e18.json
 if [ -f BENCH_e18.json ]; then
     cargo run -q --release -p dsv-bench ${BENCH_FEATURE_FLAGS[@]+"${BENCH_FEATURE_FLAGS[@]}"} --bin bench_schema -- BENCH_e18.json
+fi
+
+step "e19 incremental-checkpoint smoke + BENCH json schema + shrink gate"
+# The delta-encoded checkpoint store experiment in --smoke mode (24
+# boundaries per scenario): materializes every retained boundary and
+# asserts bit-identity before any byte count is believed. The >= 10x
+# quiet-stream shrink gate is structural (an encoding property, not a
+# machine-speed one), so the binary enforces it on smoke runs too — no
+# JSON is written on failure — and bench_schema re-enforces it on both
+# the fresh artifact and the committed BENCH_e19.json.
+e19_bin=$(bench_bin e19_checkpoint)
+[ -n "$e19_bin" ] || { echo "e19 bench binary not found"; exit 1; }
+"$e19_bin" --smoke --out target/ci/BENCH_e19.json > /dev/null
+cargo run -q --release -p dsv-bench ${BENCH_FEATURE_FLAGS[@]+"${BENCH_FEATURE_FLAGS[@]}"} --bin bench_schema -- target/ci/BENCH_e19.json
+if [ -f BENCH_e19.json ]; then
+    cargo run -q --release -p dsv-bench ${BENCH_FEATURE_FLAGS[@]+"${BENCH_FEATURE_FLAGS[@]}"} --bin bench_schema -- BENCH_e19.json
 fi
 
 step "bench_schema --all (every committed BENCH_*.json)"

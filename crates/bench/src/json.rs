@@ -6,8 +6,9 @@
 //! small JSON subset those artifacts need: a value tree ([`Json`]), a
 //! pretty writer that refuses non-finite numbers, a strict
 //! recursive-descent parser, and the schema validators CI runs
-//! ([`validate_e16`], [`validate_e17`], [`validate_e18`]) — the
-//! `bench_schema` bin dispatches on each document's `experiment` tag.
+//! ([`validate_e16`], [`validate_e17`], [`validate_e18`],
+//! [`validate_e19`]) — the `bench_schema` bin dispatches on each
+//! document's `experiment` tag.
 
 use std::fmt;
 
@@ -707,6 +708,111 @@ pub fn validate_e18(doc: &Json) -> Result<(), String> {
     Ok(())
 }
 
+// ---------------------------------------------------------------------------
+// The E19 schema gate.
+// ---------------------------------------------------------------------------
+
+/// Validate a `BENCH_e19.json` document: the incremental-checkpoint
+/// bytes experiment. Beyond shape and finiteness, the validator
+/// re-enforces the quiet-stream shrink gate on the recorded numbers —
+/// `quiet_shrink ≥ shrink_gate` — and refuses documents whose recorded
+/// gate has been weakened below the experiment's 10× floor. The shrink
+/// ratio is a property of the delta encoding, not of machine speed, so
+/// unlike the throughput gates it binds on smoke artifacts too.
+///
+/// Required shape:
+///
+/// ```json
+/// {
+///   "experiment": "e19_checkpoint",
+///   "smoke": bool, "n": > 0, "kind": str, "k": > 0, "eps": (0,1),
+///   "shards": > 0, "batch": > 0, "rebase": ≥ 0,
+///   "shrink_gate": ≥ 10, "quiet_shrink": ≥ shrink_gate, "loud_shrink": > 0,
+///   "scenarios": [ non-empty, must include "quiet" and "loud", each:
+///     { "scenario": str, "updates" > 0, "boundaries" > 0, "bases" > 0,
+///       "identity_links" ≥ 0, "full_bytes" > 0, "delta_bytes" > 0,
+///       "full_bytes_per_boundary" > 0, "delta_bytes_per_boundary" > 0,
+///       "shrink" > 0 } ]
+/// }
+/// ```
+pub fn validate_e19(doc: &Json) -> Result<(), String> {
+    if field(doc, "experiment")?.as_str() != Some("e19_checkpoint") {
+        return Err("field 'experiment' must be \"e19_checkpoint\"".into());
+    }
+    field(doc, "smoke")?
+        .as_bool()
+        .ok_or("field 'smoke' must be a bool")?;
+    pos_num(doc, "n")?;
+    field(doc, "kind")?
+        .as_str()
+        .ok_or("field 'kind' must be a string")?;
+    pos_num(doc, "k")?;
+    let eps = pos_num(doc, "eps")?;
+    if eps >= 1.0 {
+        return Err(format!("field 'eps' must be < 1, got {eps}"));
+    }
+    pos_num(doc, "shards")?;
+    pos_num(doc, "batch")?;
+    count(doc, "rebase")?;
+    let gate = pos_num(doc, "shrink_gate")?;
+    if gate < 10.0 {
+        return Err(format!(
+            "field 'shrink_gate' must be at least 10 (the quiet-stream floor), got {gate}"
+        ));
+    }
+    let quiet_shrink = pos_num(doc, "quiet_shrink")?;
+    // Structural gate: binds regardless of the smoke flag.
+    if quiet_shrink < gate {
+        return Err(format!(
+            "quiet_shrink {quiet_shrink:.2} is below the gate {gate:.2}"
+        ));
+    }
+    pos_num(doc, "loud_shrink")?;
+
+    let scenarios_field = field(doc, "scenarios")?;
+    let scenarios = scenarios_field
+        .as_array()
+        .ok_or("field 'scenarios' must be an array")?;
+    if scenarios.is_empty() {
+        return Err("'scenarios' must be non-empty".into());
+    }
+    let mut saw = (false, false);
+    for (i, sc) in scenarios.iter().enumerate() {
+        let ctx = |e: String| format!("scenarios[{i}]: {e}");
+        let name = field(sc, "scenario")
+            .map_err(ctx)?
+            .as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| ctx("field 'scenario' must be a string".into()))?;
+        match name.as_str() {
+            "quiet" => saw.0 = true,
+            "loud" => saw.1 = true,
+            _ => {}
+        }
+        pos_num(sc, "updates").map_err(ctx)?;
+        pos_num(sc, "boundaries").map_err(ctx)?;
+        pos_num(sc, "bases").map_err(ctx)?;
+        count(sc, "identity_links").map_err(ctx)?;
+        pos_num(sc, "full_bytes").map_err(ctx)?;
+        pos_num(sc, "delta_bytes").map_err(ctx)?;
+        pos_num(sc, "full_bytes_per_boundary").map_err(ctx)?;
+        pos_num(sc, "delta_bytes_per_boundary").map_err(ctx)?;
+        let shrink = pos_num(sc, "shrink").map_err(ctx)?;
+        if name == "quiet" && shrink < gate {
+            return Err(ctx(format!(
+                "quiet scenario shrink {shrink:.2} is below the gate {gate:.2}"
+            )));
+        }
+    }
+    if !saw.0 {
+        return Err("'scenarios' must include the gated \"quiet\" scenario".into());
+    }
+    if !saw.1 {
+        return Err("'scenarios' must include the \"loud\" scenario".into());
+    }
+    Ok(())
+}
+
 /// Validate any known `BENCH_*.json` document by its `experiment` tag
 /// (the dispatch the `bench_schema` bin uses).
 pub fn validate_bench_doc(doc: &Json) -> Result<&'static str, String> {
@@ -714,6 +820,7 @@ pub fn validate_bench_doc(doc: &Json) -> Result<&'static str, String> {
         Some("e16_throughput") => validate_e16(doc).map(|()| "e16_throughput"),
         Some("e17_pipeline") => validate_e17(doc).map(|()| "e17_pipeline"),
         Some("e18_fleet") => validate_e18(doc).map(|()| "e18_fleet"),
+        Some("e19_checkpoint") => validate_e19(doc).map(|()| "e19_checkpoint"),
         Some(other) => Err(format!("unknown experiment tag \"{other}\"")),
         None => Err("missing string field 'experiment'".into()),
     }
@@ -1060,5 +1167,90 @@ mod tests {
             .replace("\"phase\": \"steady\"", "\"phase\": \"steadyish\"");
         let doc = Json::parse(&text).unwrap();
         assert!(validate_e18(&doc).unwrap_err().contains("steady"));
+    }
+
+    fn valid_e19_doc(smoke: bool) -> Json {
+        let scenario = |name: &str, shrink: f64| {
+            Json::obj(vec![
+                ("scenario", Json::str(name)),
+                ("updates", Json::num(3_840_000.0)),
+                ("boundaries", Json::num(96.0)),
+                ("bases", Json::num(3.0)),
+                ("identity_links", Json::num(1_395.0)),
+                ("full_bytes", Json::num(1.07e8)),
+                ("delta_bytes", Json::num(1.07e8 / shrink)),
+                ("full_bytes_per_boundary", Json::num(1.1e6)),
+                ("delta_bytes_per_boundary", Json::num(1.1e6 / shrink)),
+                ("shrink", Json::num(shrink)),
+            ])
+        };
+        Json::obj(vec![
+            ("experiment", Json::str("e19_checkpoint")),
+            ("smoke", Json::Bool(smoke)),
+            ("n", Json::num(7_680_000.0)),
+            ("kind", Json::str("deterministic")),
+            ("k", Json::num(64.0)),
+            ("eps", Json::num(0.1)),
+            ("shards", Json::num(16.0)),
+            ("batch", Json::num(4_096.0)),
+            ("rebase", Json::num(32.0)),
+            ("shrink_gate", Json::num(10.0)),
+            ("quiet_shrink", Json::num(19.2)),
+            ("loud_shrink", Json::num(16.6)),
+            (
+                "scenarios",
+                Json::Arr(vec![scenario("quiet", 19.2), scenario("loud", 16.6)]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn e19_schema_accepts_the_emitted_shape_and_dispatches() {
+        assert_eq!(validate_e19(&valid_e19_doc(false)), Ok(()));
+        assert_eq!(validate_e19(&valid_e19_doc(true)), Ok(()));
+        assert_eq!(
+            validate_bench_doc(&valid_e19_doc(false)),
+            Ok("e19_checkpoint")
+        );
+    }
+
+    #[test]
+    fn e19_schema_enforces_the_shrink_gate_even_on_smoke_runs() {
+        // The shrink gate is structural, so it binds regardless of the
+        // smoke flag — unlike the e16/e18 machine-speed gates.
+        for smoke in [false, true] {
+            let starved = valid_e19_doc(smoke)
+                .to_string()
+                .replace("\"quiet_shrink\": 19.2", "\"quiet_shrink\": 8.5");
+            let doc = Json::parse(&starved).unwrap();
+            assert!(validate_e19(&doc).unwrap_err().contains("below the gate"));
+        }
+
+        // The recorded gate cannot be weakened below the 10x floor.
+        let moved = valid_e19_doc(false)
+            .to_string()
+            .replace("\"shrink_gate\": 10", "\"shrink_gate\": 2")
+            .replace("\"quiet_shrink\": 19.2", "\"quiet_shrink\": 3");
+        let doc = Json::parse(&moved).unwrap();
+        assert!(validate_e19(&doc).unwrap_err().contains("shrink_gate"));
+
+        // The per-scenario shrink is cross-checked against the gate too,
+        // and both named scenarios must be present.
+        let padded =
+            valid_e19_doc(false)
+                .to_string()
+                .replacen("\"shrink\": 19.2", "\"shrink\": 4", 1);
+        let doc = Json::parse(&padded).unwrap();
+        assert!(validate_e19(&doc).unwrap_err().contains("quiet scenario"));
+        let text = valid_e19_doc(true)
+            .to_string()
+            .replace("\"scenario\": \"quiet\"", "\"scenario\": \"quietish\"");
+        let doc = Json::parse(&text).unwrap();
+        assert!(validate_e19(&doc).unwrap_err().contains("quiet"));
+        let text = valid_e19_doc(true)
+            .to_string()
+            .replace("\"scenario\": \"loud\"", "\"scenario\": \"loudish\"");
+        let doc = Json::parse(&text).unwrap();
+        assert!(validate_e19(&doc).unwrap_err().contains("loud"));
     }
 }

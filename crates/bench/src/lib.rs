@@ -5,7 +5,7 @@
 //! recorded results). Each target is a plain `harness = false` binary
 //! that prints an aligned table, so `cargo bench --workspace`
 //! regenerates every "table/figure" of the reproduction; the systems
-//! gates (`e16`, `e17`, `e18_fleet`) also emit machine-readable
+//! gates (`e16`, `e17`, `e18_fleet`, `e19_checkpoint`) also emit machine-readable
 //! `BENCH_*.json` artifacts validated — gates re-enforced — by the
 //! `bench_schema` bin ([`json`]). Two additional criterion targets
 //! (`micro_sketch`, `micro_tracker`) measure hot-path throughput.
@@ -16,7 +16,9 @@ pub mod json;
 pub mod stats;
 pub mod table;
 
-pub use json::{validate_bench_doc, validate_e16, validate_e17, validate_e18, Json, JsonError};
+pub use json::{
+    validate_bench_doc, validate_e16, validate_e17, validate_e18, validate_e19, Json, JsonError,
+};
 pub use stats::Summary;
 pub use table::Table;
 

@@ -22,6 +22,7 @@ use dsv_net::Time;
 /// | [`fleet_cache`](Self::fleet_cache) | `1024` | Live per-key trackers cached per fleet shard (fleet only) |
 /// | [`fleet_gc_bytes`](Self::fleet_gc_bytes) | `64 KiB` | Minimum per-shard arena garbage before the fleet compacts (fleet only) |
 /// | [`consolidate`](Self::consolidate) | `false` | Pre-aggregate same-site runs (RLE / sort-merge) before ingestion |
+/// | [`delta_rebase`](Self::delta_rebase) | `0` (off) | Delta checkpointing: fresh base snapshot every K chained deltas |
 ///
 /// **Shards vs workers.** `shards` is the *logical* partitioning: how many
 /// tracker replicas the stream is split across. It is part of the engine's
@@ -47,6 +48,7 @@ pub struct EngineConfig {
     fleet_cache: Option<usize>,
     fleet_gc_bytes: usize,
     consolidate: bool,
+    delta_rebase: u64,
 }
 
 impl EngineConfig {
@@ -66,7 +68,23 @@ impl EngineConfig {
             fleet_cache: None,
             fleet_gc_bytes: 64 * 1024,
             consolidate: false,
+            delta_rebase: 0,
         }
+    }
+
+    /// Delta checkpointing (default 0 = off): when `every > 0`, checkpoint
+    /// sinks built on [`crate::CheckpointStore`] record each boundary as a
+    /// chain of [`dsv_net::StateDelta`] links against the previous
+    /// snapshot, forcing a fresh full base every `every` deltas (so
+    /// reconstructing any retained boundary replays at most `every`
+    /// links), and the remote engine ships `DSVD` deltas instead of full
+    /// snapshots on its `Checkpoint` pulls. Purely a checkpoint-transport
+    /// knob: materialized checkpoints, estimates, and the tracker/merge
+    /// ledgers are bit-identical with it on or off — only the bytes that
+    /// move (and the `checkpoint_stats` words that charge them) shrink.
+    pub fn delta_rebase(mut self, every: u64) -> Self {
+        self.delta_rebase = every;
+        self
     }
 
     /// Pre-aggregate each same-site run before the shard's tracker sees
@@ -231,6 +249,12 @@ impl EngineConfig {
         self.consolidate
     }
 
+    /// The delta-checkpoint rebase period in chained deltas (0 = delta
+    /// checkpointing off).
+    pub fn delta_rebase_period(&self) -> u64 {
+        self.delta_rebase
+    }
+
     pub(crate) fn validate(&self) -> Result<(), EngineError> {
         if self.shards == 0 {
             return Err(EngineError::ZeroShards);
@@ -300,6 +324,12 @@ pub enum EngineError {
         /// The unknown key.
         key: u64,
     },
+    /// A [`crate::CheckpointStore`] was asked to materialize a boundary
+    /// it does not retain.
+    UnknownBoundary {
+        /// The requested boundary time.
+        time: Time,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -334,6 +364,9 @@ impl std::fmt::Display for EngineError {
             }
             EngineError::UnknownKey { key } => {
                 write!(fm, "the fleet has never seen key {key}")
+            }
+            EngineError::UnknownBoundary { time } => {
+                write!(fm, "the checkpoint store retains no boundary at t = {time}")
             }
         }
     }

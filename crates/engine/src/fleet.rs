@@ -50,7 +50,7 @@ use std::time::{Duration, Instant};
 
 use dsv_core::api::{BuildError, ItemTracker, RunError, Tracker, TrackerKind, TrackerSpec};
 use dsv_core::codec::{kind_from_tag, kind_tag, CodecError, Dec, Enc, TrackerState};
-use dsv_net::{relative_error, CommStats, IngestStats, SiteId, Time};
+use dsv_net::{fingerprint, relative_error, CommStats, IngestStats, SiteId, StateDelta, Time};
 
 use crate::config::{EngineConfig, EngineError};
 use crate::consolidate::{ConsolidateInput, Consolidator};
@@ -62,8 +62,19 @@ pub const FLEET_MAGIC: [u8; 4] = *b"DSVF";
 
 /// Current fleet-checkpoint format version. Bump on **any** layout
 /// change (and see `MIGRATION.md`); nested tracker payloads carry their
-/// own `DSVT` version independently.
-pub const FLEET_VERSION: u16 = 1;
+/// own `DSVT` version independently. v2 adds a shard-table variant tag
+/// after the version: `TABLE_FULL` for the classic full table,
+/// `TABLE_DELTA` for a parent-anchored [`FleetDelta`] table; v1 bytes
+/// (no tag, full table) still decode.
+pub const FLEET_VERSION: u16 = 2;
+
+/// `DSVF` v2 shard-table variant: every slot record in full (the only
+/// layout v1 had).
+const TABLE_FULL: u8 = 1;
+
+/// `DSVF` v2 shard-table variant: delta-chain table — slot ops diffed
+/// against a parent checkpoint, decoded by [`FleetDelta::from_bytes`].
+const TABLE_DELTA: u8 = 2;
 
 /// Niche marker for "no slot / no cache entry / no staged successor".
 const NONE_U32: u32 = u32::MAX;
@@ -707,10 +718,11 @@ impl FleetCheckpoint {
         self.f
     }
 
-    /// Serialize to the versioned wire form.
+    /// Serialize to the versioned wire form (v2, full shard table).
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut enc = Enc::new();
         enc.magic(FLEET_MAGIC, FLEET_VERSION);
+        enc.u8(TABLE_FULL);
         enc.u8(kind_tag(self.kind));
         enc.usize(self.k);
         enc.u64(self.time);
@@ -737,9 +749,34 @@ impl FleetCheckpoint {
 
     /// Decode the versioned wire form, requiring exact consumption and
     /// internal consistency (shard and state shapes, update accounting).
+    /// Accepts v1 bytes (no table-variant tag) and v2 full tables; a v2
+    /// delta table is a typed error directing the caller to
+    /// [`FleetDelta::from_bytes`], since it cannot stand alone.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
         let mut dec = Dec::new(bytes);
-        dec.magic(FLEET_MAGIC, FLEET_VERSION)?;
+        let version = dec.magic(FLEET_MAGIC, FLEET_VERSION)?;
+        if version >= 2 {
+            match dec.u8()? {
+                TABLE_FULL => {}
+                TABLE_DELTA => {
+                    return Err(CodecError::BadValue {
+                        what: "fleet table variant (delta tables decode with FleetDelta)",
+                    })
+                }
+                tag => {
+                    return Err(CodecError::BadTag {
+                        what: "fleet table variant",
+                        tag: tag as u64,
+                    })
+                }
+            }
+        }
+        Self::decode_table(&mut dec)
+    }
+
+    /// Decode the table body shared by v1 and v2-full payloads
+    /// (everything after the magic/version/variant prefix).
+    fn decode_table(dec: &mut Dec<'_>) -> Result<Self, CodecError> {
         let tag = dec.u8()?;
         let kind = kind_from_tag(tag).ok_or(CodecError::BadTag {
             what: "fleet tracker kind",
@@ -762,7 +799,7 @@ impl FleetCheckpoint {
                 what: "fleet max relative error",
             });
         }
-        let tracker_stats = CommStats::decode(&mut dec)?;
+        let tracker_stats = CommStats::decode(dec)?;
         let n_shards = dec.seq_len("fleet shards", 8)?;
         if n_shards == 0 {
             return Err(CodecError::BadValue {
@@ -809,6 +846,411 @@ impl FleetCheckpoint {
             });
         }
         Ok(FleetCheckpoint {
+            kind,
+            k,
+            time,
+            f,
+            boundaries,
+            key_violations,
+            agg_violations,
+            max_err,
+            tracker_stats,
+            shards,
+        })
+    }
+}
+
+/// One slot's contribution to a [`FleetDelta`], positionally aligned
+/// against the parent checkpoint's slot table. Slots are append-only per
+/// shard, so a parent's records are always a positional prefix of its
+/// child's — ops never need to carry reordering information.
+#[derive(Debug, Clone, PartialEq)]
+enum SlotOp {
+    /// The record (key, scalars, and state bytes) is unchanged.
+    Same,
+    /// Same key; fresh scalars and a [`StateDelta`] over the state bytes.
+    Delta {
+        f: i64,
+        updates: u64,
+        violations: u64,
+        estimate: i64,
+        state: StateDelta,
+    },
+    /// A key appended since the parent, recorded in full.
+    Full(SlotRecord),
+}
+
+/// A fleet checkpoint encoded as a diff against a **parent**
+/// [`FleetCheckpoint`] — the `DSVF` v2 delta-chain shard-table variant.
+///
+/// Build one with [`TrackerFleet::checkpoint_delta`] (or
+/// [`FleetDelta::between`] two explicit checkpoints); reconstruct the
+/// child, bit-identically, with [`apply`](Self::apply) against the same
+/// parent. The parent is pinned by the FNV-1a fingerprint of its full
+/// wire form, so applying against the wrong parent — or a tampered one —
+/// is a typed [`CodecError::Mismatch`], never silent corruption. Fleet
+/// slot slabs are append-only per shard, so the parent's records are a
+/// positional prefix of the child's: unchanged slots cost one tag byte,
+/// touched slots a section-aware [`StateDelta`], and only keys that
+/// first applied an update since the parent ship in full.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetDelta {
+    parent_time: Time,
+    parent_hash: u64,
+    kind: TrackerKind,
+    k: usize,
+    time: Time,
+    f: i64,
+    boundaries: u64,
+    key_violations: u64,
+    agg_violations: u64,
+    max_err: f64,
+    tracker_stats: CommStats,
+    shards: Vec<Vec<SlotOp>>,
+}
+
+impl FleetDelta {
+    /// Diff `child` against `parent`. Both must come from the same fleet
+    /// lineage: same kind, site count, and shard count, with the
+    /// parent's slot table a positional key-prefix of the child's and
+    /// the fleet clock advanced — anything else is a typed
+    /// [`EngineError::CheckpointMismatch`].
+    pub fn between(parent: &FleetCheckpoint, child: &FleetCheckpoint) -> Result<Self, EngineError> {
+        if child.kind != parent.kind {
+            return Err(EngineError::CheckpointMismatch {
+                what: "tracker kind tag",
+                expected: kind_tag(parent.kind) as u64,
+                found: kind_tag(child.kind) as u64,
+            });
+        }
+        if child.k != parent.k {
+            return Err(EngineError::CheckpointMismatch {
+                what: "site count",
+                expected: parent.k as u64,
+                found: child.k as u64,
+            });
+        }
+        if child.shards.len() != parent.shards.len() {
+            return Err(EngineError::CheckpointMismatch {
+                what: "logical shard count",
+                expected: parent.shards.len() as u64,
+                found: child.shards.len() as u64,
+            });
+        }
+        if child.time < parent.time {
+            return Err(EngineError::CheckpointMismatch {
+                what: "monotone fleet clock",
+                expected: parent.time,
+                found: child.time,
+            });
+        }
+        let mut shards = Vec::with_capacity(child.shards.len());
+        for (ps, cs) in parent.shards.iter().zip(&child.shards) {
+            if cs.len() < ps.len() {
+                return Err(EngineError::CheckpointMismatch {
+                    what: "fleet slot prefix length",
+                    expected: ps.len() as u64,
+                    found: cs.len() as u64,
+                });
+            }
+            let mut ops = Vec::with_capacity(cs.len());
+            for (pr, cr) in ps.iter().zip(cs) {
+                if cr.key != pr.key {
+                    return Err(EngineError::CheckpointMismatch {
+                        what: "fleet slot key prefix",
+                        expected: pr.key,
+                        found: cr.key,
+                    });
+                }
+                if cr == pr {
+                    ops.push(SlotOp::Same);
+                } else {
+                    ops.push(SlotOp::Delta {
+                        f: cr.f,
+                        updates: cr.updates,
+                        violations: cr.violations,
+                        estimate: cr.estimate,
+                        state: StateDelta::diff(&pr.state, &cr.state),
+                    });
+                }
+            }
+            for cr in &cs[ps.len()..] {
+                ops.push(SlotOp::Full(cr.clone()));
+            }
+            shards.push(ops);
+        }
+        Ok(FleetDelta {
+            parent_time: parent.time,
+            parent_hash: fingerprint(&parent.to_bytes()),
+            kind: child.kind,
+            k: child.k,
+            time: child.time,
+            f: child.f,
+            boundaries: child.boundaries,
+            key_violations: child.key_violations,
+            agg_violations: child.agg_violations,
+            max_err: child.max_err,
+            tracker_stats: child.tracker_stats.clone(),
+            shards,
+        })
+    }
+
+    /// Reconstruct the child checkpoint this delta was diffed from,
+    /// bit-identical to the original. `parent` must be the exact
+    /// checkpoint the delta was built against (pinned by fingerprint);
+    /// a wrong or tampered parent, a cross-wired state delta, or a
+    /// shape mismatch is a typed [`CodecError`].
+    pub fn apply(&self, parent: &FleetCheckpoint) -> Result<FleetCheckpoint, CodecError> {
+        let found = fingerprint(&parent.to_bytes());
+        if found != self.parent_hash {
+            return Err(CodecError::Mismatch {
+                what: "fleet delta parent fingerprint",
+                expected: self.parent_hash,
+                found,
+            });
+        }
+        if self.shards.len() != parent.shards.len() {
+            return Err(CodecError::Mismatch {
+                what: "fleet delta shard count",
+                expected: parent.shards.len() as u64,
+                found: self.shards.len() as u64,
+            });
+        }
+        let mut shards = Vec::with_capacity(self.shards.len());
+        let mut total_updates: u64 = 0;
+        for (ops, ps) in self.shards.iter().zip(&parent.shards) {
+            let aligned = ops
+                .iter()
+                .take_while(|op| !matches!(op, SlotOp::Full(_)))
+                .count();
+            if aligned != ps.len() {
+                return Err(CodecError::Mismatch {
+                    what: "fleet delta aligned ops vs parent slots",
+                    expected: ps.len() as u64,
+                    found: aligned as u64,
+                });
+            }
+            let mut records = Vec::with_capacity(ops.len());
+            for (i, op) in ops.iter().enumerate() {
+                let rec = match op {
+                    SlotOp::Same => ps[i].clone(),
+                    SlotOp::Delta {
+                        f,
+                        updates,
+                        violations,
+                        estimate,
+                        state,
+                    } => SlotRecord {
+                        key: ps[i].key,
+                        f: *f,
+                        updates: *updates,
+                        violations: *violations,
+                        estimate: *estimate,
+                        state: state.apply(&ps[i].state)?,
+                    },
+                    SlotOp::Full(rec) => rec.clone(),
+                };
+                total_updates = total_updates.saturating_add(rec.updates);
+                records.push(rec);
+            }
+            shards.push(records);
+        }
+        if total_updates != self.time {
+            return Err(CodecError::Mismatch {
+                what: "fleet per-key update total vs time",
+                expected: self.time,
+                found: total_updates,
+            });
+        }
+        Ok(FleetCheckpoint {
+            kind: self.kind,
+            k: self.k,
+            time: self.time,
+            f: self.f,
+            boundaries: self.boundaries,
+            key_violations: self.key_violations,
+            agg_violations: self.agg_violations,
+            max_err: self.max_err,
+            tracker_stats: self.tracker_stats.clone(),
+            shards,
+        })
+    }
+
+    /// Fleet clock of the parent this delta chains from.
+    pub fn parent_time(&self) -> Time {
+        self.parent_time
+    }
+
+    /// Fleet clock of the child this delta reconstructs.
+    pub fn time(&self) -> Time {
+        self.time
+    }
+
+    /// Serialize to the versioned wire form (`DSVF` v2, delta table).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut enc = Enc::new();
+        enc.magic(FLEET_MAGIC, FLEET_VERSION);
+        enc.u8(TABLE_DELTA);
+        enc.u64(self.parent_time);
+        enc.u64(self.parent_hash);
+        enc.u8(kind_tag(self.kind));
+        enc.usize(self.k);
+        enc.u64(self.time);
+        enc.i64(self.f);
+        enc.u64(self.boundaries);
+        enc.u64(self.key_violations);
+        enc.u64(self.agg_violations);
+        enc.f64(self.max_err);
+        self.tracker_stats.encode(&mut enc);
+        enc.seq_len(self.shards.len());
+        for ops in &self.shards {
+            enc.seq_len(ops.len());
+            for op in ops {
+                match op {
+                    SlotOp::Same => enc.u8(0),
+                    SlotOp::Delta {
+                        f,
+                        updates,
+                        violations,
+                        estimate,
+                        state,
+                    } => {
+                        enc.u8(1);
+                        enc.i64(*f);
+                        enc.u64(*updates);
+                        enc.u64(*violations);
+                        enc.i64(*estimate);
+                        state.encode(&mut enc);
+                    }
+                    SlotOp::Full(rec) => {
+                        enc.u8(2);
+                        enc.u64(rec.key);
+                        enc.i64(rec.f);
+                        enc.u64(rec.updates);
+                        enc.u64(rec.violations);
+                        enc.i64(rec.estimate);
+                        enc.blob(&rec.state);
+                    }
+                }
+            }
+        }
+        enc.into_bytes()
+    }
+
+    /// Decode the versioned wire form, requiring exact consumption, the
+    /// delta table variant, and per-shard op order (full records only
+    /// after the aligned prefix). Truncated, corrupted, or version-skewed
+    /// payloads decode to typed [`CodecError`]s, never panics.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut dec = Dec::new(bytes);
+        let version = dec.magic(FLEET_MAGIC, FLEET_VERSION)?;
+        if version < 2 {
+            return Err(CodecError::BadValue {
+                what: "fleet delta table requires format v2",
+            });
+        }
+        match dec.u8()? {
+            TABLE_DELTA => {}
+            TABLE_FULL => {
+                return Err(CodecError::BadValue {
+                    what: "fleet table variant (full tables decode with FleetCheckpoint)",
+                })
+            }
+            tag => {
+                return Err(CodecError::BadTag {
+                    what: "fleet table variant",
+                    tag: tag as u64,
+                })
+            }
+        }
+        let parent_time = dec.u64()?;
+        let parent_hash = dec.u64()?;
+        let tag = dec.u8()?;
+        let kind = kind_from_tag(tag).ok_or(CodecError::BadTag {
+            what: "fleet tracker kind",
+            tag: tag as u64,
+        })?;
+        let k = dec.usize()?;
+        if k == 0 {
+            return Err(CodecError::BadValue {
+                what: "fleet site count",
+            });
+        }
+        let time = dec.u64()?;
+        let f = dec.i64()?;
+        let boundaries = dec.u64()?;
+        let key_violations = dec.u64()?;
+        let agg_violations = dec.u64()?;
+        let max_err = dec.f64()?;
+        if max_err.is_nan() || max_err < 0.0 {
+            return Err(CodecError::BadValue {
+                what: "fleet max relative error",
+            });
+        }
+        let tracker_stats = CommStats::decode(&mut dec)?;
+        let n_shards = dec.seq_len("fleet shards", 8)?;
+        if n_shards == 0 {
+            return Err(CodecError::BadValue {
+                what: "fleet shard count",
+            });
+        }
+        let mut shards = Vec::with_capacity(n_shards);
+        for _ in 0..n_shards {
+            let n_ops = dec.seq_len("fleet delta ops", 1)?;
+            let mut ops = Vec::with_capacity(n_ops);
+            let mut appending = false;
+            for _ in 0..n_ops {
+                let op = match dec.u8()? {
+                    0 => SlotOp::Same,
+                    1 => SlotOp::Delta {
+                        f: dec.i64()?,
+                        updates: dec.u64()?,
+                        violations: dec.u64()?,
+                        estimate: dec.i64()?,
+                        state: StateDelta::decode(&mut dec)?,
+                    },
+                    2 => {
+                        appending = true;
+                        let key = dec.u64()?;
+                        let fk = dec.i64()?;
+                        let updates = dec.u64()?;
+                        let violations = dec.u64()?;
+                        let estimate = dec.i64()?;
+                        let state = dec.blob()?.to_vec();
+                        if state.is_empty() {
+                            return Err(CodecError::BadValue {
+                                what: "fleet slot state",
+                            });
+                        }
+                        SlotOp::Full(SlotRecord {
+                            key,
+                            f: fk,
+                            updates,
+                            violations,
+                            estimate,
+                            state,
+                        })
+                    }
+                    tag => {
+                        return Err(CodecError::BadTag {
+                            what: "fleet delta slot op",
+                            tag: tag as u64,
+                        })
+                    }
+                };
+                if appending && !matches!(op, SlotOp::Full(_)) {
+                    return Err(CodecError::BadValue {
+                        what: "fleet delta op order (aligned op after appended record)",
+                    });
+                }
+                ops.push(op);
+            }
+            shards.push(ops);
+        }
+        dec.finish()?;
+        Ok(FleetDelta {
+            parent_time,
+            parent_hash,
             kind,
             k,
             time,
@@ -1335,6 +1777,21 @@ where
         })
     }
 
+    /// Checkpoint the whole fleet as a [`FleetDelta`] against `parent`
+    /// (normally this fleet's previous checkpoint): cuts a boundary like
+    /// [`checkpoint`](Self::checkpoint), then diffs the slot table so
+    /// untouched keys cost one byte, touched keys a section-aware
+    /// [`StateDelta`], and only newly applied keys ship in full.
+    /// `delta.apply(&parent)` reconstructs the full checkpoint
+    /// bit-identically.
+    pub fn checkpoint_delta(
+        &mut self,
+        parent: &FleetCheckpoint,
+    ) -> Result<FleetDelta, EngineError> {
+        let child = self.checkpoint()?;
+        FleetDelta::between(parent, &child)
+    }
+
     /// Run with pipelined keyed ingestion: one bounded queue per feed,
     /// the feeder closure producing `(key, input)` pushes on the caller
     /// thread while a driver drains feeds in index order, one batch-sized
@@ -1816,6 +2273,77 @@ mod tests {
             FleetCheckpoint::from_bytes(&bad_kind),
             Err(CodecError::BadTag { tag: 200, .. })
         ));
+    }
+
+    #[test]
+    fn fleet_delta_applies_bit_identically_and_round_trips() {
+        let mut fleet = CounterFleet::counters(spec(), cfg()).unwrap();
+        for t in 0..300u64 {
+            fleet.update(t % 13, 1).unwrap();
+        }
+        let parent = fleet.checkpoint().unwrap();
+        // Touch two existing keys and add three new ones.
+        for _ in 0..40 {
+            fleet.update(3, 2).unwrap();
+            fleet.update(7, -1).unwrap();
+            fleet.update(100, 1).unwrap();
+            fleet.update(101, 1).unwrap();
+            fleet.update(102, 1).unwrap();
+        }
+        let delta = fleet.checkpoint_delta(&parent).unwrap();
+        let child = fleet.checkpoint().unwrap();
+        assert_eq!(delta.parent_time(), parent.time());
+        assert_eq!(delta.time(), child.time());
+        let rebuilt = delta.apply(&parent).unwrap();
+        assert_eq!(rebuilt, child);
+        assert_eq!(rebuilt.to_bytes(), child.to_bytes());
+        // Wire round trip, then apply again.
+        let wire = FleetDelta::from_bytes(&delta.to_bytes()).unwrap();
+        assert_eq!(wire, delta);
+        assert_eq!(wire.apply(&parent).unwrap().to_bytes(), child.to_bytes());
+        // A quiet fleet's delta is tiny next to the full table.
+        let quiet = fleet.checkpoint_delta(&child).unwrap();
+        assert!(
+            quiet.to_bytes().len() * 10 <= child.to_bytes().len(),
+            "quiet delta {} vs full {}",
+            quiet.to_bytes().len(),
+            child.to_bytes().len()
+        );
+        // Wrong parent is a typed fingerprint mismatch, not corruption.
+        assert!(matches!(
+            delta.apply(&child),
+            Err(CodecError::Mismatch {
+                what: "fleet delta parent fingerprint",
+                ..
+            })
+        ));
+        // The two table variants refuse each other's decoder, typed.
+        assert!(matches!(
+            FleetCheckpoint::from_bytes(&delta.to_bytes()),
+            Err(CodecError::BadValue { .. })
+        ));
+        assert!(matches!(
+            FleetDelta::from_bytes(&child.to_bytes()),
+            Err(CodecError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn fleet_v1_bytes_still_decode() {
+        let mut fleet = CounterFleet::counters(spec(), cfg()).unwrap();
+        for t in 0..128u64 {
+            fleet.update(t % 9, 1).unwrap();
+        }
+        let ckpt = fleet.checkpoint().unwrap();
+        // Rewrite the v2 wire form as v1: drop the table-variant byte
+        // (index 6) and patch the version word back to 1.
+        let mut v1 = ckpt.to_bytes();
+        v1.remove(6);
+        v1[4] = 1;
+        v1[5] = 0;
+        let back = FleetCheckpoint::from_bytes(&v1).unwrap();
+        assert_eq!(back, ckpt);
+        assert_eq!(back.to_bytes(), ckpt.to_bytes(), "re-encodes as v2");
     }
 
     #[test]

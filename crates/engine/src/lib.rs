@@ -73,6 +73,7 @@
 mod checkpoint;
 mod config;
 mod consolidate;
+pub mod delta;
 pub mod fleet;
 pub mod ingest;
 mod merge;
@@ -85,9 +86,10 @@ mod sharded;
 pub use checkpoint::{EngineCheckpoint, CHECKPOINT_MAGIC, CHECKPOINT_VERSION};
 pub use config::{EngineConfig, EngineError};
 pub use consolidate::{ConsolidateInput, Consolidator};
+pub use delta::{CheckpointStore, DeltaStats, STORE_MAGIC, STORE_VERSION};
 pub use fleet::{
-    CounterFleet, FleetCheckpoint, FleetMemory, FleetReport, ItemFleet, KeyAudit, TrackerFleet,
-    FLEET_MAGIC, FLEET_VERSION,
+    CounterFleet, FleetCheckpoint, FleetDelta, FleetMemory, FleetReport, ItemFleet, KeyAudit,
+    TrackerFleet, FLEET_MAGIC, FLEET_VERSION,
 };
 pub use ingest::{Backpressure, FeedError, FleetFeed, ShardFeed};
 pub use partition::{InputDelta, Partition, ShardRecord};

@@ -59,7 +59,7 @@ use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-use wire::{Chunk, Inputs, ShardInit, ToCoord, ToWorker};
+use wire::{Chunk, Inputs, ShardInit, StateEntry, StatePull, ToCoord, ToWorker};
 
 /// How the coordinator rendezvouses with its shard workers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -394,6 +394,16 @@ pub struct RemoteEngine<In: RemoteInput> {
     f: i64,
     /// Per-shard state at the last committed checkpoint cut.
     ckpt_states: Vec<Option<TrackerState>>,
+    /// Per-shard delta base: the last snapshot each worker shipped (or
+    /// was restored from), advanced on receipt — deliberately separate
+    /// from the committed `ckpt_states`, because a worker advances its
+    /// own base the moment it replies, whether or not the surrounding
+    /// checkpoint round commits.
+    wire_base: Vec<Option<TrackerState>>,
+    /// Delta links received per shard since its last full pull — the
+    /// rebase counter driving [`EngineConfig::delta_rebase`] over the
+    /// wire (the coordinator requests a full state every K-th pull).
+    links_since_base: Vec<u64>,
     /// Inputs absorbed per shard since that cut (the dirty-shard skip,
     /// and exactly what a failover replay re-applies).
     dirty: Vec<u64>,
@@ -464,6 +474,8 @@ impl<In: RemoteInput> RemoteEngine<In> {
             time: 0,
             f: 0,
             ckpt_states: vec![None; s_count],
+            wire_base: vec![None; s_count],
+            links_since_base: vec![0; s_count],
             dirty: vec![0; s_count],
             faults: FaultPlan::new(),
             events: Vec::new(),
@@ -802,11 +814,24 @@ impl<In: RemoteInput> RemoteEngine<In> {
             for &sid in &need {
                 per_worker.entry(self.owner[sid]).or_default().push(sid);
             }
-            let mut staged: BTreeMap<usize, TrackerState> = BTreeMap::new();
+            let mut staged: BTreeMap<usize, (TrackerState, usize)> = BTreeMap::new();
             let mut failed: BTreeSet<usize> = BTreeSet::new();
             let mut sent: Vec<usize> = Vec::new();
+            let rebase = self.cfg.delta_rebase_period();
             for (w, sids) in per_worker {
-                match self.send_to(w, &ToWorker::Checkpoint { shards: sids }.to_bytes()) {
+                // Delta pulls are strictly opt-in (`delta_rebase(K)` with
+                // K > 0) and only when both sides hold the same base;
+                // every K-th pull goes back to a full state.
+                let pulls: Vec<StatePull> = sids
+                    .iter()
+                    .map(|&sid| StatePull {
+                        sid,
+                        want_delta: rebase > 0
+                            && self.wire_base[sid].is_some()
+                            && self.links_since_base[sid] < rebase,
+                    })
+                    .collect();
+                match self.send_to(w, &ToWorker::Checkpoint { shards: pulls }.to_bytes()) {
                     Ok(()) => sent.push(w),
                     Err(_) => {
                         failed.insert(w);
@@ -822,14 +847,48 @@ impl<In: RemoteInput> RemoteEngine<In> {
             for w in sent {
                 match self.recv_coord(w) {
                     Ok(ToCoord::CheckpointReport { states }) => {
-                        for (sid, state) in states {
-                            if state.kind() != self.kind || state.k() != self.k {
+                        for (sid, entry) in states {
+                            if sid >= self.wire_base.len() {
                                 return Err(RemoteError::Protocol {
                                     worker: w,
-                                    what: "checkpoint state contradicts the engine spec",
+                                    what: "checkpoint entry for an unknown shard",
                                 });
                             }
-                            staged.insert(sid, state);
+                            // Resolve to a full state and advance the
+                            // delta base *on receipt*: the worker already
+                            // advanced its own base when it replied, so
+                            // the two must move together even if this
+                            // round's commit is aborted by another
+                            // worker's death.
+                            let (state, wire_len) = match entry {
+                                StateEntry::Full(state) => {
+                                    if state.kind() != self.kind || state.k() != self.k {
+                                        return Err(RemoteError::Protocol {
+                                            worker: w,
+                                            what: "checkpoint state contradicts the engine spec",
+                                        });
+                                    }
+                                    self.links_since_base[sid] = 0;
+                                    let len = state.payload().len();
+                                    (state, len)
+                                }
+                                StateEntry::Delta(delta) => {
+                                    let Some(base) = self.wire_base[sid].as_ref() else {
+                                        return Err(RemoteError::Protocol {
+                                            worker: w,
+                                            what: "delta checkpoint entry without a shared base",
+                                        });
+                                    };
+                                    let len = delta.encoded_len();
+                                    let payload = delta
+                                        .apply(base.payload())
+                                        .map_err(|err| RemoteError::Decode { worker: w, err })?;
+                                    self.links_since_base[sid] += 1;
+                                    (TrackerState::new(self.kind, base.k(), payload), len)
+                                }
+                            };
+                            self.wire_base[sid] = Some(state.clone());
+                            staged.insert(sid, (state, wire_len));
                         }
                     }
                     Ok(_) => {
@@ -846,13 +905,19 @@ impl<In: RemoteInput> RemoteEngine<In> {
             }
             if failed.is_empty() {
                 for &sid in &need {
-                    let Some(state) = staged.remove(&sid) else {
+                    let Some((state, wire_len)) = staged.remove(&sid) else {
                         return Err(RemoteError::Protocol {
                             worker: self.owner[sid],
                             what: "checkpoint reply missing a requested shard",
                         });
                     };
-                    let frame = StateFrame::for_payload(sid, state.payload().len());
+                    // Charge what was actually shipped: the full payload
+                    // for a full pull, the encoded delta for a delta pull
+                    // — one ledger message per shard either way, so the
+                    // message counts stay comparable across modes (and
+                    // agree with the wire's frame counts; see
+                    // tests/delta_checkpoint.rs).
+                    let frame = StateFrame::for_payload(sid, wire_len);
                     self.ckpt_stats.charge(MsgKind::Up, frame.words());
                     self.ckpt_states[sid] = Some(state);
                     self.dirty[sid] = 0;
@@ -909,6 +974,13 @@ impl<In: RemoteInput> RemoteEngine<In> {
                     state: self.ckpt_states[sid].clone(),
                 })
                 .collect();
+            // The replacement restores from the committed cut, which
+            // resets its delta bases to those states — mirror that here,
+            // symmetrically, before any further checkpoint pull.
+            for &sid in &owned {
+                self.wire_base[sid] = self.ckpt_states[sid].clone();
+                self.links_since_base[sid] = 0;
+            }
             let reattach_to = match self.rcfg.recovery {
                 Recovery::Respawn => None,
                 Recovery::Reattach => {
@@ -1246,6 +1318,66 @@ mod tests {
         assert!(remote.events().is_empty());
         let wire = remote.wire_stats();
         assert!(wire.frames_sent > 0 && wire.bytes_received > 0);
+    }
+
+    #[test]
+    fn delta_checkpoint_pulls_stay_bit_identical_and_cheaper() {
+        let feeds = walk_feeds(4, 16_000);
+        let full_cfg = EngineConfig::new(4, 250).checkpoint_every(4);
+        let delta_cfg = full_cfg.delta_rebase(3);
+
+        let mut local = ShardedEngine::counters(det_spec(4), full_cfg).unwrap();
+        let local_report = local.run_parted(&slices(&feeds)).unwrap();
+        let local_ckpt = local.checkpoint().unwrap();
+
+        let mut full = RemoteEngine::counters(det_spec(4), full_cfg, fast_rcfg()).unwrap();
+        full.run_parted(&slices(&feeds)).unwrap();
+
+        let mut delta = RemoteEngine::counters(det_spec(4), delta_cfg, fast_rcfg()).unwrap();
+        let report = delta.run_parted(&slices(&feeds)).unwrap();
+
+        // Delta pulls are an encoding change only: every observable result
+        // matches the full-snapshot engine and the in-process engine.
+        assert_eq!(report.final_estimate, local_report.final_estimate);
+        assert_eq!(report.tracker_stats, local_report.tracker_stats);
+        assert_eq!(report.merge_stats, local_report.merge_stats);
+        assert_eq!(delta.checkpoint().unwrap(), local_ckpt);
+        assert_eq!(delta.checkpoint().unwrap(), full.checkpoint().unwrap());
+
+        // Both modes ship one state frame per shard per sync, so the ledgers
+        // agree on message counts; the delta ledger carries fewer words.
+        let (d, f) = (delta.checkpoint_stats(), full.checkpoint_stats());
+        assert_eq!(d.total_messages(), f.total_messages());
+        assert!(
+            d.total_words() < f.total_words(),
+            "delta words {} vs full words {}",
+            d.total_words(),
+            f.total_words()
+        );
+    }
+
+    #[test]
+    fn delta_mode_failover_resyncs_wire_bases() {
+        let feeds = walk_feeds(4, 12_000);
+        let cfg = EngineConfig::new(4, 250)
+            .checkpoint_every(4)
+            .delta_rebase(3);
+
+        let mut local = ShardedEngine::counters(det_spec(4), cfg).unwrap();
+        let local_report = local.run_parted(&slices(&feeds)).unwrap();
+
+        let mut remote = RemoteEngine::counters(det_spec(4), cfg, fast_rcfg()).unwrap();
+        remote.set_fault_plan(FaultPlan::new().inject(
+            FaultPoint::MidRound(6),
+            1,
+            FaultKind::Sever,
+        ));
+        let report = remote.run_parted(&slices(&feeds)).unwrap();
+
+        assert_eq!(remote.events().len(), 1);
+        assert_eq!(report.final_estimate, local_report.final_estimate);
+        assert_eq!(report.tracker_stats, local_report.tracker_stats);
+        assert_eq!(remote.checkpoint().unwrap(), local.checkpoint().unwrap());
     }
 
     #[test]

@@ -19,14 +19,18 @@
 use dsv_core::api::TrackerSpec;
 use dsv_core::codec::TrackerState;
 use dsv_net::codec::{CodecError, Dec, Enc};
+use dsv_net::StateDelta;
 
 /// Magic bytes opening every remote-protocol message.
 pub const WIRE_MAGIC: [u8; 4] = *b"DSVR";
 
 /// Current remote-protocol version. A peer speaking a newer version is a
 /// typed [`CodecError::UnsupportedVersion`], surfaced before any shard
-/// state moves.
-pub const WIRE_VERSION: u16 = 1;
+/// state moves. v2 adds delta checkpoint pulls — per-shard want-delta
+/// flags on [`ToWorker::Checkpoint`] and tagged
+/// [`StateEntry`] report entries; v1 frames (plain shard lists, untagged
+/// full states) still decode.
+pub const WIRE_VERSION: u16 = 2;
 
 /// One shard's inputs for one round — the per-problem input payload.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -114,6 +118,45 @@ pub struct ShardInit {
     pub state: Option<TrackerState>,
 }
 
+/// One shard's checkpoint pull request: which shard to snapshot, and
+/// whether a [`StateDelta`] against the worker's last-shipped snapshot is
+/// acceptable in place of the full state. The coordinator only sets
+/// `want_delta` when delta checkpointing is on
+/// ([`crate::EngineConfig::delta_rebase`]) and both sides hold the same
+/// base; a worker without a base replies in full regardless.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatePull {
+    /// The logical shard to snapshot.
+    pub sid: usize,
+    /// Whether a delta against the last-shipped snapshot is acceptable.
+    pub want_delta: bool,
+}
+
+/// One shard's state in a [`ToCoord::CheckpointReport`]: the full
+/// snapshot, or a delta against the last snapshot this worker shipped
+/// (or was restored from) for that shard.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StateEntry {
+    /// The complete versioned snapshot.
+    Full(TrackerState),
+    /// A section-aware diff against the worker's previous shipped
+    /// snapshot payload; the coordinator applies it to its own copy of
+    /// that base (fingerprint-checked on both ends of the apply).
+    Delta(StateDelta),
+}
+
+impl StateEntry {
+    /// Bytes of state payload this entry ships (what the checkpoint
+    /// ledger charges): the snapshot payload for a full entry, the
+    /// encoded delta for a delta entry.
+    pub fn wire_len(&self) -> usize {
+        match self {
+            StateEntry::Full(state) => state.payload().len(),
+            StateEntry::Delta(delta) => delta.encoded_len(),
+        }
+    }
+}
+
 /// Coordinator → worker messages.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ToWorker {
@@ -151,8 +194,8 @@ pub enum ToWorker {
     /// Snapshot the named shards and reply with a
     /// [`ToCoord::CheckpointReport`].
     Checkpoint {
-        /// The (dirty) shards to snapshot.
-        shards: Vec<usize>,
+        /// The (dirty) shards to snapshot, each with its pull shape.
+        shards: Vec<StatePull>,
     },
     /// Shut down cleanly.
     Finish,
@@ -196,8 +239,9 @@ impl ToWorker {
             ToWorker::Checkpoint { shards } => {
                 enc.u8(4);
                 enc.seq_len(shards.len());
-                for &sid in shards {
-                    enc.usize(sid);
+                for pull in shards {
+                    enc.usize(pull.sid);
+                    enc.bool(pull.want_delta);
                 }
             }
             ToWorker::Finish => enc.u8(5),
@@ -206,9 +250,11 @@ impl ToWorker {
     }
 
     /// Decode one transport frame payload; must consume it exactly.
+    /// Accepts v1 frames, whose checkpoint requests carry no want-delta
+    /// flags (decoded as all-full pulls).
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
         let mut dec = Dec::new(bytes);
-        dec.magic(WIRE_MAGIC, WIRE_VERSION)?;
+        let version = dec.magic(WIRE_MAGIC, WIRE_VERSION)?;
         let msg = match dec.u8()? {
             1 => {
                 let spec = TrackerSpec::decode(&mut dec)?;
@@ -242,7 +288,12 @@ impl ToWorker {
             }
             4 => {
                 let n = dec.seq_len("checkpoint shards", 8)?;
-                let shards = (0..n).map(|_| dec.usize()).collect::<Result<_, _>>()?;
+                let mut shards = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let sid = dec.usize()?;
+                    let want_delta = if version >= 2 { dec.bool()? } else { false };
+                    shards.push(StatePull { sid, want_delta });
+                }
                 ToWorker::Checkpoint { shards }
             }
             5 => ToWorker::Finish,
@@ -321,8 +372,8 @@ pub enum ToCoord {
     },
     /// Reply to [`ToWorker::Checkpoint`].
     CheckpointReport {
-        /// The requested shards' serialized states.
-        states: Vec<(usize, TrackerState)>,
+        /// The requested shards' states, full or delta per entry.
+        states: Vec<(usize, StateEntry)>,
     },
 }
 
@@ -350,9 +401,18 @@ impl ToCoord {
             ToCoord::CheckpointReport { states } => {
                 enc.u8(3);
                 enc.seq_len(states.len());
-                for (sid, state) in states {
+                for (sid, entry) in states {
                     enc.usize(*sid);
-                    enc.blob(&state.to_bytes());
+                    match entry {
+                        StateEntry::Full(state) => {
+                            enc.u8(1);
+                            enc.blob(&state.to_bytes());
+                        }
+                        StateEntry::Delta(delta) => {
+                            enc.u8(2);
+                            delta.encode(&mut enc);
+                        }
+                    }
                 }
             }
         }
@@ -360,9 +420,11 @@ impl ToCoord {
     }
 
     /// Decode one transport frame payload; must consume it exactly.
+    /// Accepts v1 frames, whose checkpoint reports carry untagged full
+    /// states.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
         let mut dec = Dec::new(bytes);
-        dec.magic(WIRE_MAGIC, WIRE_VERSION)?;
+        let version = dec.magic(WIRE_MAGIC, WIRE_VERSION)?;
         let msg = match dec.u8()? {
             1 => ToCoord::AssignAck {
                 error: String::from_utf8(dec.blob()?.to_vec()).map_err(|_| {
@@ -390,8 +452,21 @@ impl ToCoord {
                 let mut states = Vec::with_capacity(n);
                 for _ in 0..n {
                     let sid = dec.usize()?;
-                    let state = TrackerState::from_bytes(dec.blob()?)?;
-                    states.push((sid, state));
+                    let entry = if version >= 2 {
+                        match dec.u8()? {
+                            1 => StateEntry::Full(TrackerState::from_bytes(dec.blob()?)?),
+                            2 => StateEntry::Delta(StateDelta::decode(&mut dec)?),
+                            tag => {
+                                return Err(CodecError::BadTag {
+                                    what: "checkpoint state entry",
+                                    tag: tag as u64,
+                                })
+                            }
+                        }
+                    } else {
+                        StateEntry::Full(TrackerState::from_bytes(dec.blob()?)?)
+                    };
+                    states.push((sid, entry));
                 }
                 ToCoord::CheckpointReport { states }
             }
@@ -456,7 +531,18 @@ mod tests {
                     },
                 ],
             },
-            ToWorker::Checkpoint { shards: vec![0, 2] },
+            ToWorker::Checkpoint {
+                shards: vec![
+                    StatePull {
+                        sid: 0,
+                        want_delta: false,
+                    },
+                    StatePull {
+                        sid: 2,
+                        want_delta: true,
+                    },
+                ],
+            },
             ToWorker::Finish,
         ];
         let to_coord = vec![
@@ -484,7 +570,13 @@ mod tests {
                 ],
             },
             ToCoord::CheckpointReport {
-                states: vec![(2, state)],
+                states: vec![
+                    (2, StateEntry::Full(state.clone())),
+                    (
+                        3,
+                        StateEntry::Delta(StateDelta::diff(state.payload(), &[7; 40])),
+                    ),
+                ],
             },
         ];
         (to_worker, to_coord)
@@ -516,6 +608,46 @@ mod tests {
                 assert!(ToCoord::from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
             }
         }
+    }
+
+    #[test]
+    fn v1_checkpoint_frames_still_decode() {
+        // A v1 Checkpoint request: shard list with no want-delta flags.
+        let mut enc = Enc::new();
+        enc.magic(WIRE_MAGIC, 1);
+        enc.u8(4);
+        enc.seq_len(2);
+        enc.usize(0);
+        enc.usize(2);
+        assert_eq!(
+            ToWorker::from_bytes(&enc.into_bytes()).unwrap(),
+            ToWorker::Checkpoint {
+                shards: vec![
+                    StatePull {
+                        sid: 0,
+                        want_delta: false,
+                    },
+                    StatePull {
+                        sid: 2,
+                        want_delta: false,
+                    },
+                ],
+            }
+        );
+        // A v1 CheckpointReport: untagged full states.
+        let state = TrackerState::new(TrackerKind::Randomized, 3, vec![9; 24]);
+        let mut enc = Enc::new();
+        enc.magic(WIRE_MAGIC, 1);
+        enc.u8(3);
+        enc.seq_len(1);
+        enc.usize(2);
+        enc.blob(&state.to_bytes());
+        assert_eq!(
+            ToCoord::from_bytes(&enc.into_bytes()).unwrap(),
+            ToCoord::CheckpointReport {
+                states: vec![(2, StateEntry::Full(state))],
+            }
+        );
     }
 
     #[test]

@@ -10,9 +10,11 @@
 //! indistinguishable from the process it replaces once assigned and
 //! replayed.
 
-use super::wire::{Inputs, RoundEntry, ShardInit, ToCoord, ToWorker};
+use super::wire::{Inputs, RoundEntry, ShardInit, StateEntry, ToCoord, ToWorker};
 use dsv_core::api::{ItemTracker, Problem, Tracker, TrackerSpec};
+use dsv_core::codec::TrackerState;
 use dsv_net::transport::{hello_bytes, Conn, Endpoint, Role, TransportError};
+use dsv_net::StateDelta;
 use std::collections::BTreeMap;
 use std::time::Duration;
 
@@ -72,11 +74,14 @@ fn make_tracker(spec: &TrackerSpec, init: &ShardInit) -> Result<AnyTracker, Stri
 }
 
 /// Install `shards` into the replica map, replying with an
-/// [`ToCoord::AssignAck`] (empty error string on success).
+/// [`ToCoord::AssignAck`] (empty error string on success). A restored
+/// shard's state becomes its delta base (the coordinator holds the same
+/// bytes); a fresh shard has no base until its first checkpoint pull.
 fn install(
     conn: &mut Conn,
     spec: &Option<TrackerSpec>,
     trackers: &mut BTreeMap<usize, AnyTracker>,
+    bases: &mut BTreeMap<usize, TrackerState>,
     shards: &[ShardInit],
 ) -> Result<(), WorkerError> {
     let ack = match spec {
@@ -85,6 +90,14 @@ fn install(
             .iter()
             .try_for_each(|init| {
                 trackers.insert(init.sid, make_tracker(spec, init)?);
+                match &init.state {
+                    Some(state) => {
+                        bases.insert(init.sid, state.clone());
+                    }
+                    None => {
+                        bases.remove(&init.sid);
+                    }
+                }
                 Ok::<(), String>(())
             })
             .err()
@@ -137,6 +150,9 @@ fn serve_conn(
 
     let mut spec: Option<TrackerSpec> = None;
     let mut trackers: BTreeMap<usize, AnyTracker> = BTreeMap::new();
+    // Per-shard delta base: the snapshot last shipped to (or restored
+    // from) the coordinator, which holds the same bytes.
+    let mut bases: BTreeMap<usize, TrackerState> = BTreeMap::new();
     loop {
         let frame = conn.recv()?;
         let msg = ToWorker::from_bytes(&frame)
@@ -148,11 +164,12 @@ fn serve_conn(
                 shards,
             } => {
                 trackers.clear();
+                bases.clear();
                 spec = Some(new_spec);
-                install(&mut conn, &spec, &mut trackers, &shards)?;
+                install(&mut conn, &spec, &mut trackers, &mut bases, &shards)?;
             }
             ToWorker::Attach { shards } => {
-                install(&mut conn, &spec, &mut trackers, &shards)?;
+                install(&mut conn, &spec, &mut trackers, &mut bases, &shards)?;
             }
             ToWorker::Round {
                 round,
@@ -195,16 +212,25 @@ fn serve_conn(
             }
             ToWorker::Checkpoint { shards } => {
                 let mut states = Vec::with_capacity(shards.len());
-                for sid in shards {
+                for pull in shards {
                     let tracker = trackers
-                        .get(&sid)
+                        .get(&pull.sid)
                         .ok_or(WorkerError::Protocol("checkpoint of unassigned shard"))?;
                     let state = match tracker {
                         AnyTracker::Counter(t) => t.snapshot(),
                         AnyTracker::Item(t) => t.snapshot(),
                     }
                     .map_err(|_| WorkerError::Protocol("shard state snapshot failed"))?;
-                    states.push((sid, state));
+                    // Ship a delta when asked and a base exists; either
+                    // way this snapshot becomes the next base.
+                    let entry = match bases.get(&pull.sid) {
+                        Some(base) if pull.want_delta => {
+                            StateEntry::Delta(StateDelta::diff(base.payload(), state.payload()))
+                        }
+                        _ => StateEntry::Full(state.clone()),
+                    };
+                    bases.insert(pull.sid, state);
+                    states.push((pull.sid, entry));
                 }
                 conn.send(&ToCoord::CheckpointReport { states }.to_bytes())?;
             }

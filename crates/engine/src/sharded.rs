@@ -3,6 +3,7 @@
 use crate::checkpoint::EngineCheckpoint;
 use crate::config::{EngineConfig, EngineError};
 use crate::consolidate::{ConsolidateInput, Consolidator};
+use crate::delta::CheckpointStore;
 use crate::ingest::{Ring, RingConsumer, ShardFeed};
 use crate::merge::MergeCoordinator;
 use crate::partition::{hash_item, Partition, ShardRecord};
@@ -451,6 +452,23 @@ where
             merge.into_bytes(),
             states,
         ))
+    }
+
+    /// Capture a checkpoint (see [`checkpoint`](Self::checkpoint)) and
+    /// record it as the next boundary of an incremental
+    /// [`CheckpointStore`], returning the recorded boundary time. The
+    /// clean-shard skip composes with delta encoding: a shard that
+    /// consumed no inputs reuses its cached snapshot verbatim, so the
+    /// store diffs two identical payloads and records a few-byte
+    /// [identity link](dsv_net::StateDelta::is_identity). Pair with a
+    /// store built as
+    /// `CheckpointStore::new(cfg.delta_rebase_period())` to honor the
+    /// engine's [`EngineConfig::delta_rebase`] setting.
+    pub fn checkpoint_into(&mut self, store: &mut CheckpointStore) -> Result<Time, EngineError> {
+        let ckpt = self.checkpoint()?;
+        let time = ckpt.time();
+        store.record(&ckpt)?;
+        Ok(time)
     }
 
     /// Live-rescale the engine: reassign the `S` logical shard replicas

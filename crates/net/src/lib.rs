@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod codec;
+pub mod delta;
 pub mod ingest;
 pub mod message;
 pub mod protocol;
@@ -37,6 +38,7 @@ pub mod stats;
 pub mod transport;
 
 pub use codec::{CodecError, Dec, Enc};
+pub use delta::{fingerprint, StateDelta, DELTA_MAGIC, DELTA_SECTION, DELTA_VERSION};
 pub use ingest::{FeedFrame, IngestStats};
 pub use message::{MsgKind, MsgRecord, WireSize};
 pub use protocol::{CoordOutbox, CoordinatorNode, DownMsg, MergedEntry, Outbox, SiteNode};

@@ -77,10 +77,10 @@ pub mod prelude {
         RemoteError, RemoteTransport, SpawnMode,
     };
     pub use dsv_engine::{
-        Backpressure, ConsolidateInput, Consolidator, CounterEngine, CounterFleet,
-        EngineCheckpoint, EngineConfig, EngineError, EngineReport, FeedError, FleetCheckpoint,
-        FleetFeed, FleetMemory, FleetReport, InputDelta, ItemEngine, ItemFleet, KeyAudit,
-        Partition, ShardFeed, ShardRecord, ShardedEngine, TrackerFleet,
+        Backpressure, CheckpointStore, ConsolidateInput, Consolidator, CounterEngine, CounterFleet,
+        DeltaStats, EngineCheckpoint, EngineConfig, EngineError, EngineReport, FeedError,
+        FleetCheckpoint, FleetDelta, FleetFeed, FleetMemory, FleetReport, InputDelta, ItemEngine,
+        ItemFleet, KeyAudit, Partition, ShardFeed, ShardRecord, ShardedEngine, TrackerFleet,
     };
     pub use dsv_gen::{
         assign_updates, prefix_values, AdversarialGen, DeltaGen, FlipFamilyGen, HashAssign,
@@ -89,7 +89,7 @@ pub mod prelude {
     };
     pub use dsv_net::{
         relative_error, relative_error_floored, CommStats, ConfigError, ErrorProbe, FeedFrame,
-        IngestStats, ItemUpdate, MergedEntry, RunReport, ShardReport, StarSim, TrackerRunner,
-        Update,
+        IngestStats, ItemUpdate, MergedEntry, RunReport, ShardReport, StarSim, StateDelta,
+        TrackerRunner, Update,
     };
 }

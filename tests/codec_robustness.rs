@@ -252,3 +252,272 @@ fn fleet_checkpoints_survive_the_same_gauntlet() {
     ));
     assert!(!err.to_string().is_empty());
 }
+
+#[test]
+fn state_deltas_survive_the_gauntlet() {
+    // A DSVD delta between two warm snapshots of the same tracker: the
+    // base mid-stream, the target after more traffic.
+    let kind = TrackerKind::Deterministic;
+    let spec = TrackerSpec::new(kind).k(3).eps(0.2).deletions(true);
+    let mut tracker = spec.build().unwrap();
+    let mut s = 77u64;
+    let drive = |tracker: &mut Box<dyn Tracker + Send>, n: usize, s: &mut u64| {
+        for _ in 0..n {
+            let site = lcg(s) as usize % 3;
+            let delta = if lcg(s).is_multiple_of(3) { -1 } else { 1 };
+            tracker.step(site, delta);
+        }
+    };
+    drive(&mut tracker, 1_200, &mut s);
+    let base = tracker.snapshot().unwrap().payload().to_vec();
+    drive(&mut tracker, 800, &mut s);
+    let target = tracker.snapshot().unwrap().payload().to_vec();
+
+    let delta = StateDelta::diff(&base, &target);
+    assert_eq!(delta.apply(&base).unwrap(), target);
+    let bytes = delta.to_bytes();
+
+    // Every-byte truncation is a typed error, never a panic.
+    for cut in 0..bytes.len() {
+        assert!(StateDelta::from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
+    }
+    // Every-byte corruption must not panic; if a flip happens to decode,
+    // applying it must either fail typed or still land exactly on a
+    // payload matching its recorded result fingerprint — the apply path
+    // never hands back unvalidated bytes.
+    for i in 0..bytes.len() {
+        let mut evil = bytes.clone();
+        evil[i] ^= 0xA5;
+        if let Ok(d) = StateDelta::from_bytes(&evil) {
+            if let Ok(out) = d.apply(&base) {
+                assert_eq!(
+                    dsv::net::fingerprint(&out),
+                    d.new_hash(),
+                    "flip at {i}: apply returned bytes that contradict the delta's own hash"
+                );
+            }
+        }
+    }
+    // Envelope head flips (magic + version) are always rejected.
+    for i in 0..6 {
+        let mut evil = bytes.clone();
+        evil[i] ^= 0xA5;
+        assert!(
+            StateDelta::from_bytes(&evil).is_err(),
+            "delta envelope flip at byte {i} was accepted"
+        );
+    }
+    // Version skew and trailing garbage are the specific typed errors.
+    let mut future = bytes.clone();
+    future[4] = 0x7F;
+    future[5] = 0x01;
+    assert!(matches!(
+        StateDelta::from_bytes(&future),
+        Err(CodecError::UnsupportedVersion { .. })
+    ));
+    let mut trailing = bytes.clone();
+    trailing.extend_from_slice(&[0, 1]);
+    assert!(matches!(
+        StateDelta::from_bytes(&trailing),
+        Err(CodecError::Trailing { left: 2 })
+    ));
+
+    // Applying against the wrong base is a typed mismatch, both when the
+    // impostor differs in length and when it merely differs in content.
+    let err = delta.apply(&target).unwrap_err();
+    assert!(matches!(err, CodecError::Mismatch { .. }), "{err}");
+    let mut impostor = base.clone();
+    impostor[base.len() / 2] ^= 0x5A;
+    assert!(matches!(
+        delta.apply(&impostor),
+        Err(CodecError::Mismatch {
+            what: "delta base fingerprint",
+            ..
+        })
+    ));
+}
+
+#[test]
+fn checkpoint_store_bytes_survive_the_gauntlet() {
+    // Two boundaries, never rebased: boundary 1 is all base links,
+    // boundary 2 all delta links — the shortest store exercising both
+    // link tags and the chain-coherence checks.
+    let spec = TrackerSpec::new(TrackerKind::Deterministic)
+        .k(3)
+        .eps(0.1)
+        .deletions(true);
+    let mut engine = ShardedEngine::counters(spec, EngineConfig::new(3, 256)).unwrap();
+    let mut store = CheckpointStore::new(0);
+    let stream = |from: u64, to: u64| -> Vec<dsv::net::Update> {
+        (from..=to)
+            .map(|t| dsv::net::Update::new(t, (t % 3) as usize, if t % 5 == 0 { -1 } else { 1 }))
+            .collect()
+    };
+    engine.run(&stream(1, 1_009)).unwrap();
+    let t1 = engine.checkpoint_into(&mut store).unwrap();
+    engine.run(&stream(1_010, 2_022)).unwrap();
+    let t2 = engine.checkpoint_into(&mut store).unwrap();
+    assert_eq!((t1, t2), (1_009, 2_022));
+    let bytes = store.to_bytes();
+
+    // Every-byte truncation is a typed error, never a panic.
+    for cut in 0..bytes.len() {
+        assert!(CheckpointStore::from_bytes(&bytes[..cut]).is_err(), "{cut}");
+    }
+    // Every-byte corruption must not panic; the chain fingerprints catch
+    // nearly everything, scalar flips may decode — fine either way.
+    for i in 0..bytes.len() {
+        let mut evil = bytes.clone();
+        evil[i] ^= 0xA5;
+        let _ = CheckpointStore::from_bytes(&evil);
+    }
+    // Envelope head flips (magic, version, kind tag) are always rejected.
+    for i in 0..7 {
+        let mut evil = bytes.clone();
+        evil[i] ^= 0xA5;
+        assert!(
+            CheckpointStore::from_bytes(&evil).is_err(),
+            "store envelope flip at byte {i} was accepted"
+        );
+    }
+    // Version skew and trailing garbage are the specific typed errors.
+    let mut future = bytes.clone();
+    future[4] = 0x7F;
+    future[5] = 0x01;
+    assert!(matches!(
+        CheckpointStore::from_bytes(&future),
+        Err(CodecError::UnsupportedVersion { .. })
+    ));
+    let mut trailing = bytes.clone();
+    trailing.extend_from_slice(&[3]);
+    assert!(matches!(
+        CheckpointStore::from_bytes(&trailing),
+        Err(CodecError::Trailing { left: 1 })
+    ));
+
+    // Chain surgery. The fixed-layout header is magic(4) + version(2) +
+    // kind(1) + k(8) + shards(8) + rebase(8) + boundary count(8), so the
+    // records start at byte 39 and record 1 opens with t1's LE word;
+    // record 2 opens with t2's. Locate record 2 by that word.
+    const RECORDS_AT: usize = 39;
+    let needle = t2.to_le_bytes();
+    let hits: Vec<usize> = (RECORDS_AT..bytes.len() - 7)
+        .filter(|&i| bytes[i..i + 8] == needle)
+        .collect();
+    assert_eq!(hits.len(), 1, "boundary-2 time word must be unique");
+    let rec2 = hits[0];
+
+    // Reordered chain links: swapping the two boundary records puts the
+    // delta-linked boundary first — a typed error (the chain would start
+    // with deltas and the times run backwards), never a wrong decode.
+    let mut swapped = bytes[..RECORDS_AT].to_vec();
+    swapped.extend_from_slice(&bytes[rec2..]);
+    swapped.extend_from_slice(&bytes[RECORDS_AT..rec2]);
+    assert!(matches!(
+        CheckpointStore::from_bytes(&swapped),
+        Err(CodecError::BadValue { .. } | CodecError::Mismatch { .. })
+    ));
+
+    // A broken chain: drop the base boundary entirely (count patched to
+    // 1) so the surviving record's deltas have no base to stand on.
+    let mut orphaned = bytes[..RECORDS_AT].to_vec();
+    orphaned[RECORDS_AT - 8..RECORDS_AT].copy_from_slice(&1u64.to_le_bytes());
+    orphaned.extend_from_slice(&bytes[rec2..]);
+    assert!(matches!(
+        CheckpointStore::from_bytes(&orphaned),
+        Err(CodecError::BadValue {
+            what: "store chain start (delta before any base)"
+        })
+    ));
+
+    // The untampered bytes still round-trip to a working store.
+    let back = CheckpointStore::from_bytes(&bytes).unwrap();
+    assert_eq!(back.boundaries(), vec![t1, t2]);
+    assert_eq!(
+        back.materialize(t2).unwrap().to_bytes(),
+        engine.checkpoint().unwrap().to_bytes()
+    );
+}
+
+#[test]
+fn fleet_delta_tables_survive_the_gauntlet() {
+    let spec = TrackerSpec::new(TrackerKind::Deterministic)
+        .k(2)
+        .eps(0.15)
+        .deletions(true);
+    let mut fleet = CounterFleet::counters(spec, EngineConfig::new(4, 64).eps(0.15)).unwrap();
+    let mut s = 23u64;
+    let churn = |fleet: &mut CounterFleet, n: usize, s: &mut u64| {
+        for _ in 0..n {
+            let key = lcg(s) % 17;
+            let site = (lcg(s) % 2) as usize;
+            let delta = if lcg(s).is_multiple_of(6) { -1 } else { 1 };
+            fleet.update_at(key, site, delta).unwrap();
+        }
+    };
+    churn(&mut fleet, 700, &mut s);
+    let parent = fleet.checkpoint().unwrap();
+    churn(&mut fleet, 500, &mut s);
+    let delta = fleet.checkpoint_delta(&parent).unwrap();
+    let child = fleet.checkpoint().unwrap();
+    assert_eq!(delta.apply(&parent).unwrap(), child);
+    let bytes = delta.to_bytes();
+
+    // Every-byte truncation is a typed error, never a panic.
+    for cut in 0..bytes.len() {
+        assert!(FleetDelta::from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
+    }
+    // Every-byte corruption must not panic; a decoded impostor must not
+    // apply cleanly onto the true parent unless it still names the
+    // parent's exact fingerprint and arrives at a self-consistent table.
+    for i in 0..bytes.len() {
+        let mut evil = bytes.clone();
+        evil[i] ^= 0xA5;
+        if let Ok(d) = FleetDelta::from_bytes(&evil) {
+            let _ = d.apply(&parent);
+        }
+    }
+    // Envelope head flips (magic, version, table variant) are rejected.
+    for i in 0..7 {
+        let mut evil = bytes.clone();
+        evil[i] ^= 0xA5;
+        assert!(
+            FleetDelta::from_bytes(&evil).is_err(),
+            "fleet delta envelope flip at byte {i} was accepted"
+        );
+    }
+    // Version skew, v1 downgrade, and trailing garbage are specific.
+    let mut future = bytes.clone();
+    future[4] = 0x7F;
+    future[5] = 0x01;
+    assert!(matches!(
+        FleetDelta::from_bytes(&future),
+        Err(CodecError::UnsupportedVersion { .. })
+    ));
+    let mut v1 = bytes.clone();
+    v1[4] = 1;
+    v1[5] = 0;
+    assert!(matches!(
+        FleetDelta::from_bytes(&v1),
+        Err(CodecError::BadValue { .. } | CodecError::BadTag { .. })
+    ));
+    let mut trailing = bytes.clone();
+    trailing.extend_from_slice(&[8, 8, 8]);
+    assert!(matches!(
+        FleetDelta::from_bytes(&trailing),
+        Err(CodecError::Trailing { left: 3 })
+    ));
+
+    // Applying against the wrong parent is a typed mismatch.
+    assert!(matches!(
+        delta.apply(&child),
+        Err(CodecError::Mismatch {
+            what: "fleet delta parent fingerprint",
+            ..
+        })
+    ));
+
+    // The two DSVF v2 table variants refuse to decode as each other.
+    assert!(FleetCheckpoint::from_bytes(&bytes).is_err());
+    assert!(FleetDelta::from_bytes(&child.to_bytes()).is_err());
+}
