@@ -3,7 +3,8 @@
 # verify runs, plus formatting, lints, the full workspace test matrix,
 # bench/example compilation, bench smoke runs with JSON schema gates
 # (including the e17 overlap-speedup gate, the e18 fleet keys x
-# throughput gate, and the e19 quiet-stream delta-shrink gate), and
+# throughput gate, the e19 quiet-stream delta-shrink gate, and — in
+# remote-feature jobs — the e20 pipelined-remote speedup gate), and
 # rustdoc. Fails fast on
 # the first broken step, and prints a per-step wall-clock summary at the
 # end (also emitted to $GITHUB_STEP_SUMMARY under Actions) so gate-time
@@ -32,23 +33,17 @@ cd "$(dirname "$0")"
 # bash < 4.4 (e.g. the stock macOS /bin/bash 3.2). The %N in the timing
 # code is GNU date; BSD date degrades it to whole seconds, gracefully.
 FEATURE_FLAGS=()
-# dsv-bench declares no features of its own, so `-p dsv-bench` commands
-# reach the seam through dependency syntax — keeping their feature
-# resolution identical to the workspace-wide steps (no mid-gate feature
-# flip, no redundant rebuild, and the bench/schema gates actually
-# exercise the matrix job's configuration). Each comma-separated entry
-# maps to its own dsv-engine/<feature> (a bare "a,b" would make cargo
-# look for a feature "b" on dsv-bench itself).
+# dsv-bench mirrors the facade's feature names (each forwarding to its
+# dsv-engine/<feature> seam), so `-p dsv-bench` commands take
+# DSV_FEATURES verbatim — feature resolution stays identical to the
+# workspace-wide steps (no mid-gate feature flip, no redundant rebuild,
+# and the bench/schema gates actually exercise the matrix job's
+# configuration), while feature-gated bench targets (e20's
+# required-features = ["remote"]) appear exactly when their seam is on.
 BENCH_FEATURE_FLAGS=()
 if [ -n "${DSV_FEATURES:-}" ]; then
     FEATURE_FLAGS=(--features "$DSV_FEATURES")
-    BENCH_FEATURES=""
-    IFS=',' read -ra _dsv_feats <<< "$DSV_FEATURES"
-    for _f in "${_dsv_feats[@]}"; do
-        [ -n "$_f" ] || continue
-        BENCH_FEATURES="${BENCH_FEATURES:+$BENCH_FEATURES,}dsv-engine/$_f"
-    done
-    BENCH_FEATURE_FLAGS=(--features "$BENCH_FEATURES")
+    BENCH_FEATURE_FLAGS=(--features "$DSV_FEATURES")
 fi
 
 # ---------------------------------------------------------------------------
@@ -207,8 +202,14 @@ case " ${DSV_FEATURES:-} " in *remote*)
     ;;
 esac
 
-step "cargo bench --no-run --workspace (compile all 21 bench targets)"
+step "cargo bench --no-run (compile all 22 bench targets)"
+# Workspace-wide compile of every bench target, plus an explicit
+# `-p dsv-bench` pass so feature-gated targets (e20_remote, behind
+# dsv-bench's `remote` mirror feature) compile in the matrix jobs whose
+# seam they need — the facade-level --features flag doesn't reach
+# dsv-bench's own feature list.
 cargo bench --no-run --workspace ${FEATURE_FLAGS[@]+"${FEATURE_FLAGS[@]}"}
+cargo bench --no-run -p dsv-bench ${BENCH_FEATURE_FLAGS[@]+"${BENCH_FEATURE_FLAGS[@]}"}
 
 step "1s smoke run of one e* bench binary"
 # The e* binaries are full experiments; a 1-second slice is enough to
@@ -286,6 +287,29 @@ cargo run -q --release -p dsv-bench ${BENCH_FEATURE_FLAGS[@]+"${BENCH_FEATURE_FL
 if [ -f BENCH_e19.json ]; then
     cargo run -q --release -p dsv-bench ${BENCH_FEATURE_FLAGS[@]+"${BENCH_FEATURE_FLAGS[@]}"} --bin bench_schema -- BENCH_e19.json
 fi
+
+case " ${DSV_FEATURES:-} " in *remote*)
+    step "e20 remote-ingestion smoke + BENCH json schema + pipelining gate"
+    # The socket-tax experiment in --smoke mode: RemoteEngine throughput
+    # across rounds_per_frame {1,4,16} x {uds,tcp} x {threads,processes},
+    # every run audited bit-identical to the in-process engine before its
+    # timing is believed. The binary enforces the >= 1.3x pipelined-over-
+    # sync gate on the TCP/processes combo (round-trip elimination is
+    # protocol-structural, so it binds on smoke too) before writing any
+    # JSON; bench_schema re-enforces it — plus the frames-fall-as-rpf-
+    # rises amortization signature — on the fresh artifact and on the
+    # committed BENCH_e20.json. DSV_SHARD_SERVER_BIN pins the worker
+    # binary to the artifact this very gate just built.
+    e20_bin=$(bench_bin e20_remote)
+    [ -n "$e20_bin" ] || { echo "e20 bench binary not found"; exit 1; }
+    DSV_SHARD_SERVER_BIN=target/release/dsv-shard-server \
+        "$e20_bin" --smoke --out target/ci/BENCH_e20.json > /dev/null
+    cargo run -q --release -p dsv-bench ${BENCH_FEATURE_FLAGS[@]+"${BENCH_FEATURE_FLAGS[@]}"} --bin bench_schema -- target/ci/BENCH_e20.json
+    if [ -f BENCH_e20.json ]; then
+        cargo run -q --release -p dsv-bench ${BENCH_FEATURE_FLAGS[@]+"${BENCH_FEATURE_FLAGS[@]}"} --bin bench_schema -- BENCH_e20.json
+    fi
+    ;;
+esac
 
 step "bench_schema --all (every committed BENCH_*.json)"
 # Safety net over the per-experiment steps above: glob-validate every

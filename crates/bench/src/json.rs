@@ -813,6 +813,163 @@ pub fn validate_e19(doc: &Json) -> Result<(), String> {
     Ok(())
 }
 
+// ---------------------------------------------------------------------------
+// The E20 schema gate.
+// ---------------------------------------------------------------------------
+
+/// Validate a `BENCH_e20.json` document: the remote-ingestion socket-tax
+/// experiment. Beyond shape and finiteness, the validator re-enforces
+/// the pipelining gate on the recorded numbers — `gate_speedup` must
+/// meet the document's `speedup_gate`, which itself cannot be weakened
+/// below the 1.3× floor — and checks the structural signature of frame
+/// batching: within every combo, `frames_sent` must strictly fall as
+/// `rounds_per_frame` rises (the amortization the experiment exists to
+/// demonstrate). The speedup is protocol-structural (round-trips
+/// eliminated, not cycles saved), so the gate binds on smoke artifacts
+/// too.
+///
+/// Required shape:
+///
+/// ```json
+/// {
+///   "experiment": "e20_remote",
+///   "smoke": bool, "n": > 0, "kind": str, "k": > 0, "eps": (0,1),
+///   "shards": > 0, "workers": > 0, "batch": > 0,
+///   "speedup_gate": ≥ 1.3, "gate_combo": str,
+///   "gate_speedup": ≥ speedup_gate, "local_updates_per_sec": > 0,
+///   "combos": [ non-empty, must include the gate_combo, each:
+///     { "transport": "uds" | "tcp", "spawn": "threads" | "processes",
+///       "rows": [ covering rounds_per_frame 1, 4, and 16, each:
+///         { "rounds_per_frame": 1 | 4 | 16, "wall_s" > 0,
+///           "updates_per_sec" > 0, "speedup_vs_sync" > 0, "vs_local" > 0,
+///           "frames_sent" > 0 (strictly falling across the rows),
+///           "frames_received" > 0, "bytes_sent" > 0,
+///           "bytes_received" > 0 } ] } ]
+/// }
+/// ```
+pub fn validate_e20(doc: &Json) -> Result<(), String> {
+    if field(doc, "experiment")?.as_str() != Some("e20_remote") {
+        return Err("field 'experiment' must be \"e20_remote\"".into());
+    }
+    field(doc, "smoke")?
+        .as_bool()
+        .ok_or("field 'smoke' must be a bool")?;
+    pos_num(doc, "n")?;
+    field(doc, "kind")?
+        .as_str()
+        .ok_or("field 'kind' must be a string")?;
+    pos_num(doc, "k")?;
+    let eps = pos_num(doc, "eps")?;
+    if eps >= 1.0 {
+        return Err(format!("field 'eps' must be < 1, got {eps}"));
+    }
+    pos_num(doc, "shards")?;
+    pos_num(doc, "workers")?;
+    pos_num(doc, "batch")?;
+    let gate = pos_num(doc, "speedup_gate")?;
+    if gate < 1.3 {
+        return Err(format!(
+            "field 'speedup_gate' must be at least 1.3 (the pipelining floor), got {gate}"
+        ));
+    }
+    let gate_combo = field(doc, "gate_combo")?
+        .as_str()
+        .map(str::to_owned)
+        .ok_or("field 'gate_combo' must be a string")?;
+    let gate_speedup = pos_num(doc, "gate_speedup")?;
+    // Structural gate: binds regardless of the smoke flag.
+    if gate_speedup < gate {
+        return Err(format!(
+            "gate_speedup {gate_speedup:.2} is below the gate {gate:.2}"
+        ));
+    }
+    pos_num(doc, "local_updates_per_sec")?;
+
+    let combos_field = field(doc, "combos")?;
+    let combos = combos_field
+        .as_array()
+        .ok_or("field 'combos' must be an array")?;
+    if combos.is_empty() {
+        return Err("'combos' must be non-empty".into());
+    }
+    let mut saw_gate_combo = false;
+    for (i, combo) in combos.iter().enumerate() {
+        let ctx = |e: String| format!("combos[{i}]: {e}");
+        let transport = field(combo, "transport")
+            .map_err(ctx)?
+            .as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| ctx("field 'transport' must be a string".into()))?;
+        if transport != "uds" && transport != "tcp" {
+            return Err(ctx(format!(
+                "field 'transport' must be \"uds\" or \"tcp\", got \"{transport}\""
+            )));
+        }
+        let spawn = field(combo, "spawn")
+            .map_err(ctx)?
+            .as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| ctx("field 'spawn' must be a string".into()))?;
+        if spawn != "threads" && spawn != "processes" {
+            return Err(ctx(format!(
+                "field 'spawn' must be \"threads\" or \"processes\", got \"{spawn}\""
+            )));
+        }
+        if format!("{transport}/{spawn}") == gate_combo {
+            saw_gate_combo = true;
+        }
+        let rows_field = field(combo, "rows").map_err(ctx)?;
+        let rows = rows_field
+            .as_array()
+            .ok_or_else(|| ctx("field 'rows' must be an array".into()))?;
+        if rows.is_empty() {
+            return Err(ctx("'rows' must be non-empty".into()));
+        }
+        let mut saw_rpf = (false, false, false);
+        let mut prev_frames = f64::INFINITY;
+        for (j, row) in rows.iter().enumerate() {
+            let ctx = |e: String| format!("combos[{i}].rows[{j}]: {e}");
+            let rpf = pos_num(row, "rounds_per_frame").map_err(ctx)?;
+            match rpf as u64 {
+                1 => saw_rpf.0 = true,
+                4 => saw_rpf.1 = true,
+                16 => saw_rpf.2 = true,
+                _ => {
+                    return Err(ctx(format!(
+                        "field 'rounds_per_frame' must be 1, 4, or 16, got {rpf}"
+                    )))
+                }
+            }
+            pos_num(row, "wall_s").map_err(ctx)?;
+            pos_num(row, "updates_per_sec").map_err(ctx)?;
+            pos_num(row, "speedup_vs_sync").map_err(ctx)?;
+            pos_num(row, "vs_local").map_err(ctx)?;
+            let frames = pos_num(row, "frames_sent").map_err(ctx)?;
+            // The amortization signature: wider frames, strictly fewer of
+            // them. This is deterministic framing, not a timing artifact.
+            if frames >= prev_frames {
+                return Err(ctx(format!(
+                    "'frames_sent' must strictly fall as rounds_per_frame rises \
+                     (got {frames} after {prev_frames})"
+                )));
+            }
+            prev_frames = frames;
+            pos_num(row, "frames_received").map_err(ctx)?;
+            pos_num(row, "bytes_sent").map_err(ctx)?;
+            pos_num(row, "bytes_received").map_err(ctx)?;
+        }
+        if !(saw_rpf.0 && saw_rpf.1 && saw_rpf.2) {
+            return Err(ctx("'rows' must cover rounds_per_frame 1, 4, and 16".into()));
+        }
+    }
+    if !saw_gate_combo {
+        return Err(format!(
+            "'combos' must include the gated combo \"{gate_combo}\""
+        ));
+    }
+    Ok(())
+}
+
 /// Validate any known `BENCH_*.json` document by its `experiment` tag
 /// (the dispatch the `bench_schema` bin uses).
 pub fn validate_bench_doc(doc: &Json) -> Result<&'static str, String> {
@@ -821,6 +978,7 @@ pub fn validate_bench_doc(doc: &Json) -> Result<&'static str, String> {
         Some("e17_pipeline") => validate_e17(doc).map(|()| "e17_pipeline"),
         Some("e18_fleet") => validate_e18(doc).map(|()| "e18_fleet"),
         Some("e19_checkpoint") => validate_e19(doc).map(|()| "e19_checkpoint"),
+        Some("e20_remote") => validate_e20(doc).map(|()| "e20_remote"),
         Some(other) => Err(format!("unknown experiment tag \"{other}\"")),
         None => Err("missing string field 'experiment'".into()),
     }
@@ -1252,5 +1410,115 @@ mod tests {
             .replace("\"scenario\": \"loud\"", "\"scenario\": \"loudish\"");
         let doc = Json::parse(&text).unwrap();
         assert!(validate_e19(&doc).unwrap_err().contains("loud"));
+    }
+
+    fn valid_e20_doc(smoke: bool) -> Json {
+        let row = |rpf: f64, ups: f64, speedup: f64, frames: f64| {
+            Json::obj(vec![
+                ("rounds_per_frame", Json::num(rpf)),
+                ("wall_s", Json::num(2_000_000.0 / ups)),
+                ("updates_per_sec", Json::num(ups)),
+                ("speedup_vs_sync", Json::num(speedup)),
+                ("vs_local", Json::num(ups / 4.0e7)),
+                ("frames_sent", Json::num(frames)),
+                ("frames_received", Json::num(frames + 900.0)),
+                ("bytes_sent", Json::num(8.0e6)),
+                ("bytes_received", Json::num(2.4e5)),
+            ])
+        };
+        let combo = |transport: &str, spawn: &str, sync_ups: f64| {
+            Json::obj(vec![
+                ("transport", Json::str(transport)),
+                ("spawn", Json::str(spawn)),
+                (
+                    "rows",
+                    Json::Arr(vec![
+                        row(1.0, sync_ups, 1.0, 2004.0),
+                        row(4.0, sync_ups * 6.8, 6.8, 504.0),
+                        row(16.0, sync_ups * 40.7, 40.7, 130.0),
+                    ]),
+                ),
+            ])
+        };
+        Json::obj(vec![
+            ("experiment", Json::str("e20_remote")),
+            ("smoke", Json::Bool(smoke)),
+            ("n", Json::num(2_000_000.0)),
+            ("kind", Json::str("deterministic")),
+            ("k", Json::num(4.0)),
+            ("eps", Json::num(0.1)),
+            ("shards", Json::num(4.0)),
+            ("workers", Json::num(2.0)),
+            ("batch", Json::num(1_000.0)),
+            ("speedup_gate", Json::num(1.3)),
+            ("gate_combo", Json::str("tcp/processes")),
+            ("gate_speedup", Json::num(40.7)),
+            ("local_updates_per_sec", Json::num(4.0e7)),
+            (
+                "combos",
+                Json::Arr(vec![
+                    combo("uds", "processes", 2.4e7),
+                    combo("tcp", "threads", 1.1e4),
+                    combo("tcp", "processes", 1.1e4),
+                ]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn e20_schema_accepts_the_emitted_shape_and_dispatches() {
+        assert_eq!(validate_e20(&valid_e20_doc(false)), Ok(()));
+        assert_eq!(validate_e20(&valid_e20_doc(true)), Ok(()));
+        assert_eq!(validate_bench_doc(&valid_e20_doc(false)), Ok("e20_remote"));
+    }
+
+    #[test]
+    fn e20_schema_enforces_the_pipelining_gate_even_on_smoke_runs() {
+        // Round-trip elimination is protocol-structural, so the gate
+        // binds regardless of the smoke flag.
+        for smoke in [false, true] {
+            let slow = valid_e20_doc(smoke)
+                .to_string()
+                .replace("\"gate_speedup\": 40.7", "\"gate_speedup\": 1.1");
+            let doc = Json::parse(&slow).unwrap();
+            assert!(validate_e20(&doc).unwrap_err().contains("below the gate"));
+        }
+
+        // The recorded gate cannot be weakened below the 1.3x floor.
+        let moved = valid_e20_doc(false)
+            .to_string()
+            .replace("\"speedup_gate\": 1.3", "\"speedup_gate\": 1.01")
+            .replace("\"gate_speedup\": 40.7", "\"gate_speedup\": 1.05");
+        let doc = Json::parse(&moved).unwrap();
+        assert!(validate_e20(&doc).unwrap_err().contains("speedup_gate"));
+
+        // The gated combo must actually be among the recorded combos.
+        let text = valid_e20_doc(false).to_string().replace(
+            "\"gate_combo\": \"tcp/processes\"",
+            "\"gate_combo\": \"tcp/fibers\"",
+        );
+        let doc = Json::parse(&text).unwrap();
+        assert!(validate_e20(&doc).unwrap_err().contains("tcp/fibers"));
+    }
+
+    #[test]
+    fn e20_schema_enforces_the_frame_amortization_signature() {
+        // Wider frames must mean strictly fewer of them: a document where
+        // frames_sent fails to fall as rounds_per_frame rises is refused
+        // even if every throughput gate passes.
+        let flat = valid_e20_doc(false)
+            .to_string()
+            .replace("\"frames_sent\": 504", "\"frames_sent\": 2004");
+        let doc = Json::parse(&flat).unwrap();
+        assert!(validate_e20(&doc)
+            .unwrap_err()
+            .contains("must strictly fall"));
+
+        // And every combo must cover the full rpf sweep.
+        let partial = valid_e20_doc(false)
+            .to_string()
+            .replace("\"rounds_per_frame\": 16", "\"rounds_per_frame\": 4");
+        let doc = Json::parse(&partial).unwrap();
+        assert!(validate_e20(&doc).unwrap_err().contains("16"));
     }
 }

@@ -226,7 +226,7 @@ impl<T: Copy> Ring<T> {
     /// worker will drain — except in the unavoidable window where the
     /// close lands between this check and the `tail` publication, which
     /// teardown accounts as [`IngestStats::dropped`].
-    fn push_some(&self, xs: &[T]) -> usize {
+    pub(crate) fn push_some(&self, xs: &[T]) -> usize {
         if self.is_closed() {
             return 0;
         }
@@ -256,7 +256,7 @@ impl<T: Copy> Ring<T> {
     }
 
     /// Producer-only: park until the queue has space or is closed.
-    fn wait_not_full(&self) {
+    pub(crate) fn wait_not_full(&self) {
         let guard = self.gate.lock().unwrap();
         if self.is_full() && !self.closed.load(Ordering::Acquire) {
             let _unused = self.not_full.wait_timeout(guard, PARK_TIMEOUT).unwrap();

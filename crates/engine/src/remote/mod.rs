@@ -19,6 +19,20 @@
 //! shards off-process never perturbs the guarantee the facade's
 //! `tests/remote_equivalence.rs` holds the engine to.
 //!
+//! **Pipelining.** With [`EngineConfig::rounds_per_frame`]` > 1` the
+//! coordinator stops ping-ponging one round per frame: round commands
+//! are staged into a bounded per-worker send queue (the same SPSC ring
+//! and [`crate::Backpressure`] policies that drive
+//! [`crate::ShardedEngine::run_pipelined`]), and a writer thread per
+//! connection drains them into DSVR v3 `Rounds` envelopes of up to
+//! `rounds_per_frame` rounds per frame while the coordinator absorbs
+//! earlier rounds' reports. Frame cuts are deterministic (fixed blocks,
+//! never across a checkpoint boundary), workers still answer one report
+//! per round, and reports are absorbed in round order — so everything
+//! the equivalence contract covers is bit-identical at every
+//! `rounds_per_frame`, and only the wire ledger (fewer, fatter frames)
+//! moves. See DESIGN.md §12.
+//!
 //! **Failover.** [`EngineConfig::checkpoint_every`] turns on the
 //! durability sink: every `N` boundaries the coordinator pulls each
 //! *dirty* shard's [`TrackerState`] over the wire and commits a
@@ -42,6 +56,7 @@ pub mod worker;
 
 use crate::checkpoint::EngineCheckpoint;
 use crate::config::{EngineConfig, EngineError};
+use crate::ingest::{Backpressure, Ring};
 use crate::merge::MergeCoordinator;
 use crate::partition::InputDelta;
 use crate::report::EngineReport;
@@ -52,14 +67,15 @@ use dsv_net::transport::{
     parse_hello, Conn, Endpoint, Listener, Role, TransportError, WireStats, DEFAULT_MAX_FRAME,
 };
 use dsv_net::{CommStats, IngestStats, MsgKind, SiteId, StateFrame, Time, WireSize};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::marker::PhantomData;
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::thread::JoinHandle;
+use std::sync::Arc;
+use std::thread::{JoinHandle, Scope, ScopedJoinHandle};
 use std::time::{Duration, Instant};
-use wire::{Chunk, Inputs, ShardInit, StateEntry, StatePull, ToCoord, ToWorker};
+use wire::{Chunk, Inputs, RoundWork, ShardInit, StateEntry, StatePull, ToCoord, ToWorker};
 
 /// How the coordinator rendezvouses with its shard workers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -648,27 +664,52 @@ impl<In: RemoteInput> RemoteEngine<In> {
         let mut rounds_done: u64 = 0;
         let mut ckpt_rounds: u64 = 0;
 
-        for round in 0..rounds {
-            let entries = self.exchange_round(feeds, round, ckpt_rounds, rounds_done)?;
-            // Same per-boundary order as the in-process path: fold ground
-            // truth, absorb end-of-round estimates ascending sid, audit.
-            for (&sid, &(_, sum, len)) in &entries {
-                self.f += sum;
-                self.time += len as Time;
-                self.dirty[sid] += len;
-            }
-            for (&sid, &(est, _, _)) in &entries {
-                self.coord.absorb(sid, est);
-            }
-            audit.boundary(self.time, self.f, self.coord.estimate());
-            rounds_done += 1;
-            for w in 0..self.workers.len() {
-                if let Some(kind) = self.faults.take(FaultPoint::AtBoundary(rounds_done - 1), w) {
-                    self.disrupt(w, kind);
+        if self.cfg.rounds_per_frame_value() > 1 && rounds > 0 {
+            // Pipelined ingestion: stage rounds into per-worker send
+            // queues and absorb reports as they stream back. Reattach
+            // recovery degrades to respawn for the duration — writer
+            // threads hold a static snapshot of the owner map.
+            let saved = self.rcfg.recovery;
+            self.rcfg.recovery = Recovery::Respawn;
+            let drove = self.pipelined_rounds(
+                feeds,
+                rounds,
+                &mut audit,
+                &mut rounds_done,
+                &mut ckpt_rounds,
+            );
+            self.rcfg.recovery = saved;
+            drove?;
+        } else {
+            for round in 0..rounds {
+                let entries = self.exchange_round(feeds, round, ckpt_rounds, rounds_done)?;
+                // Same per-boundary order as the in-process path: fold
+                // ground truth, absorb end-of-round estimates ascending
+                // sid, audit.
+                for (&sid, &(_, sum, len)) in &entries {
+                    self.f += sum;
+                    self.time += len as Time;
+                    self.dirty[sid] += len;
                 }
-            }
-            if period > 0 && rounds_done.is_multiple_of(period) {
-                self.sync_checkpoint(feeds, Some(rounds_done - 1), &mut ckpt_rounds, rounds_done)?;
+                for (&sid, &(est, _, _)) in &entries {
+                    self.coord.absorb(sid, est);
+                }
+                audit.boundary(self.time, self.f, self.coord.estimate());
+                rounds_done += 1;
+                for w in 0..self.workers.len() {
+                    if let Some(kind) = self.faults.take(FaultPoint::AtBoundary(rounds_done - 1), w)
+                    {
+                        self.disrupt(w, kind);
+                    }
+                }
+                if period > 0 && rounds_done.is_multiple_of(period) {
+                    self.sync_checkpoint(
+                        feeds,
+                        Some(rounds_done - 1),
+                        &mut ckpt_rounds,
+                        rounds_done,
+                    )?;
+                }
             }
         }
         // Mandatory end-of-run commit: later calls (and their failovers)
@@ -788,6 +829,405 @@ impl<In: RemoteInput> RemoteEngine<In> {
             }
         }
         Ok(entries)
+    }
+
+    /// Drive the whole run's rounds through per-worker bounded send
+    /// queues and writer threads (`rounds_per_frame > 1`): the pipelined
+    /// counterpart of the synchronous per-round loop in
+    /// [`run_parted`](Self::run_parted), producing bit-identical
+    /// estimates, audits, ledgers, and checkpoint images.
+    ///
+    /// Frame cuts are *deterministic*: rounds are staged in fixed blocks
+    /// of `rounds_per_frame`, blocks never straddle a checkpoint
+    /// boundary, and every block ends with an explicit flush — so the
+    /// frames a run produces are a pure function of `(feeds, batch,
+    /// rounds_per_frame, checkpoint_every)`, never of queue timing. At
+    /// most two blocks are in flight (stage block `k+1`, then absorb
+    /// block `k`), which is what sizes the queues so staging never
+    /// waits. Checkpoints reuse the synchronous commit at a full barrier
+    /// — everything staged is absorbed, queues drained, writers parked —
+    /// so `committed..absorbed` accounting and failover replay are
+    /// exactly the synchronous engine's.
+    fn pipelined_rounds(
+        &mut self,
+        feeds: &[(SiteId, &[In])],
+        rounds: usize,
+        audit: &mut RunAudit,
+        rounds_done: &mut u64,
+        ckpt_rounds: &mut u64,
+    ) -> Result<(), RemoteError> {
+        let s_count = self.cfg.shards_count();
+        let batch = self.cfg.batch_size();
+        let rpf = self.cfg.rounds_per_frame_value();
+        let policy = self.cfg.backpressure_policy();
+        let period = self.cfg.checkpoint_period();
+        let w_count = self.workers.len();
+        // Two blocks in flight plus their flush cuts always fit.
+        let cap = 2 * rpf + 2;
+
+        std::thread::scope(|scope| {
+            let mut rings: Vec<Arc<Ring<Cmd>>> = Vec::with_capacity(w_count);
+            let mut lanes: Vec<Option<ScopedJoinHandle<'_, Conn>>> = Vec::with_capacity(w_count);
+            let mut drive = || -> Result<(), RemoteError> {
+                for w in 0..w_count {
+                    if self.workers[w].conn.is_none() {
+                        self.failover(w, feeds, *ckpt_rounds, *rounds_done)?;
+                    }
+                    let conn = self.worker_conn_clone(w)?;
+                    let ring = Arc::new(Ring::new(cap));
+                    lanes.push(Some(spawn_writer(
+                        scope,
+                        Arc::clone(&ring),
+                        conn,
+                        feeds,
+                        self.owner.clone(),
+                        w,
+                        s_count,
+                        batch,
+                        rpf,
+                    )));
+                    rings.push(ring);
+                }
+                // Per-worker expectation FIFO (rounds staged, report not
+                // yet received) and per-round report entries received
+                // but not yet absorbed.
+                let mut outstanding: Vec<VecDeque<u64>> = vec![VecDeque::new(); w_count];
+                let mut pending: BTreeMap<u64, BTreeMap<usize, (i64, i64, u64)>> = BTreeMap::new();
+                let mut staged: u64 = 0;
+
+                while (*rounds_done as usize) < rounds {
+                    let window_end = match (*rounds_done).checked_div(period) {
+                        Some(q) => (q + 1) * period,
+                        None => rounds as u64,
+                    }
+                    .min(rounds as u64);
+                    while *rounds_done < window_end {
+                        let absorb_to = staged;
+                        if staged < window_end {
+                            let block_start = staged;
+                            let block_end = (staged + rpf as u64).min(window_end);
+                            for rr in block_start..block_end {
+                                for w in 0..w_count {
+                                    let participates = feeds.iter().any(|&(site, inputs)| {
+                                        self.owner[site % s_count] == w
+                                            && chunk_bounds(inputs.len(), batch, rr as usize)
+                                                .is_some()
+                                    });
+                                    if !participates {
+                                        continue;
+                                    }
+                                    let fault = self.faults.take(FaultPoint::MidRound(rr), w);
+                                    let delay_ms = match fault {
+                                        Some(FaultKind::Delay { ms }) => ms,
+                                        _ => 0,
+                                    };
+                                    while !stage_push(
+                                        &rings[w],
+                                        policy,
+                                        Cmd::Round {
+                                            round: rr,
+                                            delay_ms,
+                                        },
+                                    ) {
+                                        // The writer observed a dead
+                                        // socket and closed its queue:
+                                        // fail over, then restage onto
+                                        // the replacement's fresh lane.
+                                        self.pipelined_failover(
+                                            w,
+                                            feeds,
+                                            *ckpt_rounds,
+                                            *rounds_done,
+                                            rr,
+                                            &mut outstanding,
+                                            &mut pending,
+                                        )?;
+                                        let conn = self.worker_conn_clone(w)?;
+                                        rebuild_lane(
+                                            scope,
+                                            &mut rings,
+                                            &mut lanes,
+                                            &mut self.wire,
+                                            conn,
+                                            feeds,
+                                            self.owner.clone(),
+                                            w,
+                                            s_count,
+                                            batch,
+                                            rpf,
+                                            cap,
+                                        );
+                                    }
+                                    outstanding[w].push_back(rr);
+                                    if matches!(
+                                        fault,
+                                        Some(FaultKind::Kill) | Some(FaultKind::Sever)
+                                    ) {
+                                        self.disrupt(w, fault.unwrap());
+                                    }
+                                }
+                            }
+                            // Deterministic frame cut: every
+                            // participant's partial frame ships now.
+                            for w in 0..w_count {
+                                let in_block =
+                                    outstanding[w].back().is_some_and(|&r| r >= block_start);
+                                if in_block && !stage_push(&rings[w], policy, Cmd::Flush) {
+                                    self.pipelined_failover(
+                                        w,
+                                        feeds,
+                                        *ckpt_rounds,
+                                        *rounds_done,
+                                        block_end,
+                                        &mut outstanding,
+                                        &mut pending,
+                                    )?;
+                                    let conn = self.worker_conn_clone(w)?;
+                                    rebuild_lane(
+                                        scope,
+                                        &mut rings,
+                                        &mut lanes,
+                                        &mut self.wire,
+                                        conn,
+                                        feeds,
+                                        self.owner.clone(),
+                                        w,
+                                        s_count,
+                                        batch,
+                                        rpf,
+                                        cap,
+                                    );
+                                }
+                            }
+                            staged = block_end;
+                        }
+                        while *rounds_done < absorb_to {
+                            let r = *rounds_done;
+                            while let Some(w) =
+                                (0..w_count).find(|&w| outstanding[w].front() == Some(&r))
+                            {
+                                match self.recv_coord(w) {
+                                    Ok(ToCoord::RoundReport { round, reports }) => {
+                                        if round != r {
+                                            return Err(RemoteError::Protocol {
+                                                worker: w,
+                                                what: "pipelined round report out of order",
+                                            });
+                                        }
+                                        outstanding[w].pop_front();
+                                        let slot = pending.entry(round).or_default();
+                                        for e in reports {
+                                            slot.insert(e.sid, (e.estimate, e.sum, e.len));
+                                        }
+                                    }
+                                    Ok(_) => {
+                                        return Err(RemoteError::Protocol {
+                                            worker: w,
+                                            what: "unexpected reply in a pipelined run",
+                                        })
+                                    }
+                                    Err(RemoteError::Transport { .. }) => {
+                                        self.pipelined_failover(
+                                            w,
+                                            feeds,
+                                            *ckpt_rounds,
+                                            r,
+                                            staged,
+                                            &mut outstanding,
+                                            &mut pending,
+                                        )?;
+                                        let conn = self.worker_conn_clone(w)?;
+                                        rebuild_lane(
+                                            scope,
+                                            &mut rings,
+                                            &mut lanes,
+                                            &mut self.wire,
+                                            conn,
+                                            feeds,
+                                            self.owner.clone(),
+                                            w,
+                                            s_count,
+                                            batch,
+                                            rpf,
+                                            cap,
+                                        );
+                                    }
+                                    Err(e) => return Err(e),
+                                }
+                            }
+                            let entries = pending.remove(&r).unwrap_or_default();
+                            for &(site, inputs) in feeds {
+                                if chunk_bounds(inputs.len(), batch, r as usize).is_some()
+                                    && !entries.contains_key(&(site % s_count))
+                                {
+                                    return Err(RemoteError::Protocol {
+                                        worker: self.owner[site % s_count],
+                                        what: "round report missing a dispatched shard",
+                                    });
+                                }
+                            }
+                            // Same per-boundary order as the synchronous
+                            // path: fold ground truth, absorb ascending
+                            // sid, audit.
+                            for (&sid, &(_, sum, len)) in &entries {
+                                self.f += sum;
+                                self.time += len as Time;
+                                self.dirty[sid] += len;
+                            }
+                            for (&sid, &(est, _, _)) in &entries {
+                                self.coord.absorb(sid, est);
+                            }
+                            audit.boundary(self.time, self.f, self.coord.estimate());
+                            *rounds_done += 1;
+                            for w in 0..w_count {
+                                if let Some(kind) = self
+                                    .faults
+                                    .take(FaultPoint::AtBoundary(*rounds_done - 1), w)
+                                {
+                                    self.disrupt(w, kind);
+                                }
+                            }
+                        }
+                    }
+                    // Checkpoint barrier: staged == absorbed ==
+                    // window_end, queues drained, writers parked — the
+                    // synchronous commit applies verbatim. Rebuild the
+                    // lane of any slot a checkpoint-time failover
+                    // respawned (its writer holds the dead connection).
+                    if period > 0 && (*rounds_done).is_multiple_of(period) {
+                        let gens: Vec<u64> = self.workers.iter().map(|s| s.generation).collect();
+                        self.sync_checkpoint(
+                            feeds,
+                            Some(*rounds_done - 1),
+                            ckpt_rounds,
+                            *rounds_done,
+                        )?;
+                        for (w, &gen) in gens.iter().enumerate().take(w_count) {
+                            if self.workers[w].generation != gen {
+                                let conn = self.worker_conn_clone(w)?;
+                                rebuild_lane(
+                                    scope,
+                                    &mut rings,
+                                    &mut lanes,
+                                    &mut self.wire,
+                                    conn,
+                                    feeds,
+                                    self.owner.clone(),
+                                    w,
+                                    s_count,
+                                    batch,
+                                    rpf,
+                                    cap,
+                                );
+                            }
+                        }
+                    }
+                }
+                Ok(())
+            };
+            let result = drive();
+            // Always torn down before the scope exits — an error must not
+            // leave a writer parked on an open queue.
+            for ring in &rings {
+                ring.close();
+            }
+            for lane in lanes.iter_mut() {
+                if let Some(handle) = lane.take() {
+                    match handle.join() {
+                        Ok(conn) => self.wire.merge(conn.stats()),
+                        Err(panic) => std::panic::resume_unwind(panic),
+                    }
+                }
+            }
+            result
+        })
+    }
+
+    /// Pipelined-mode failover: recover `dead` exactly like the
+    /// synchronous [`failover`](Self::failover) (restore the committed
+    /// cut, replay `committed..absorbed`, discard those reports), then
+    /// *catch up* the replacement through the staging `frontier`: rounds
+    /// the coordinator already staged but has not absorbed are
+    /// re-exchanged one frame per round and their reports are **kept** —
+    /// they are the very reports the absorber is still owed. The
+    /// expectation queue for `dead` is cleared first (its in-flight
+    /// reports died with the socket); catch-up refills `pending` for the
+    /// dead worker's shards, overwriting any entries that did arrive
+    /// before the death with bit-identical values (a worker's report is
+    /// a pure function of the round prefix it absorbed).
+    #[allow(clippy::too_many_arguments)]
+    fn pipelined_failover(
+        &mut self,
+        dead: usize,
+        feeds: &[(SiteId, &[In])],
+        ckpt_rounds: u64,
+        rounds_done: u64,
+        frontier: u64,
+        outstanding: &mut [VecDeque<u64>],
+        pending: &mut BTreeMap<u64, BTreeMap<usize, (i64, i64, u64)>>,
+    ) -> Result<(), RemoteError> {
+        let s_count = self.cfg.shards_count();
+        let batch = self.cfg.batch_size();
+        'catchup: loop {
+            outstanding[dead].clear();
+            self.failover(dead, feeds, ckpt_rounds, rounds_done)?;
+            for rr in rounds_done..frontier {
+                let mut chunks = Vec::new();
+                for &(site, inputs) in feeds {
+                    let Some((lo, hi)) = chunk_bounds(inputs.len(), batch, rr as usize) else {
+                        continue;
+                    };
+                    let sid = site % s_count;
+                    if self.owner[sid] != dead {
+                        continue;
+                    }
+                    chunks.push(Chunk {
+                        sid,
+                        site,
+                        inputs: In::wrap(&inputs[lo..hi]),
+                    });
+                }
+                if chunks.is_empty() {
+                    continue;
+                }
+                let msg = ToWorker::Round {
+                    round: rr,
+                    delay_ms: 0,
+                    chunks,
+                };
+                match self.exchange(dead, &msg) {
+                    Ok(ToCoord::RoundReport { round, reports }) if round == rr => {
+                        let slot = pending.entry(rr).or_default();
+                        for e in reports {
+                            slot.insert(e.sid, (e.estimate, e.sum, e.len));
+                        }
+                    }
+                    Ok(_) => {
+                        return Err(RemoteError::Protocol {
+                            worker: dead,
+                            what: "unexpected reply to a catch-up round",
+                        })
+                    }
+                    Err(RemoteError::Transport { .. }) => continue 'catchup,
+                    Err(e) => return Err(e),
+                }
+            }
+            return Ok(());
+        }
+    }
+
+    /// A fresh handle on worker `w`'s live connection for a writer
+    /// thread ([`Conn::try_clone`] — shared socket, private ledger).
+    fn worker_conn_clone(&self, w: usize) -> Result<Conn, RemoteError> {
+        match self.workers[w].conn.as_ref() {
+            Some(conn) => conn
+                .try_clone()
+                .map_err(|err| RemoteError::Transport { worker: w, err }),
+            None => Err(RemoteError::Transport {
+                worker: w,
+                err: TransportError::Closed { op: "clone" },
+            }),
+        }
     }
 
     /// Commit a checkpoint cut at the current boundary: pull the state of
@@ -1245,6 +1685,176 @@ impl<In: RemoteInput> Drop for RemoteEngine<In> {
     }
 }
 
+/// A staged command for one worker's writer thread, carried over the
+/// same SPSC ring the pipelined local engine feeds shards with. `Copy`
+/// because the ring memcpys its slots; the chunk payloads are *not*
+/// staged — the writer re-derives them from the shared feeds, so a
+/// command is two words however fat the round.
+#[derive(Clone, Copy)]
+enum Cmd {
+    /// Stage round `round` (with an injected worker-side stall of
+    /// `delay_ms`, normally 0) into the writer's pending frame; the
+    /// frame ships once it holds `rounds_per_frame` rounds.
+    Round { round: u64, delay_ms: u64 },
+    /// Ship the pending frame now even if short (block and barrier
+    /// cuts); a no-op when nothing is pending.
+    Flush,
+}
+
+/// Blocking producer push honoring the engine's [`Backpressure`] policy.
+/// Returns `false` — with the command not enqueued — only when the queue
+/// is closed, which is how a writer thread reports a dead socket. The
+/// `Error` policy cannot shed a round command (dropping one would desync
+/// the absorber), so it parks like `Block`; the two-block staging
+/// discipline keeps the queue from ever filling in the first place.
+fn stage_push(ring: &Ring<Cmd>, policy: Backpressure, cmd: Cmd) -> bool {
+    loop {
+        if ring.is_closed() {
+            return false;
+        }
+        if ring.push_some(std::slice::from_ref(&cmd)) == 1 {
+            return true;
+        }
+        match policy {
+            Backpressure::Yield => std::thread::yield_now(),
+            Backpressure::Block | Backpressure::Error => ring.wait_not_full(),
+        }
+    }
+}
+
+/// One worker's writer thread: drain round commands from the queue,
+/// build their chunks from the shared feeds (owner snapshot — static,
+/// because pipelined failover always respawns), and ship `Rounds`
+/// envelopes of up to `rpf` rounds per frame. On a send failure the
+/// writer closes its own queue — that is its death notice to the
+/// staging side — and returns; on close-and-drained it flushes any
+/// pending partial frame and returns. Either way the connection handle
+/// comes back so the coordinator can fold its wire ledger.
+#[allow(clippy::too_many_arguments)]
+fn writer_drain<In: RemoteInput>(
+    ring: &Ring<Cmd>,
+    mut conn: Conn,
+    feeds: &[(SiteId, &[In])],
+    owner: &[usize],
+    w: usize,
+    s_count: usize,
+    batch: usize,
+    rpf: usize,
+) -> Conn {
+    let mut cmds: Vec<Cmd> = Vec::with_capacity(1);
+    let mut frame: Vec<RoundWork> = Vec::new();
+    loop {
+        cmds.clear();
+        ring.pop_round(&mut cmds, 1);
+        let Some(&cmd) = cmds.first() else {
+            // Closed and drained: ship the partial frame (a no-op
+            // teardown when the run absorbed everything) and exit.
+            if !frame.is_empty() {
+                let _ = ship_frame(&mut conn, &mut frame);
+            }
+            return conn;
+        };
+        match cmd {
+            Cmd::Round { round, delay_ms } => {
+                let mut chunks = Vec::new();
+                for &(site, inputs) in feeds {
+                    let Some((lo, hi)) = chunk_bounds(inputs.len(), batch, round as usize) else {
+                        continue;
+                    };
+                    let sid = site % s_count;
+                    if owner[sid] != w {
+                        continue;
+                    }
+                    chunks.push(Chunk {
+                        sid,
+                        site,
+                        inputs: In::wrap(&inputs[lo..hi]),
+                    });
+                }
+                frame.push(RoundWork {
+                    round,
+                    delay_ms,
+                    chunks,
+                });
+                if frame.len() >= rpf && ship_frame(&mut conn, &mut frame).is_err() {
+                    ring.close();
+                    return conn;
+                }
+            }
+            Cmd::Flush => {
+                if !frame.is_empty() && ship_frame(&mut conn, &mut frame).is_err() {
+                    ring.close();
+                    return conn;
+                }
+            }
+        }
+    }
+}
+
+/// Send the writer's pending rounds as one `Rounds` envelope.
+fn ship_frame(conn: &mut Conn, frame: &mut Vec<RoundWork>) -> Result<(), TransportError> {
+    let msg = ToWorker::Rounds {
+        rounds: std::mem::take(frame),
+    };
+    conn.send(&msg.to_bytes())
+}
+
+/// Spawn a writer thread for worker `w` inside the run's scope.
+#[allow(clippy::too_many_arguments)]
+fn spawn_writer<'scope, 'env, In: RemoteInput>(
+    scope: &'scope Scope<'scope, 'env>,
+    ring: Arc<Ring<Cmd>>,
+    conn: Conn,
+    feeds: &'env [(SiteId, &'env [In])],
+    owner: Vec<usize>,
+    w: usize,
+    s_count: usize,
+    batch: usize,
+    rpf: usize,
+) -> ScopedJoinHandle<'scope, Conn> {
+    scope.spawn(move || writer_drain(&ring, conn, feeds, &owner, w, s_count, batch, rpf))
+}
+
+/// Tear down worker `w`'s send lane (close the queue, join the writer,
+/// fold its wire ledger) and start a fresh one over `conn` — the
+/// recovery step after any failover replaces the slot's connection.
+#[allow(clippy::too_many_arguments)]
+fn rebuild_lane<'scope, 'env, In: RemoteInput>(
+    scope: &'scope Scope<'scope, 'env>,
+    rings: &mut [Arc<Ring<Cmd>>],
+    lanes: &mut [Option<ScopedJoinHandle<'scope, Conn>>],
+    wire: &mut WireStats,
+    conn: Conn,
+    feeds: &'env [(SiteId, &'env [In])],
+    owner: Vec<usize>,
+    w: usize,
+    s_count: usize,
+    batch: usize,
+    rpf: usize,
+    cap: usize,
+) {
+    rings[w].close();
+    if let Some(handle) = lanes[w].take() {
+        match handle.join() {
+            Ok(old) => wire.merge(old.stats()),
+            Err(panic) => std::panic::resume_unwind(panic),
+        }
+    }
+    let ring = Arc::new(Ring::new(cap));
+    lanes[w] = Some(spawn_writer(
+        scope,
+        Arc::clone(&ring),
+        conn,
+        feeds,
+        owner,
+        w,
+        s_count,
+        batch,
+        rpf,
+    ));
+    rings[w] = ring;
+}
+
 /// The `run_parted` chunking rule: round `round`'s slice of a feed of
 /// `len` inputs, or `None` when the feed is exhausted.
 fn chunk_bounds(len: usize, batch: usize, round: usize) -> Option<(usize, usize)> {
@@ -1318,6 +1928,106 @@ mod tests {
         assert!(remote.events().is_empty());
         let wire = remote.wire_stats();
         assert!(wire.frames_sent > 0 && wire.bytes_received > 0);
+    }
+
+    #[test]
+    fn pipelined_frames_stay_bit_identical_and_fewer() {
+        let feeds = walk_feeds(4, 16_000);
+        let base = EngineConfig::new(4, 500);
+
+        let mut local = ShardedEngine::counters(det_spec(4), base).unwrap();
+        let local_report = local.run_parted(&slices(&feeds)).unwrap();
+        let local_ckpt = local.checkpoint().unwrap();
+
+        let mut sync = RemoteEngine::counters(det_spec(4), base, fast_rcfg()).unwrap();
+        sync.run_parted(&slices(&feeds)).unwrap();
+        let sync_frames = sync.wire_stats().frames_sent;
+
+        for rpf in [4, 16] {
+            let cfg = base.rounds_per_frame(rpf);
+            let mut remote = RemoteEngine::counters(det_spec(4), cfg, fast_rcfg()).unwrap();
+            let report = remote.run_parted(&slices(&feeds)).unwrap();
+
+            // The full equivalence surface, at every frame width.
+            assert_eq!(report.n, local_report.n, "rpf={rpf}");
+            assert_eq!(report.batches, local_report.batches);
+            assert_eq!(report.final_f, local_report.final_f);
+            assert_eq!(report.final_estimate, local_report.final_estimate);
+            assert_eq!(report.tracker_stats, local_report.tracker_stats);
+            assert_eq!(report.merge_stats, local_report.merge_stats);
+            assert_eq!(remote.shard_estimates().unwrap(), local.shard_estimates());
+            assert_eq!(remote.checkpoint_stats(), local.checkpoint_stats());
+            assert_eq!(remote.checkpoint().unwrap(), local_ckpt);
+            assert!(remote.events().is_empty());
+
+            // Only the wire ledger moves: batching rounds into fewer,
+            // fatter frames strictly reduces coordinator frames sent.
+            let frames = remote.wire_stats().frames_sent;
+            assert!(
+                frames < sync_frames,
+                "rpf={rpf}: {frames} frames vs {sync_frames} synchronous"
+            );
+        }
+    }
+
+    #[test]
+    fn pipelined_failover_respawns_and_stays_bit_identical() {
+        let feeds = walk_feeds(4, 12_000);
+        let cfg = EngineConfig::new(4, 250)
+            .checkpoint_every(4)
+            .rounds_per_frame(4);
+
+        let mut local = ShardedEngine::counters(det_spec(4), cfg).unwrap();
+        let local_report = local.run_parted(&slices(&feeds)).unwrap();
+
+        // Reattach is requested but must degrade to a respawn in
+        // pipelined mode (writers hold a static owner snapshot).
+        let rcfg = RemoteConfig {
+            recovery: Recovery::Reattach,
+            ..fast_rcfg()
+        };
+        let mut remote = RemoteEngine::counters(det_spec(4), cfg, rcfg).unwrap();
+        remote.set_fault_plan(FaultPlan::new().inject(
+            FaultPoint::MidRound(6),
+            1,
+            FaultKind::Sever,
+        ));
+        let report = remote.run_parted(&slices(&feeds)).unwrap();
+
+        assert_eq!(remote.events().len(), 1);
+        assert_eq!(remote.events()[0].worker, 1);
+        assert_eq!(remote.events()[0].recovered_to, 1, "forced respawn");
+        assert_eq!(report.final_f, local_report.final_f);
+        assert_eq!(report.final_estimate, local_report.final_estimate);
+        assert_eq!(report.tracker_stats, local_report.tracker_stats);
+        assert_eq!(report.merge_stats, local_report.merge_stats);
+        assert_eq!(remote.shard_estimates().unwrap(), local.shard_estimates());
+        assert_eq!(remote.checkpoint().unwrap(), local.checkpoint().unwrap());
+    }
+
+    #[test]
+    fn pipelined_engine_is_incremental_across_runs() {
+        let feeds = walk_feeds(3, 9_000);
+        let cfg = EngineConfig::new(3, 300).rounds_per_frame(4);
+        let mut local = ShardedEngine::counters(det_spec(3), cfg).unwrap();
+        let mut remote = RemoteEngine::counters(det_spec(3), cfg, fast_rcfg()).unwrap();
+        for half in 0..2 {
+            let part: Vec<(usize, &[i64])> = feeds
+                .iter()
+                .map(|(s, v)| {
+                    let mid = v.len() / 2;
+                    let range = if half == 0 { &v[..mid] } else { &v[mid..] };
+                    (*s, range)
+                })
+                .collect();
+            local.run_parted(&part).unwrap();
+            local.checkpoint().unwrap();
+            remote.run_parted(&part).unwrap();
+        }
+        assert_eq!(remote.estimate(), local.estimate());
+        assert_eq!(remote.time(), local.time());
+        assert_eq!(remote.merge_stats(), local.merge_stats());
+        assert_eq!(remote.checkpoint().unwrap(), local.checkpoint().unwrap());
     }
 
     #[test]

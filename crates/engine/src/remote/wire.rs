@@ -27,10 +27,13 @@ pub const WIRE_MAGIC: [u8; 4] = *b"DSVR";
 /// Current remote-protocol version. A peer speaking a newer version is a
 /// typed [`CodecError::UnsupportedVersion`], surfaced before any shard
 /// state moves. v2 adds delta checkpoint pulls — per-shard want-delta
-/// flags on [`ToWorker::Checkpoint`] and tagged
-/// [`StateEntry`] report entries; v1 frames (plain shard lists, untagged
-/// full states) still decode.
-pub const WIRE_VERSION: u16 = 2;
+/// flags on [`ToWorker::Checkpoint`] and tagged [`StateEntry`] report
+/// entries. v3 adds the pipelined-ingestion [`ToWorker::Rounds`]
+/// envelope, batching several rounds of chunks into one frame (the
+/// worker still answers one [`ToCoord::RoundReport`] per round). Older
+/// frames (v1 plain shard lists and untagged full states, v2
+/// single-round [`ToWorker::Round`] frames) still decode.
+pub const WIRE_VERSION: u16 = 3;
 
 /// One shard's inputs for one round — the per-problem input payload.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -157,6 +160,20 @@ impl StateEntry {
     }
 }
 
+/// One round's work inside a multi-round [`ToWorker::Rounds`] frame —
+/// the same `(round, delay, chunks)` triple a single-round
+/// [`ToWorker::Round`] carries, just batched.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundWork {
+    /// Round number (0-based within the current ingestion call).
+    pub round: u64,
+    /// Milliseconds to sleep before processing this round — 0 in
+    /// production; nonzero only under an injected delay fault.
+    pub delay_ms: u64,
+    /// The round's work, in feed order.
+    pub chunks: Vec<Chunk>,
+}
+
 /// Coordinator → worker messages.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ToWorker {
@@ -190,6 +207,16 @@ pub enum ToWorker {
         delay_ms: u64,
         /// The work, in feed order.
         chunks: Vec<Chunk>,
+    },
+    /// Process several rounds back to back — the DSVR v3 pipelined
+    /// envelope. The worker handles each entry exactly as it would a
+    /// [`ToWorker::Round`] frame, in order, sending one
+    /// [`ToCoord::RoundReport`] per entry as soon as that round is done
+    /// (so the coordinator can absorb round `r` while the worker is
+    /// already processing `r + 1`).
+    Rounds {
+        /// The batched rounds, ascending round number.
+        rounds: Vec<RoundWork>,
     },
     /// Snapshot the named shards and reply with a
     /// [`ToCoord::CheckpointReport`].
@@ -229,11 +256,15 @@ impl ToWorker {
                 enc.u8(3);
                 enc.u64(*round);
                 enc.u64(*delay_ms);
-                enc.seq_len(chunks.len());
-                for chunk in chunks {
-                    enc.usize(chunk.sid);
-                    enc.usize(chunk.site);
-                    chunk.inputs.encode(&mut enc);
+                encode_chunks(&mut enc, chunks);
+            }
+            ToWorker::Rounds { rounds } => {
+                enc.u8(6);
+                enc.seq_len(rounds.len());
+                for work in rounds {
+                    enc.u64(work.round);
+                    enc.u64(work.delay_ms);
+                    encode_chunks(&mut enc, &work.chunks);
                 }
             }
             ToWorker::Checkpoint { shards } => {
@@ -272,19 +303,25 @@ impl ToWorker {
             3 => {
                 let round = dec.u64()?;
                 let delay_ms = dec.u64()?;
-                let n = dec.seq_len("round chunks", 17)?;
-                let mut chunks = Vec::with_capacity(n);
-                for _ in 0..n {
-                    let sid = dec.usize()?;
-                    let site = dec.usize()?;
-                    let inputs = Inputs::decode(&mut dec)?;
-                    chunks.push(Chunk { sid, site, inputs });
-                }
                 ToWorker::Round {
                     round,
                     delay_ms,
-                    chunks,
+                    chunks: decode_chunks(&mut dec)?,
                 }
+            }
+            6 => {
+                let n = dec.seq_len("batched rounds", 25)?;
+                let mut rounds = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let round = dec.u64()?;
+                    let delay_ms = dec.u64()?;
+                    rounds.push(RoundWork {
+                        round,
+                        delay_ms,
+                        chunks: decode_chunks(&mut dec)?,
+                    });
+                }
+                ToWorker::Rounds { rounds }
             }
             4 => {
                 let n = dec.seq_len("checkpoint shards", 8)?;
@@ -307,6 +344,27 @@ impl ToWorker {
         dec.finish()?;
         Ok(msg)
     }
+}
+
+fn encode_chunks(enc: &mut Enc, chunks: &[Chunk]) {
+    enc.seq_len(chunks.len());
+    for chunk in chunks {
+        enc.usize(chunk.sid);
+        enc.usize(chunk.site);
+        chunk.inputs.encode(enc);
+    }
+}
+
+fn decode_chunks(dec: &mut Dec) -> Result<Vec<Chunk>, CodecError> {
+    let n = dec.seq_len("round chunks", 17)?;
+    let mut chunks = Vec::with_capacity(n);
+    for _ in 0..n {
+        let sid = dec.usize()?;
+        let site = dec.usize()?;
+        let inputs = Inputs::decode(dec)?;
+        chunks.push(Chunk { sid, site, inputs });
+    }
+    Ok(chunks)
 }
 
 fn encode_shard_inits(enc: &mut Enc, shards: &[ShardInit]) {
@@ -531,6 +589,35 @@ mod tests {
                     },
                 ],
             },
+            ToWorker::Rounds {
+                rounds: vec![
+                    RoundWork {
+                        round: 8,
+                        delay_ms: 0,
+                        chunks: vec![Chunk {
+                            sid: 1,
+                            site: 1,
+                            inputs: Inputs::Counts(vec![1, 1, -1]),
+                        }],
+                    },
+                    RoundWork {
+                        round: 9,
+                        delay_ms: 25,
+                        chunks: vec![
+                            Chunk {
+                                sid: 1,
+                                site: 1,
+                                inputs: Inputs::Counts(vec![-1]),
+                            },
+                            Chunk {
+                                sid: 3,
+                                site: 3,
+                                inputs: Inputs::Items(vec![(2, 1)]),
+                            },
+                        ],
+                    },
+                ],
+            },
             ToWorker::Checkpoint {
                 shards: vec![
                     StatePull {
@@ -608,6 +695,34 @@ mod tests {
                 assert!(ToCoord::from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
             }
         }
+    }
+
+    #[test]
+    fn v2_single_round_frames_still_decode() {
+        // A v2 Round frame, exactly as a PR 6 coordinator would emit it:
+        // the tag-3 single-round shape under the older version word.
+        let mut enc = Enc::new();
+        enc.magic(WIRE_MAGIC, 2);
+        enc.u8(3);
+        enc.u64(4); // round
+        enc.u64(0); // delay_ms
+        enc.seq_len(1);
+        enc.usize(2);
+        enc.usize(2);
+        enc.u8(1); // Inputs::Counts
+        enc.seq_i64(&[1, -1]);
+        assert_eq!(
+            ToWorker::from_bytes(&enc.into_bytes()).unwrap(),
+            ToWorker::Round {
+                round: 4,
+                delay_ms: 0,
+                chunks: vec![Chunk {
+                    sid: 2,
+                    site: 2,
+                    inputs: Inputs::Counts(vec![1, -1]),
+                }],
+            }
+        );
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! indistinguishable from the process it replaces once assigned and
 //! replayed.
 
-use super::wire::{Inputs, RoundEntry, ShardInit, StateEntry, ToCoord, ToWorker};
+use super::wire::{Chunk, Inputs, RoundEntry, ShardInit, StateEntry, ToCoord, ToWorker};
 use dsv_core::api::{ItemTracker, Problem, Tracker, TrackerSpec};
 use dsv_core::codec::TrackerState;
 use dsv_net::transport::{hello_bytes, Conn, Endpoint, Role, TransportError};
@@ -136,6 +136,50 @@ pub fn serve(
     }
 }
 
+/// Apply one round of chunks to the replica map and send its
+/// [`ToCoord::RoundReport`]. Per-shard accumulation follows the
+/// `run_parted` rule: estimates overwrite (last chunk in feed order
+/// wins), sums and lengths add.
+fn process_round(
+    conn: &mut Conn,
+    trackers: &mut BTreeMap<usize, AnyTracker>,
+    round: u64,
+    delay_ms: u64,
+    chunks: &[Chunk],
+) -> Result<(), WorkerError> {
+    if delay_ms > 0 {
+        std::thread::sleep(Duration::from_millis(delay_ms));
+    }
+    let mut acc: BTreeMap<usize, RoundEntry> = BTreeMap::new();
+    for chunk in chunks {
+        let tracker = trackers
+            .get_mut(&chunk.sid)
+            .ok_or(WorkerError::Protocol("round chunk for unassigned shard"))?;
+        let (est, sum) = match (tracker, &chunk.inputs) {
+            (AnyTracker::Counter(t), Inputs::Counts(v)) => {
+                (t.update_run(chunk.site, v), v.iter().sum::<i64>())
+            }
+            (AnyTracker::Item(t), Inputs::Items(v)) => (
+                t.update_run(chunk.site, v),
+                v.iter().map(|&(_, d)| d).sum::<i64>(),
+            ),
+            _ => return Err(WorkerError::Protocol("input payload problem mismatch")),
+        };
+        let entry = acc.entry(chunk.sid).or_insert(RoundEntry {
+            sid: chunk.sid,
+            estimate: est,
+            sum: 0,
+            len: 0,
+        });
+        entry.estimate = est;
+        entry.sum += sum;
+        entry.len += chunk.inputs.len() as u64;
+    }
+    let reports = acc.into_values().collect();
+    conn.send(&ToCoord::RoundReport { round, reports }.to_bytes())?;
+    Ok(())
+}
+
 fn serve_conn(
     ep: &Endpoint,
     worker: u64,
@@ -176,39 +220,23 @@ fn serve_conn(
                 delay_ms,
                 chunks,
             } => {
-                if delay_ms > 0 {
-                    std::thread::sleep(Duration::from_millis(delay_ms));
+                process_round(&mut conn, &mut trackers, round, delay_ms, &chunks)?;
+            }
+            ToWorker::Rounds { rounds } => {
+                // The pipelined envelope: each batched round is absorbed
+                // exactly like a single-round frame, in order, and each
+                // answers with its own report as soon as it completes —
+                // so the coordinator can absorb early rounds while later
+                // ones are still being processed here.
+                for work in rounds {
+                    process_round(
+                        &mut conn,
+                        &mut trackers,
+                        work.round,
+                        work.delay_ms,
+                        &work.chunks,
+                    )?;
                 }
-                // Per-shard accumulation: estimates overwrite (last chunk
-                // in feed order wins — the run_parted rule), sums and
-                // lengths add.
-                let mut acc: BTreeMap<usize, RoundEntry> = BTreeMap::new();
-                for chunk in &chunks {
-                    let tracker = trackers
-                        .get_mut(&chunk.sid)
-                        .ok_or(WorkerError::Protocol("round chunk for unassigned shard"))?;
-                    let (est, sum) = match (tracker, &chunk.inputs) {
-                        (AnyTracker::Counter(t), Inputs::Counts(v)) => {
-                            (t.update_run(chunk.site, v), v.iter().sum::<i64>())
-                        }
-                        (AnyTracker::Item(t), Inputs::Items(v)) => (
-                            t.update_run(chunk.site, v),
-                            v.iter().map(|&(_, d)| d).sum::<i64>(),
-                        ),
-                        _ => return Err(WorkerError::Protocol("input payload problem mismatch")),
-                    };
-                    let entry = acc.entry(chunk.sid).or_insert(RoundEntry {
-                        sid: chunk.sid,
-                        estimate: est,
-                        sum: 0,
-                        len: 0,
-                    });
-                    entry.estimate = est;
-                    entry.sum += sum;
-                    entry.len += chunk.inputs.len() as u64;
-                }
-                let reports = acc.into_values().collect();
-                conn.send(&ToCoord::RoundReport { round, reports }.to_bytes())?;
             }
             ToWorker::Checkpoint { shards } => {
                 let mut states = Vec::with_capacity(shards.len());
